@@ -1,0 +1,40 @@
+package lap
+
+import (
+	"io"
+
+	"repro/internal/analysis"
+)
+
+// WorkloadReport is a trace characterisation: footprint, read/write mix,
+// exact LRU reuse-distance profile, and the paper's two redundancy
+// potentials (loop-blocks and redundant fills). See internal/analysis.
+type WorkloadReport = analysis.Report
+
+// AnalyzeOptions configures trace characterisation.
+type AnalyzeOptions struct {
+	// L2Blocks and LLCBlocks are the capacities (in 64B blocks) used to
+	// classify reuse distances; zero selects the paper's Table II values
+	// (8192 and 131072).
+	L2Blocks, LLCBlocks uint64
+	// MaxAccesses bounds the analysis window (0 = the whole source).
+	MaxAccesses uint64
+}
+
+// Analyze characterises an access stream. Use it to calibrate custom
+// workload surrogates against the paper's Figure 4/6 properties before
+// simulating them.
+func Analyze(src Source, opt AnalyzeOptions) *WorkloadReport {
+	an := analysis.NewAnalyzer()
+	if opt.L2Blocks > 0 {
+		an.L2Blocks = opt.L2Blocks
+	}
+	if opt.LLCBlocks > 0 {
+		an.LLCBlocks = opt.LLCBlocks
+	}
+	an.MaxAccesses = opt.MaxAccesses
+	return an.Analyze(src)
+}
+
+// FprintReport renders a workload report (convenience re-export).
+func FprintReport(w io.Writer, r *WorkloadReport) { r.Fprint(w) }

@@ -1,0 +1,78 @@
+// Command lapexp regenerates the paper's tables and figures. With no
+// arguments it runs everything; otherwise pass artifact IDs such as
+// "fig2", "fig14", "table1".
+//
+// Usage:
+//
+//	lapexp [-quick] [-accesses N] [-seed S] [artifact ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced scale for a fast smoke run")
+	accesses := flag.Uint64("accesses", 0, "override per-core trace length")
+	seed := flag.Uint64("seed", 0, "override workload seed")
+	list := flag.Bool("list", false, "list available artifacts and exit")
+	csvDir := flag.String("csv", "", "also save each artifact as CSV into this directory")
+	flag.Parse()
+
+	opt := experiments.Defaults()
+	if *quick {
+		opt = experiments.Quick()
+	}
+	if *accesses > 0 {
+		opt.Accesses = *accesses
+	}
+	if *seed > 0 {
+		opt.Seed = *seed
+	}
+
+	all := experiments.Registry(opt)
+	if *list {
+		names := make([]string, 0, len(all))
+		for name := range all {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Println(strings.Join(names, "\n"))
+		return
+	}
+
+	targets := flag.Args()
+	if len(targets) == 0 {
+		targets = experiments.Order()
+	}
+	for _, name := range targets {
+		gen, ok := all[strings.ToLower(name)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "lapexp: unknown artifact %q (try -list)\n", name)
+			os.Exit(1)
+		}
+		start := time.Now()
+		tab := gen()
+		tab.Fprint(os.Stdout)
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "lapexp: %v\n", err)
+				os.Exit(1)
+			}
+			path, err := tab.SaveCSV(*csvDir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lapexp: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "[saved %s]\n", path)
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

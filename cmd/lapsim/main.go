@@ -1,0 +1,202 @@
+// Command lapsim runs one workload (a named Table III mix, a
+// comma-separated custom mix, a single benchmark duplicated per core, or
+// a multi-threaded PARSEC surrogate) under one inclusion policy and
+// prints the full statistics.
+//
+// Examples:
+//
+//	lapsim -policy LAP -mix WH1
+//	lapsim -policy exclusive -mix omnetpp,xalancbmk,mcf,lbm
+//	lapsim -policy LAP -bench streamcluster -threads 4
+//	lapsim -policy Lhybrid -llc hybrid -mix WH5
+//	lapsim -policy LAP -llc sram -mix WL2
+//	lapsim -trace trace.bin -policy exclusive -cores 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	lap "repro"
+	"repro/internal/trace"
+)
+
+func main() {
+	policy := flag.String("policy", "LAP", "inclusion policy (see lap.Policies)")
+	mixArg := flag.String("mix", "", "Table III mix name (WL1..WH5) or comma-separated benchmarks")
+	bench := flag.String("bench", "", "single benchmark: duplicated per core, or threaded if -threads > 0")
+	threads := flag.Int("threads", 0, "run -bench as a multi-threaded workload with coherence")
+	llc := flag.String("llc", "stt", "LLC technology: stt, sram, or hybrid")
+	ratio := flag.Float64("wr-ratio", 0, "override the STT-RAM write/read energy ratio (Fig. 23)")
+	accesses := flag.Uint64("accesses", 400_000, "per-core trace length")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	cores := flag.Int("cores", 0, "number of cores (0 = keep the config's value)")
+	traceFile := flag.String("trace", "", "binary trace file to replay on every core")
+	useDRAM := flag.Bool("dram", false, "use the DDR3-1600 row-buffer memory model")
+	warmup := flag.Uint64("warmup", 0, "per-core warmup accesses excluded from statistics")
+	moesi := flag.Bool("moesi", false, "track the MOESI reference protocol (threaded runs)")
+	prefetch := flag.Int("prefetch", 0, "next-N-line L2 prefetch degree")
+	configPath := flag.String("config", "", "JSON machine configuration to start from")
+	flag.Parse()
+
+	cfg := lap.DefaultConfig()
+	if *configPath != "" {
+		loaded, err := lap.LoadConfig(*configPath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		cfg = loaded
+	}
+	if *cores > 0 {
+		cfg.Cores = *cores
+	}
+	llcSet := *configPath == ""
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "llc" || f.Name == "wr-ratio" {
+			llcSet = true
+		}
+	})
+	if llcSet {
+		switch strings.ToLower(*llc) {
+		case "stt":
+			tech := lap.STTRAM()
+			if *ratio > 0 {
+				tech = tech.WithWriteReadRatio(*ratio)
+			}
+			cfg = cfg.WithSTTL3(tech)
+		case "sram":
+			cfg = cfg.WithSRAML3()
+		case "hybrid":
+			cfg = cfg.WithHybridL3()
+		default:
+			fatal("unknown -llc %q (want stt, sram, hybrid)", *llc)
+		}
+	}
+
+	cfg.UseDRAM = cfg.UseDRAM || *useDRAM
+	if *warmup > 0 {
+		cfg.WarmupAccessesPerCore = *warmup
+	}
+	cfg.TrackMOESI = cfg.TrackMOESI || *moesi
+	if *prefetch > 0 {
+		cfg.PrefetchDegree = *prefetch
+	}
+	if err := lap.ValidateConfig(cfg); err != nil {
+		fatal("%v", err)
+	}
+
+	p := lap.Policy(*policy)
+	var (
+		res lap.Result
+		err error
+	)
+	switch {
+	case *traceFile != "":
+		res, err = replayTrace(cfg, p, *traceFile)
+	case *bench != "" && *threads > 0:
+		cfg.Cores = *threads
+		var b lap.Benchmark
+		b, err = lap.BenchmarkByName(*bench)
+		if err == nil {
+			res, err = lap.RunThreaded(cfg, p, b, *accesses, *seed)
+		}
+	case *bench != "":
+		res, err = lap.Run(cfg, p, lap.DuplicateMix(*bench, cfg.Cores), *accesses, *seed)
+	case *mixArg != "":
+		mix, merrr := resolveMix(*mixArg, cfg.Cores)
+		if merrr != nil {
+			fatal("%v", merrr)
+		}
+		res, err = lap.Run(cfg, p, mix, *accesses, *seed)
+	default:
+		fatal("one of -mix, -bench or -trace is required")
+	}
+	if err != nil {
+		fatal("%v", err)
+	}
+	report(res)
+}
+
+func resolveMix(arg string, cores int) (lap.Mix, error) {
+	for _, m := range lap.TableIII() {
+		if strings.EqualFold(m.Name, arg) {
+			return m, nil
+		}
+	}
+	members := strings.Split(arg, ",")
+	if len(members) != cores {
+		return lap.Mix{}, fmt.Errorf("mix %q has %d members for %d cores", arg, len(members), cores)
+	}
+	return lap.Mix{Name: "custom", Members: members}, nil
+}
+
+func replayTrace(cfg lap.Config, p lap.Policy, path string) (lap.Result, error) {
+	srcs := make([]lap.Source, cfg.Cores)
+	files := make([]*os.File, cfg.Cores)
+	for i := range srcs {
+		f, err := os.Open(path)
+		if err != nil {
+			return lap.Result{}, err
+		}
+		files[i] = f
+		r, err := trace.NewAutoReader(f)
+		if err != nil {
+			return lap.Result{}, err
+		}
+		// Offset each replayed copy so cores do not alias.
+		srcs[i] = trace.WithOffset(r, uint64(i)<<50)
+	}
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	return lap.RunTraces(cfg, p, srcs)
+}
+
+func report(r lap.Result) {
+	met := r.Met
+	fmt.Printf("policy            %s\n", r.Policy)
+	fmt.Printf("instructions      %d\n", met.Instructions)
+	fmt.Printf("cycles            %d\n", met.Cycles)
+	fmt.Printf("throughput (IPC)  %.3f\n", r.Throughput)
+	fmt.Printf("LLC EPI           %.4f nJ/instr (static %.4f, dynamic %.4f)\n",
+		r.EPI.Total(), r.EPI.StaticNJPerInstr, r.EPI.DynamicNJPerInstr)
+	fmt.Printf("LLC energy        %.1f uJ\n", r.TotalNJ/1000)
+	fmt.Printf("LLC accesses      %d (hits %d, misses %d, MPKI %.2f)\n",
+		met.L3Accesses, met.L3Hits, met.L3Misses, met.MPKI())
+	fmt.Printf("LLC writes        %d (fills %d, dirty %d, clean %d, migrations %d)\n",
+		met.WritesToLLC(), met.WritesFill, met.WritesDirty, met.WritesClean, met.MigrationWrites)
+	fmt.Printf("tag-only updates  %d\n", met.TagOnlyUpdates)
+	fmt.Printf("memory traffic    reads %d, writes %d\n", met.MemReads, met.MemWrites)
+	fmt.Printf("L2 evictions      %d (clean %d, dirty %d)\n",
+		met.L2Evictions, met.L2CleanEvictions, met.L2DirtyEvictions)
+	if met.SnoopProbes > 0 {
+		fmt.Printf("coherence         probes %d, dirty transfers %d, traffic %d\n",
+			met.SnoopProbes, met.SnoopDirtyTransfers, met.SnoopTraffic)
+	}
+	if r.DRAM.Reads+r.DRAM.Writes > 0 {
+		fmt.Printf("DRAM              row hits %d, closed %d, conflicts %d (hit rate %.1f%%)\n",
+			r.DRAM.RowHits, r.DRAM.RowClosed, r.DRAM.RowConflicts, 100*r.DRAM.HitRate())
+	}
+	if r.MOESIOccupancy != nil {
+		fmt.Printf("MOESI             occupancy %v, cache supplies %d, invalidations %d",
+			r.MOESIOccupancy, r.MOESI.CacheSupplies, r.MOESI.Invalidations)
+		if r.MOESIViolation != "" {
+			fmt.Printf("  VIOLATION: %s", r.MOESIViolation)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("per-core IPC     ")
+	for _, ipc := range r.IPCs {
+		fmt.Printf(" %.3f", ipc)
+	}
+	fmt.Println()
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lapsim: "+format+"\n", args...)
+	os.Exit(1)
+}

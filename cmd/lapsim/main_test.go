@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	lap "repro"
+)
+
+func TestResolveMixTableIIINames(t *testing.T) {
+	for _, name := range []string{"WH1", "wl3", "Wh5"} {
+		m, err := resolveMix(name, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(m.Members) != 4 {
+			t.Fatalf("%s: %d members", name, len(m.Members))
+		}
+		if !strings.EqualFold(m.Name, name) {
+			t.Fatalf("%s resolved to %s", name, m.Name)
+		}
+	}
+}
+
+func TestResolveMixCustom(t *testing.T) {
+	m, err := resolveMix("omnetpp,mcf", 2)
+	if err != nil || m.Members[1] != "mcf" {
+		t.Fatalf("custom mix: %v %v", m, err)
+	}
+	if _, err := resolveMix("omnetpp,mcf", 4); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+}
+
+func TestReplayTraceMissingFile(t *testing.T) {
+	if _, err := replayTrace(lap.DefaultConfig(), lap.PolicyLAP, "/nonexistent/file.bin"); err == nil {
+		t.Fatal("missing trace file accepted")
+	}
+}

@@ -1,0 +1,65 @@
+// Command tracegen generates a synthetic workload trace and writes it to
+// a file in the binary (default) or text trace format, for replay with
+// lapsim -trace or external tooling.
+//
+// Examples:
+//
+//	tracegen -bench omnetpp -n 1000000 -o omnetpp.bin
+//	tracegen -bench libquantum -n 5000 -format text -o lib.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	lap "repro"
+	"repro/internal/trace"
+)
+
+func main() {
+	bench := flag.String("bench", "omnetpp", "benchmark surrogate to generate")
+	n := flag.Uint64("n", 1_000_000, "number of accesses")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	format := flag.String("format", "binary", "output format: binary, gzip, or text")
+	out := flag.String("o", "", "output file (required)")
+	flag.Parse()
+
+	if *out == "" {
+		fatal("-o output file is required")
+	}
+	b, err := lap.BenchmarkByName(*bench)
+	if err != nil {
+		fatal("%v", err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+
+	src := trace.Limit(lap.NewWorkloadSource(b, *seed), *n)
+	var written uint64
+	switch *format {
+	case "binary":
+		written, err = trace.WriteAll(f, src)
+	case "gzip":
+		written, err = trace.WriteAllGzip(f, src)
+	case "text":
+		written, err = trace.WriteText(f, src)
+	default:
+		fatal("unknown -format %q (want binary, gzip, or text)", *format)
+	}
+	if err != nil {
+		fatal("writing trace: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		fatal("closing trace: %v", err)
+	}
+	fmt.Printf("wrote %d accesses of %s to %s (%s)\n", written, b.Name, *out, *format)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracegen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,99 @@
+package lap
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestConfigRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "machine.json")
+	cfg := DefaultConfig().WithHybridL3()
+	cfg.Cores = 8
+	cfg.UseDRAM = true
+	cfg.PrefetchDegree = 2
+	if err := SaveConfig(path, cfg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cores != 8 || got.L3SRAMWays != 4 || !got.UseDRAM || got.PrefetchDegree != 2 {
+		t.Fatalf("round trip lost fields: %+v", got)
+	}
+	if got.L3Tech.WriteNJ != cfg.L3Tech.WriteNJ {
+		t.Fatal("technology constants lost")
+	}
+}
+
+func TestLoadConfigPartialUsesDefaults(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "partial.json")
+	if err := writeFile(path, `{"Cores": 2}`); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Cores != 2 {
+		t.Fatalf("override lost: %d", cfg.Cores)
+	}
+	if cfg.L3SizeBytes != DefaultConfig().L3SizeBytes || cfg.ClockHz != 3e9 {
+		t.Fatal("defaults not applied to omitted fields")
+	}
+}
+
+func TestLoadConfigErrors(t *testing.T) {
+	if _, err := LoadConfig(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := writeFile(bad, "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadConfig(bad); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	invalid := filepath.Join(t.TempDir(), "invalid.json")
+	if err := writeFile(invalid, `{"Cores": 0}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadConfig(invalid); err == nil || !strings.Contains(err.Error(), "cores") {
+		t.Fatalf("invalid config error = %v", err)
+	}
+}
+
+func TestValidateConfig(t *testing.T) {
+	if err := ValidateConfig(DefaultConfig()); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"cores", func(c *Config) { c.Cores = -1 }},
+		{"block", func(c *Config) { c.BlockBytes = 0 }},
+		{"l1", func(c *Config) { c.L1Ways = 0 }},
+		{"l2", func(c *Config) { c.L2SizeBytes = -4 }},
+		{"l3", func(c *Config) { c.L3Ways = 0 }},
+		{"sramways", func(c *Config) { c.L3SRAMWays = 99 }},
+		{"banks", func(c *Config) { c.L3Banks = 3 }},
+		{"clock", func(c *Config) { c.ClockHz = 0 }},
+		{"timing", func(c *Config) { c.MLP = 0 }},
+		{"prefetch", func(c *Config) { c.PrefetchDegree = -1 }},
+		{"sets", func(c *Config) { c.L3SizeBytes = 3 << 20 }}, // 3MB/16w -> non-pow2 sets
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig()
+		tc.mutate(&cfg)
+		if err := ValidateConfig(cfg); err == nil {
+			t.Errorf("%s: invalid config accepted", tc.name)
+		}
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

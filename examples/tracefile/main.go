@@ -1,0 +1,83 @@
+// Trace-file example: capture a synthetic workload to a binary trace
+// file, replay it from disk through the simulator, and verify the replay
+// reproduces the live run exactly. This is the integration path for
+// driving the simulator with externally captured traces.
+//
+// Run with: go run ./examples/tracefile
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	lap "repro"
+	"repro/internal/trace"
+)
+
+func main() {
+	bench, err := lap.BenchmarkByName("bzip2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const accesses = 100_000
+
+	dir, err := os.MkdirTemp("", "laptrace")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "bzip2.bin")
+
+	// 1. Capture the workload to disk.
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := trace.WriteAll(f, trace.Limit(lap.NewWorkloadSource(bench, 42), accesses))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fi, _ := os.Stat(path)
+	fmt.Printf("captured %d accesses of %s to %s (%d bytes)\n", n, bench.Name, path, fi.Size())
+
+	// 2. Simulate live and from the trace file on a single-core system.
+	cfg := lap.DefaultConfig()
+	cfg.Cores = 1
+	live, err := lap.RunTraces(cfg, lap.PolicyLAP, []lap.Source{
+		trace.Limit(lap.NewWorkloadSource(bench, 42), accesses),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rf, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rf.Close()
+	reader := trace.NewReader(rf)
+	replayed, err := lap.RunTraces(cfg, lap.PolicyLAP, []lap.Source{reader})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if reader.Err() != nil {
+		log.Fatal(reader.Err())
+	}
+
+	// 3. The replay must be bit-identical.
+	fmt.Printf("live   : EPI %.4f, LLC writes %d, misses %d\n",
+		live.EPI.Total(), live.Met.WritesToLLC(), live.Met.L3Misses)
+	fmt.Printf("replay : EPI %.4f, LLC writes %d, misses %d\n",
+		replayed.EPI.Total(), replayed.Met.WritesToLLC(), replayed.Met.L3Misses)
+	if live.Met == replayed.Met {
+		fmt.Println("replay matches the live run exactly")
+	} else {
+		fmt.Println("MISMATCH: replay diverged from the live run")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,232 @@
+// Package analysis characterises memory-reference traces the way the
+// paper characterises its workloads: footprint, read/write mix, the LRU
+// reuse-distance profile (which predicts hit rates at each cache level),
+// the loop-block potential (clean reuse at LLC-visible distances, the
+// raw material of the paper's Section II-C1), and the redundant-fill
+// potential (blocks written before LLC-distance reuse, Section II-C2).
+//
+// Reuse distances are exact LRU stack distances in unique 64B blocks,
+// computed with the classic last-access + Fenwick-tree algorithm in
+// O(n log n) time and O(n) space.
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// BlockBytes is the analysis granularity.
+const BlockBytes = 64
+
+// MaxLog2Distance bounds the reuse-distance histogram; distances at or
+// above 2^MaxLog2Distance blocks land in the top bucket.
+const MaxLog2Distance = 26 // 2^26 blocks = 4GB
+
+// Report summarises one trace.
+type Report struct {
+	// Accesses is the trace length; Instructions the retired-instruction
+	// total implied by the records.
+	Accesses     uint64
+	Instructions uint64
+	// Reads and Writes split the accesses.
+	Reads, Writes uint64
+	// FootprintBlocks is the number of distinct blocks touched.
+	FootprintBlocks uint64
+	// ColdMisses is the number of first-touch accesses.
+	ColdMisses uint64
+	// DistHist[k] counts re-accesses with LRU stack distance in
+	// [2^(k-1), 2^k) unique blocks (bucket 0 is distance 0, i.e.
+	// consecutive accesses to the same block).
+	DistHist [MaxLog2Distance + 1]uint64
+	// CleanLLCReuse counts re-reads at L2-missing, LLC-fitting distances
+	// whose previous access was also a read — loop-block raw material.
+	CleanLLCReuse uint64
+	// WriteBeforeLLCReuse counts writes to blocks whose next reuse (if
+	// any) would have been served by the LLC — redundant-fill raw
+	// material is approximated by writes at LLC-visible distances.
+	WriteBeforeLLCReuse uint64
+	// l2Blocks and llcBlocks record the capacities used for the above.
+	l2Blocks, llcBlocks uint64
+}
+
+// Analyzer consumes a trace and produces a Report. Capacities configure
+// the level-classification heuristics (defaults: paper Table II).
+type Analyzer struct {
+	// L2Blocks and LLCBlocks are the capacities (in blocks) separating
+	// "fits in L2" from "LLC-visible" reuse.
+	L2Blocks  uint64
+	LLCBlocks uint64
+	// MaxAccesses bounds the analysis window (0 = unbounded).
+	MaxAccesses uint64
+}
+
+// NewAnalyzer returns an analyzer with the paper's Table II capacities
+// (512KB L2, 8MB LLC).
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{L2Blocks: 8192, LLCBlocks: 131072}
+}
+
+type lastInfo struct {
+	t     int32 // 1-based time of last access
+	write bool  // whether that access was a write
+}
+
+// Analyze drains src and returns its report.
+func (a *Analyzer) Analyze(src trace.Source) *Report {
+	rep := &Report{l2Blocks: a.L2Blocks, llcBlocks: a.LLCBlocks}
+	// First pass is streaming: we buffer accesses because the Fenwick
+	// tree needs the trace length up front; bounded by MaxAccesses.
+	var accs []trace.Access
+	for {
+		acc, ok := src.Next()
+		if !ok {
+			break
+		}
+		accs = append(accs, acc)
+		if a.MaxAccesses > 0 && uint64(len(accs)) >= a.MaxAccesses {
+			break
+		}
+	}
+	n := len(accs)
+	ft := newFenwick(n)
+	last := make(map[uint64]lastInfo, 1<<16)
+	for i, acc := range accs {
+		t := i + 1
+		block := acc.Addr / BlockBytes
+		rep.Accesses++
+		rep.Instructions += uint64(acc.Instrs)
+		if acc.Write {
+			rep.Writes++
+		} else {
+			rep.Reads++
+		}
+		prev, seen := last[block]
+		if !seen {
+			rep.ColdMisses++
+			rep.FootprintBlocks++
+		} else {
+			dist := uint64(ft.rangeSum(int(prev.t), t-1))
+			rep.DistHist[bucketOf(dist)]++
+			llcVisible := dist >= a.L2Blocks && dist < a.LLCBlocks
+			if llcVisible && !acc.Write && !prev.write {
+				rep.CleanLLCReuse++
+			}
+			if llcVisible && acc.Write {
+				rep.WriteBeforeLLCReuse++
+			}
+			ft.add(int(prev.t), -1)
+		}
+		ft.add(t, 1)
+		last[block] = lastInfo{t: int32(t), write: acc.Write}
+	}
+	return rep
+}
+
+func bucketOf(dist uint64) int {
+	if dist == 0 {
+		return 0
+	}
+	b := int(math.Ilogb(float64(dist))) + 1
+	if b > MaxLog2Distance {
+		b = MaxLog2Distance
+	}
+	return b
+}
+
+// Reuses returns the number of non-cold accesses.
+func (r *Report) Reuses() uint64 { return r.Accesses - r.ColdMisses }
+
+// HitRateAtCapacity estimates the LRU hit rate of a cache holding the
+// given number of blocks: the fraction of accesses whose stack distance
+// is below the capacity (the classic stack-distance property).
+func (r *Report) HitRateAtCapacity(blocks uint64) float64 {
+	if r.Accesses == 0 {
+		return 0
+	}
+	var hits uint64
+	for k, cnt := range r.DistHist {
+		// Bucket k spans [2^(k-1), 2^k); count it as hits only if the
+		// whole bucket fits.
+		if k == 0 {
+			if blocks > 0 {
+				hits += cnt
+			}
+			continue
+		}
+		if uint64(1)<<k <= blocks {
+			hits += cnt
+		}
+	}
+	return float64(hits) / float64(r.Accesses)
+}
+
+// LoopPotential is the fraction of accesses that are clean LLC-distance
+// re-reads — an upper bound on the loop-block traffic the paper's LAP
+// can exploit.
+func (r *Report) LoopPotential() float64 {
+	if r.Accesses == 0 {
+		return 0
+	}
+	return float64(r.CleanLLCReuse) / float64(r.Accesses)
+}
+
+// RedundantFillPotential is the fraction of writes landing at
+// LLC-visible reuse distances — non-inclusive fills for these blocks are
+// wasted (Section II-C2).
+func (r *Report) RedundantFillPotential() float64 {
+	if r.Writes == 0 {
+		return 0
+	}
+	return float64(r.WriteBeforeLLCReuse) / float64(r.Writes)
+}
+
+// Fprint renders the report, including a log-scale distance histogram.
+func (r *Report) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "accesses        %d (%.1f%% writes)\n", r.Accesses, 100*safeDiv(float64(r.Writes), float64(r.Accesses)))
+	fmt.Fprintf(w, "instructions    %d (%.1f per access)\n", r.Instructions, safeDiv(float64(r.Instructions), float64(r.Accesses)))
+	fmt.Fprintf(w, "footprint       %d blocks (%.1f MB)\n", r.FootprintBlocks, float64(r.FootprintBlocks)*BlockBytes/1e6)
+	fmt.Fprintf(w, "cold misses     %d (%.1f%%)\n", r.ColdMisses, 100*safeDiv(float64(r.ColdMisses), float64(r.Accesses)))
+	fmt.Fprintf(w, "est. hit rate   L2(%d blk) %.1f%%   LLC(%d blk) %.1f%%\n",
+		r.l2Blocks, 100*r.HitRateAtCapacity(r.l2Blocks),
+		r.llcBlocks, 100*r.HitRateAtCapacity(r.llcBlocks))
+	fmt.Fprintf(w, "loop potential  %.1f%% of accesses (clean LLC-distance re-reads)\n", 100*r.LoopPotential())
+	fmt.Fprintf(w, "redundant-fill  %.1f%% of writes at LLC-visible distances\n", 100*r.RedundantFillPotential())
+	fmt.Fprintln(w, "reuse-distance histogram (unique 64B blocks):")
+	var peak uint64
+	for _, c := range r.DistHist {
+		if c > peak {
+			peak = c
+		}
+	}
+	labels := []int{}
+	for k, c := range r.DistHist {
+		if c > 0 {
+			labels = append(labels, k)
+		}
+	}
+	sort.Ints(labels)
+	for _, k := range labels {
+		c := r.DistHist[k]
+		bar := ""
+		if peak > 0 {
+			bar = strings.Repeat("#", int(1+40*c/peak))
+		}
+		lo := uint64(0)
+		if k > 0 {
+			lo = 1 << (k - 1)
+		}
+		fmt.Fprintf(w, "  %10d+  %10d  %s\n", lo, c, bar)
+	}
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,260 @@
+package analysis
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func accessesOf(blocks []uint64, writes []bool) []trace.Access {
+	out := make([]trace.Access, len(blocks))
+	for i, b := range blocks {
+		w := false
+		if writes != nil {
+			w = writes[i]
+		}
+		out[i] = trace.Access{Addr: b * BlockBytes, Write: w, Instrs: 2}
+	}
+	return out
+}
+
+func analyze(accs []trace.Access) *Report {
+	return NewAnalyzer().Analyze(trace.NewSliceSource(accs))
+}
+
+func TestFenwick(t *testing.T) {
+	f := newFenwick(10)
+	f.add(3, 1)
+	f.add(7, 1)
+	f.add(9, 1)
+	if f.prefix(10) != 3 || f.prefix(6) != 1 {
+		t.Fatal("prefix sums wrong")
+	}
+	if f.rangeSum(3, 9) != 2 { // (3,9] holds marks at 7 and 9
+		t.Fatalf("rangeSum = %d", f.rangeSum(3, 9))
+	}
+	f.add(7, -1)
+	if f.rangeSum(0, 10) != 2 {
+		t.Fatal("removal not reflected")
+	}
+	if f.rangeSum(5, 5) != 0 {
+		t.Fatal("empty range must be 0")
+	}
+}
+
+func TestBasicCounts(t *testing.T) {
+	rep := analyze(accessesOf([]uint64{1, 2, 3, 1}, []bool{false, true, false, false}))
+	if rep.Accesses != 4 || rep.Reads != 3 || rep.Writes != 1 {
+		t.Fatalf("counts: %+v", rep)
+	}
+	if rep.FootprintBlocks != 3 || rep.ColdMisses != 3 {
+		t.Fatalf("footprint: %+v", rep)
+	}
+	if rep.Instructions != 8 {
+		t.Fatalf("instructions = %d", rep.Instructions)
+	}
+	if rep.Reuses() != 1 {
+		t.Fatalf("reuses = %d", rep.Reuses())
+	}
+}
+
+func TestExactStackDistances(t *testing.T) {
+	// Access pattern A B C A: A's re-access has 2 distinct blocks (B, C)
+	// between -> distance 2 -> bucket 2 ([2,4)).
+	rep := analyze(accessesOf([]uint64{10, 20, 30, 10}, nil))
+	if rep.DistHist[2] != 1 {
+		t.Fatalf("distance histogram: %v", rep.DistHist[:4])
+	}
+	// A A: distance 0 -> bucket 0.
+	rep = analyze(accessesOf([]uint64{5, 5}, nil))
+	if rep.DistHist[0] != 1 {
+		t.Fatalf("bucket0: %v", rep.DistHist[:2])
+	}
+	// A B A B A: each re-access sees exactly 1 distinct block -> bucket 1.
+	rep = analyze(accessesOf([]uint64{1, 2, 1, 2, 1}, nil))
+	if rep.DistHist[1] != 3 {
+		t.Fatalf("alternating: %v", rep.DistHist[:3])
+	}
+	// Duplicate accesses between reuse must not inflate the distance:
+	// A B B B A -> distance 1.
+	rep = analyze(accessesOf([]uint64{1, 2, 2, 2, 1}, nil))
+	if rep.DistHist[1] != 1 || rep.DistHist[3] != 0 {
+		t.Fatalf("dup-squash: %v", rep.DistHist[:4])
+	}
+}
+
+func TestHitRateAtCapacity(t *testing.T) {
+	// Cyclic sweep over 100 blocks, 3 passes: every reuse has distance
+	// 99, so a 128-block cache catches all reuses and a 64-block cache
+	// none.
+	var blocks []uint64
+	for p := 0; p < 3; p++ {
+		for b := uint64(0); b < 100; b++ {
+			blocks = append(blocks, b)
+		}
+	}
+	rep := analyze(accessesOf(blocks, nil))
+	if hr := rep.HitRateAtCapacity(128); hr < 0.6 {
+		t.Fatalf("128-block hit rate = %.2f, want ~200/300", hr)
+	}
+	if hr := rep.HitRateAtCapacity(64); hr != 0 {
+		t.Fatalf("64-block hit rate = %.2f, want 0", hr)
+	}
+	if rep.HitRateAtCapacity(0) != 0 {
+		t.Fatal("zero-capacity hit rate must be 0")
+	}
+}
+
+func TestLoopPotentialDetectsLoopRegion(t *testing.T) {
+	an := NewAnalyzer()
+	an.L2Blocks = 64
+	an.LLCBlocks = 4096
+	// Clean cyclic reuse over 256 blocks: distances 255, between L2 (64)
+	// and LLC (4096) -> loop potential high.
+	var blocks []uint64
+	for p := 0; p < 4; p++ {
+		for b := uint64(0); b < 256; b++ {
+			blocks = append(blocks, b)
+		}
+	}
+	rep := an.Analyze(trace.NewSliceSource(accessesOf(blocks, nil)))
+	if lp := rep.LoopPotential(); lp < 0.5 {
+		t.Fatalf("loop potential = %.2f, want high", lp)
+	}
+	if rf := rep.RedundantFillPotential(); rf != 0 {
+		t.Fatalf("read-only trace has redundant-fill potential %.2f", rf)
+	}
+}
+
+func TestRedundantFillPotential(t *testing.T) {
+	an := NewAnalyzer()
+	an.L2Blocks = 64
+	an.LLCBlocks = 4096
+	// Write sweep over 256 blocks: each revisit writes at LLC distance.
+	var blocks []uint64
+	var writes []bool
+	for p := 0; p < 4; p++ {
+		for b := uint64(0); b < 256; b++ {
+			blocks = append(blocks, b)
+			writes = append(writes, true)
+		}
+	}
+	rep := an.Analyze(trace.NewSliceSource(accessesOf(blocks, writes)))
+	if rf := rep.RedundantFillPotential(); rf < 0.5 {
+		t.Fatalf("redundant-fill potential = %.2f, want high", rf)
+	}
+	if lp := rep.LoopPotential(); lp != 0 {
+		t.Fatalf("write trace has loop potential %.2f", lp)
+	}
+}
+
+func TestMaxAccessesBounds(t *testing.T) {
+	an := NewAnalyzer()
+	an.MaxAccesses = 10
+	rep := an.Analyze(trace.NewSliceSource(accessesOf(make([]uint64, 100), nil)))
+	if rep.Accesses != 10 {
+		t.Fatalf("window = %d accesses, want 10", rep.Accesses)
+	}
+}
+
+func TestSurrogateShapesVisible(t *testing.T) {
+	an := NewAnalyzer()
+	an.MaxAccesses = 60000
+	omn, _ := workload.ByName("omnetpp")
+	lib, _ := workload.ByName("libquantum")
+	repOmn := an.Analyze(workload.New(omn, 1))
+	an2 := NewAnalyzer()
+	an2.MaxAccesses = 60000
+	repLib := an2.Analyze(workload.New(lib, 1))
+	if repOmn.LoopPotential() <= repLib.LoopPotential() {
+		t.Fatalf("omnetpp loop potential %.3f not above libquantum %.3f",
+			repOmn.LoopPotential(), repLib.LoopPotential())
+	}
+	if repLib.Writes == 0 || repOmn.FootprintBlocks == 0 {
+		t.Fatal("degenerate surrogate reports")
+	}
+}
+
+func TestFprint(t *testing.T) {
+	rep := analyze(accessesOf([]uint64{1, 2, 1, 2, 3, 3}, []bool{false, true, false, false, true, false}))
+	var sb strings.Builder
+	rep.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"accesses", "footprint", "reuse-distance histogram", "#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestZeroReportSafe(t *testing.T) {
+	var rep Report
+	if rep.LoopPotential() != 0 || rep.RedundantFillPotential() != 0 || rep.HitRateAtCapacity(10) != 0 {
+		t.Fatal("zero report divided by zero")
+	}
+	var sb strings.Builder
+	rep.Fprint(&sb) // must not panic
+}
+
+// Property: the sum of histogram entries equals the reuse count, and
+// estimated hit rate is monotone in capacity.
+func TestPropertyHistogramConsistent(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 41))
+		blocks := make([]uint64, int(n)+10)
+		for i := range blocks {
+			blocks[i] = rng.Uint64() % 32
+		}
+		rep := analyze(accessesOf(blocks, nil))
+		var sum uint64
+		for _, c := range rep.DistHist {
+			sum += c
+		}
+		if sum != rep.Reuses() {
+			return false
+		}
+		prev := -1.0
+		for _, capBlocks := range []uint64{1, 4, 16, 64, 1 << 20} {
+			hr := rep.HitRateAtCapacity(capBlocks)
+			if hr < prev {
+				return false
+			}
+			prev = hr
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cold misses equal footprint, and every block's first access
+// is never counted as a reuse.
+func TestPropertyColdMissesEqualFootprint(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 43))
+		blocks := make([]uint64, 300)
+		for i := range blocks {
+			blocks[i] = rng.Uint64() % 64
+		}
+		rep := analyze(accessesOf(blocks, nil))
+		return rep.ColdMisses == rep.FootprintBlocks
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAnalyze(b *testing.B) {
+	omn, _ := workload.ByName("omnetpp")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		an := NewAnalyzer()
+		an.MaxAccesses = 50000
+		an.Analyze(workload.New(omn, uint64(i+1)))
+	}
+}

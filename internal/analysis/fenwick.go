@@ -1,0 +1,34 @@
+package analysis
+
+// fenwick is a binary indexed tree over int32 counters, used by the
+// reuse-distance computation to count live last-access marks in a time
+// range in O(log n).
+type fenwick struct {
+	tree []int32
+}
+
+func newFenwick(n int) *fenwick { return &fenwick{tree: make([]int32, n+1)} }
+
+// add adds delta at 1-based index i.
+func (f *fenwick) add(i int, delta int32) {
+	for ; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+// prefix returns the sum of [1, i].
+func (f *fenwick) prefix(i int) int32 {
+	var s int32
+	for ; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// rangeSum returns the sum of (lo, hi], 1-based.
+func (f *fenwick) rangeSum(lo, hi int) int32 {
+	if hi <= lo {
+		return 0
+	}
+	return f.prefix(hi) - f.prefix(lo)
+}

@@ -1,0 +1,209 @@
+// Package cache implements the set-associative cache model used at every
+// level of the simulated hierarchy: lines with valid/dirty/loop-bit state,
+// LRU recency tracking, pluggable victim selection (including the paper's
+// loop-block-aware policy), set-dueling, and the SRAM/STT-RAM way
+// partitioning needed by hybrid LLCs.
+//
+// Addresses handled by this package are block numbers (byte address
+// divided by the block size); the hierarchy layer performs the shift once
+// at its edge.
+package cache
+
+import "fmt"
+
+// Line is one cache block's metadata. The simulator is trace-driven, so no
+// data payload is stored; Tag holds the full block number, which both
+// identifies the block and lets a line be re-expanded to its address.
+type Line struct {
+	// Tag is the block number stored in this line.
+	Tag uint64
+	// Valid reports whether the line holds a block.
+	Valid bool
+	// Dirty reports whether the block has been modified since it was
+	// filled or last written back.
+	Dirty bool
+	// Loop is the paper's loop-bit: set when the block was served by an
+	// LLC hit and has not been written since (Section III-C, Fig. 10).
+	Loop bool
+	// Shared marks lines known to be replicated in a peer core's private
+	// cache; used by the coherence model to trigger write invalidations.
+	Shared bool
+	// stamp is the recency timestamp; larger is more recent.
+	stamp uint64
+	// rrpv is the 2-bit re-reference prediction value (RRIP replacement).
+	rrpv uint8
+}
+
+// Config sizes a cache.
+type Config struct {
+	// Name labels the cache in stats output ("L1", "L2", "L3").
+	Name string
+	// SizeBytes is the total capacity. Must be a power-of-two multiple of
+	// Ways*BlockBytes.
+	SizeBytes int
+	// Ways is the associativity.
+	Ways int
+	// BlockBytes is the cache-block size (64 in the paper).
+	BlockBytes int
+	// SRAMWays, when positive, declares the first SRAMWays ways of every
+	// set to be the SRAM region of a hybrid cache; the remainder is the
+	// STT-RAM region. Zero means a single-technology cache.
+	SRAMWays int
+	// Replacement selects the base replacement family (LRU or RRIP).
+	Replacement Replacement
+}
+
+// Cache is a set-associative cache. It exposes fine-grained operations
+// (probe, touch, insert-at-way, invalidate) rather than a monolithic
+// access method, because the inclusion controllers in internal/core need
+// to orchestrate non-standard data flows such as LAP's
+// "hit-without-invalidate" and the hybrid LLC's SRAM→STT migration.
+type Cache struct {
+	cfg     Config
+	numSets int
+	setMask uint64
+	ways    int
+	lines   []Line
+	clock   uint64
+
+	// Hits and Misses count Lookup outcomes.
+	Hits, Misses uint64
+}
+
+// New builds a cache from cfg. It panics on a malformed configuration,
+// since configurations are compile-time constants in this codebase.
+func New(cfg Config) *Cache {
+	if cfg.BlockBytes <= 0 || cfg.Ways <= 0 || cfg.SizeBytes <= 0 {
+		panic(fmt.Sprintf("cache %q: non-positive geometry: %+v", cfg.Name, cfg))
+	}
+	blocks := cfg.SizeBytes / cfg.BlockBytes
+	if blocks%cfg.Ways != 0 {
+		panic(fmt.Sprintf("cache %q: capacity not divisible into %d ways", cfg.Name, cfg.Ways))
+	}
+	sets := blocks / cfg.Ways
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache %q: %d sets is not a power of two", cfg.Name, sets))
+	}
+	if cfg.SRAMWays < 0 || cfg.SRAMWays > cfg.Ways {
+		panic(fmt.Sprintf("cache %q: SRAMWays %d out of range", cfg.Name, cfg.SRAMWays))
+	}
+	return &Cache{
+		cfg:     cfg,
+		numSets: sets,
+		setMask: uint64(sets - 1),
+		ways:    cfg.Ways,
+		lines:   make([]Line, sets*cfg.Ways),
+	}
+}
+
+// Config returns the configuration the cache was built with.
+func (c *Cache) Config() Config { return c.cfg }
+
+// NumSets returns the number of sets.
+func (c *Cache) NumSets() int { return c.numSets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// SetOf maps a block number to its set index.
+func (c *Cache) SetOf(block uint64) int { return int(block & c.setMask) }
+
+// Line returns the line at (set, way) for inspection or mutation.
+func (c *Cache) Line(set, way int) *Line { return &c.lines[set*c.ways+way] }
+
+// IsSRAMWay reports whether the given way lies in the SRAM region of a
+// hybrid cache. For single-technology caches it is always false.
+func (c *Cache) IsSRAMWay(way int) bool { return way < c.cfg.SRAMWays }
+
+// SRAMWays returns the number of SRAM ways per set (0 for single-tech).
+func (c *Cache) SRAMWays() int { return c.cfg.SRAMWays }
+
+// tick advances and returns the recency clock.
+func (c *Cache) tick() uint64 {
+	c.clock++
+	return c.clock
+}
+
+// Probe looks a block up without touching recency or hit/miss counters.
+// It returns the way index, or -1 if the block is absent.
+func (c *Cache) Probe(block uint64) int {
+	set := c.SetOf(block)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if l := &c.lines[base+w]; l.Valid && l.Tag == block {
+			return w
+		}
+	}
+	return -1
+}
+
+// Lookup probes for a block and, on a hit, promotes it to MRU. It updates
+// the Hits/Misses counters and returns the way index or -1.
+func (c *Cache) Lookup(block uint64) int {
+	w := c.Probe(block)
+	if w < 0 {
+		c.Misses++
+		return -1
+	}
+	c.Hits++
+	c.Touch(c.SetOf(block), w)
+	return w
+}
+
+// Touch promotes the line at (set, way): its recency stamp becomes MRU
+// and, under RRIP, its re-reference prediction becomes immediate.
+func (c *Cache) Touch(set, way int) {
+	l := &c.lines[set*c.ways+way]
+	l.stamp = c.tick()
+	c.touchRepl(l)
+}
+
+// Stamp returns the recency timestamp of a line; exported for the victim
+// selectors in this package and for tests.
+func (c *Cache) Stamp(set, way int) uint64 { return c.lines[set*c.ways+way].stamp }
+
+// InsertAt places a block into (set, way), overwriting whatever was there,
+// and promotes it to MRU. The caller is responsible for having evicted the
+// previous occupant (see Evict).
+func (c *Cache) InsertAt(set, way int, block uint64, dirty, loop bool) {
+	l := &c.lines[set*c.ways+way]
+	*l = Line{Tag: block, Valid: true, Dirty: dirty, Loop: loop, stamp: c.tick()}
+	c.insertRepl(l)
+}
+
+// Evict invalidates (set, way) and returns the previous contents. The
+// second result is false if the line was already invalid.
+func (c *Cache) Evict(set, way int) (Line, bool) {
+	l := &c.lines[set*c.ways+way]
+	old := *l
+	*l = Line{}
+	return old, old.Valid
+}
+
+// Invalidate removes a block if present, returning the line it occupied.
+func (c *Cache) Invalidate(block uint64) (Line, bool) {
+	w := c.Probe(block)
+	if w < 0 {
+		return Line{}, false
+	}
+	return c.Evict(c.SetOf(block), w)
+}
+
+// FillCount returns the number of valid lines (for occupancy tests).
+func (c *Cache) FillCount() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset invalidates every line and clears counters, preserving geometry.
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		c.lines[i] = Line{}
+	}
+	c.clock, c.Hits, c.Misses = 0, 0, 0
+}

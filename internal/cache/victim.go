@@ -1,0 +1,93 @@
+package cache
+
+// Victim selection policies. The paper's loop-block-aware replacement
+// (Section III-B, Fig. 9) selects, in priority order: an invalid way, the
+// LRU non-loop-block, and only as a last resort the LRU loop-block. The
+// baseline is plain LRU. Both are provided as range-restricted primitives
+// so the hybrid LLC can apply them within its SRAM or STT-RAM way regions.
+
+// VictimIn returns the victim way in [lo, hi) of the given set using plain
+// LRU: an invalid way if one exists, otherwise the least recently used.
+// It panics if the range is empty.
+func (c *Cache) VictimIn(set, lo, hi int) int {
+	if lo >= hi {
+		panic("cache: empty victim range")
+	}
+	base := set * c.ways
+	best, bestStamp := -1, ^uint64(0)
+	for w := lo; w < hi; w++ {
+		l := &c.lines[base+w]
+		if !l.Valid {
+			return w
+		}
+		if l.stamp < bestStamp {
+			best, bestStamp = w, l.stamp
+		}
+	}
+	return best
+}
+
+// LoopAwareVictimIn returns the victim way in [lo, hi) using the paper's
+// loop-block-aware priority: invalid → LRU non-loop-block → LRU loop-block.
+func (c *Cache) LoopAwareVictimIn(set, lo, hi int) int {
+	if lo >= hi {
+		panic("cache: empty victim range")
+	}
+	base := set * c.ways
+	bestNonLoop, bestNonLoopStamp := -1, ^uint64(0)
+	bestLoop, bestLoopStamp := -1, ^uint64(0)
+	for w := lo; w < hi; w++ {
+		l := &c.lines[base+w]
+		if !l.Valid {
+			return w
+		}
+		if l.Loop {
+			if l.stamp < bestLoopStamp {
+				bestLoop, bestLoopStamp = w, l.stamp
+			}
+		} else if l.stamp < bestNonLoopStamp {
+			bestNonLoop, bestNonLoopStamp = w, l.stamp
+		}
+	}
+	if bestNonLoop >= 0 {
+		return bestNonLoop
+	}
+	return bestLoop
+}
+
+// LRUVictim returns the plain-LRU victim across all ways of a set.
+func (c *Cache) LRUVictim(set int) int { return c.VictimIn(set, 0, c.ways) }
+
+// LoopAwareVictim returns the loop-aware victim across all ways of a set.
+func (c *Cache) LoopAwareVictim(set int) int { return c.LoopAwareVictimIn(set, 0, c.ways) }
+
+// MRUWhere returns the most recently used way in [lo, hi) whose line
+// satisfies pred, or -1 if none does. The hybrid LLC uses it to pick the
+// MRU loop-block to migrate from SRAM to STT-RAM (Fig. 11b).
+func (c *Cache) MRUWhere(set, lo, hi int, pred func(*Line) bool) int {
+	base := set * c.ways
+	best := -1
+	var bestStamp uint64
+	for w := lo; w < hi; w++ {
+		l := &c.lines[base+w]
+		if !l.Valid || !pred(l) {
+			continue
+		}
+		if best < 0 || l.stamp > bestStamp {
+			best, bestStamp = w, l.stamp
+		}
+	}
+	return best
+}
+
+// InvalidWayIn returns an invalid way in [lo, hi), or -1 if the range is
+// fully occupied.
+func (c *Cache) InvalidWayIn(set, lo, hi int) int {
+	base := set * c.ways
+	for w := lo; w < hi; w++ {
+		if !c.lines[base+w].Valid {
+			return w
+		}
+	}
+	return -1
+}

@@ -1,0 +1,110 @@
+// Package coherence models a MOESI-style snooping bus at the message
+// level, sufficient to reproduce the paper's Figure 20(c) coherence-
+// traffic comparison. On every private-cache miss the requester
+// broadcasts a probe to its peers; a peer holding the block dirty supplies
+// it cache-to-cache and transfers ownership (the requester's copy becomes
+// dirty, the supplier's clean — the M→O/S transition collapsed to the
+// traffic-relevant essentials). Writes to blocks known to be replicated
+// broadcast invalidations. LLC misses additionally cost memory-side
+// request/response messages, which is why policies with fewer LLC misses
+// generate less bus traffic.
+package coherence
+
+// Peer is the view the bus needs of one core's private cache hierarchy.
+type Peer interface {
+	// ProbeBlock searches the private caches for a block. It returns
+	// found and dirty; when downgrade is set, a dirty copy is marked
+	// clean (ownership transferred to the requester).
+	ProbeBlock(block uint64, downgrade bool) (found, dirty bool)
+	// DropBlock invalidates the block from the private caches.
+	DropBlock(block uint64)
+}
+
+// Stats counts bus activity.
+type Stats struct {
+	// Probes is the number of point-to-point snoop probes sent.
+	Probes uint64
+	// Broadcasts is the number of miss-triggered probe broadcasts (one
+	// bus transaction regardless of peer count).
+	Broadcasts uint64
+	// DirtyTransfers counts cache-to-cache supplies of dirty data.
+	DirtyTransfers uint64
+	// Invalidations counts upgrade-triggered invalidation messages.
+	Invalidations uint64
+	// MemMessages counts memory-side transactions caused by LLC misses.
+	MemMessages uint64
+}
+
+// dataFlits is the bus cost of moving one 64B cache line relative to an
+// 8B control message.
+const dataFlits = 8
+
+// Traffic is the weighted bus occupancy the Figure 20(c) comparison uses:
+// control messages (probe broadcasts, invalidations) cost one flit; every
+// data movement (cache-to-cache transfer, LLC-miss fill from memory)
+// costs a control flit plus a cache line of data. LLC misses therefore
+// dominate, which is why policies with larger effective capacity generate
+// less coherence traffic.
+func (s Stats) Traffic() uint64 {
+	return s.Broadcasts + s.Invalidations + (1+dataFlits)*(s.DirtyTransfers+s.MemMessages)
+}
+
+// Bus is a snooping coherence bus connecting the peers of one simulated
+// machine. The zero value is unusable; use NewBus.
+type Bus struct {
+	peers []Peer
+	// Stats accumulates message counts.
+	Stats Stats
+}
+
+// NewBus returns a bus over the given peers (one per core).
+func NewBus(peers []Peer) *Bus { return &Bus{peers: peers} }
+
+// ProbeResult reports the outcome of a miss-triggered snoop.
+type ProbeResult struct {
+	// SuppliedDirty is true when a peer supplied dirty data
+	// cache-to-cache; the requester should install the block dirty and
+	// skip the LLC fetch.
+	SuppliedDirty bool
+	// SharedElsewhere is true when any peer holds a (clean) copy, so the
+	// requester's line must be marked shared.
+	SharedElsewhere bool
+}
+
+// OnMiss broadcasts a probe for block on behalf of core requester. A
+// dirty peer copy is downgraded and supplies the data.
+func (b *Bus) OnMiss(requester int, block uint64) ProbeResult {
+	var res ProbeResult
+	b.Stats.Broadcasts++
+	for i, p := range b.peers {
+		if i == requester {
+			continue
+		}
+		b.Stats.Probes++
+		found, dirty := p.ProbeBlock(block, true)
+		if !found {
+			continue
+		}
+		res.SharedElsewhere = true
+		if dirty && !res.SuppliedDirty {
+			res.SuppliedDirty = true
+			b.Stats.DirtyTransfers++
+		}
+	}
+	return res
+}
+
+// OnWriteShared broadcasts invalidations for a store to a block the
+// requester knows to be replicated, removing every peer copy.
+func (b *Bus) OnWriteShared(requester int, block uint64) {
+	for i, p := range b.peers {
+		if i == requester {
+			continue
+		}
+		b.Stats.Invalidations++
+		p.DropBlock(block)
+	}
+}
+
+// OnLLCMiss records the memory-side messages of an LLC miss.
+func (b *Bus) OnLLCMiss() { b.Stats.MemMessages++ }

@@ -1,0 +1,115 @@
+package coherence
+
+import "testing"
+
+// fakePeer is a map-backed private cache for bus tests.
+type fakePeer struct {
+	blocks map[uint64]bool // block -> dirty
+}
+
+func newFakePeer() *fakePeer { return &fakePeer{blocks: map[uint64]bool{}} }
+
+func (p *fakePeer) ProbeBlock(block uint64, downgrade bool) (bool, bool) {
+	dirty, found := p.blocks[block]
+	if found && dirty && downgrade {
+		p.blocks[block] = false
+	}
+	return found, dirty
+}
+
+func (p *fakePeer) DropBlock(block uint64) { delete(p.blocks, block) }
+
+func TestOnMissProbesAllPeers(t *testing.T) {
+	peers := []*fakePeer{newFakePeer(), newFakePeer(), newFakePeer(), newFakePeer()}
+	ps := make([]Peer, len(peers))
+	for i := range peers {
+		ps[i] = peers[i]
+	}
+	bus := NewBus(ps)
+	res := bus.OnMiss(0, 42)
+	if res.SuppliedDirty || res.SharedElsewhere {
+		t.Fatalf("probe of empty peers: %+v", res)
+	}
+	if bus.Stats.Probes != 3 {
+		t.Fatalf("probes = %d, want 3", bus.Stats.Probes)
+	}
+}
+
+func TestOnMissDirtySupplyAndDowngrade(t *testing.T) {
+	a, b := newFakePeer(), newFakePeer()
+	b.blocks[42] = true // dirty in peer 1
+	bus := NewBus([]Peer{a, b})
+	res := bus.OnMiss(0, 42)
+	if !res.SuppliedDirty || !res.SharedElsewhere {
+		t.Fatalf("dirty supply missing: %+v", res)
+	}
+	if b.blocks[42] {
+		t.Fatal("supplier not downgraded to clean")
+	}
+	if bus.Stats.DirtyTransfers != 1 {
+		t.Fatalf("dirty transfers = %d", bus.Stats.DirtyTransfers)
+	}
+}
+
+func TestOnMissCleanSharing(t *testing.T) {
+	a, b := newFakePeer(), newFakePeer()
+	b.blocks[7] = false
+	bus := NewBus([]Peer{a, b})
+	res := bus.OnMiss(0, 7)
+	if res.SuppliedDirty {
+		t.Fatal("clean copy reported as dirty supply")
+	}
+	if !res.SharedElsewhere {
+		t.Fatal("clean peer copy not reported shared")
+	}
+}
+
+func TestOnWriteSharedInvalidates(t *testing.T) {
+	a, b, c := newFakePeer(), newFakePeer(), newFakePeer()
+	b.blocks[9] = false
+	c.blocks[9] = true
+	bus := NewBus([]Peer{a, b, c})
+	bus.OnWriteShared(0, 9)
+	if _, ok := b.blocks[9]; ok {
+		t.Fatal("peer copy survived invalidation")
+	}
+	if _, ok := c.blocks[9]; ok {
+		t.Fatal("dirty peer copy survived invalidation")
+	}
+	if bus.Stats.Invalidations != 2 {
+		t.Fatalf("invalidations = %d, want 2", bus.Stats.Invalidations)
+	}
+}
+
+func TestTrafficWeighting(t *testing.T) {
+	s := Stats{Probes: 10, Broadcasts: 4, DirtyTransfers: 2, Invalidations: 3, MemMessages: 5}
+	if got := s.Traffic(); got != 4+3+9*(2+5) {
+		t.Fatalf("traffic = %d", got)
+	}
+	// Data movement dominates control traffic, so LLC misses drive the
+	// total (the Fig. 20c mechanism).
+	lessMisses := s
+	lessMisses.MemMessages = 2
+	if lessMisses.Traffic() >= s.Traffic() {
+		t.Fatal("fewer LLC misses must reduce traffic")
+	}
+}
+
+func TestOnLLCMiss(t *testing.T) {
+	bus := NewBus(nil)
+	bus.OnLLCMiss()
+	bus.OnLLCMiss()
+	if bus.Stats.MemMessages != 2 {
+		t.Fatalf("mem messages = %d", bus.Stats.MemMessages)
+	}
+}
+
+func TestRequesterNotProbed(t *testing.T) {
+	a := newFakePeer()
+	a.blocks[1] = true
+	bus := NewBus([]Peer{a})
+	res := bus.OnMiss(0, 1) // only peer is the requester itself
+	if res.SharedElsewhere || bus.Stats.Probes != 0 {
+		t.Fatal("requester was probed")
+	}
+}

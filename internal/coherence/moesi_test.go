@@ -1,0 +1,239 @@
+package coherence
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestMOESIStateStrings(t *testing.T) {
+	want := map[MOESIState]string{Invalid: "I", Shared: "S", Exclusive: "E", Owned: "O", Modified: "M"}
+	for s, n := range want {
+		if s.String() != n {
+			t.Errorf("%d -> %q", s, s.String())
+		}
+	}
+	if MOESIState(9).String() == "" {
+		t.Error("unknown state empty string")
+	}
+}
+
+func TestColdReadGetsExclusive(t *testing.T) {
+	d := NewDirectory(4)
+	act := d.Read(0, 100)
+	if act.Source != FromMemory {
+		t.Fatal("cold read not from memory")
+	}
+	if d.State(0, 100) != Exclusive {
+		t.Fatalf("state = %v, want E", d.State(0, 100))
+	}
+}
+
+func TestSecondReaderSharesAndDowngrades(t *testing.T) {
+	d := NewDirectory(4)
+	d.Read(0, 100) // E
+	act := d.Read(1, 100)
+	if act.Source != FromCache {
+		t.Fatal("peer copy not supplied cache-to-cache")
+	}
+	if d.State(0, 100) != Shared || d.State(1, 100) != Shared {
+		t.Fatalf("states = %v/%v, want S/S", d.State(0, 100), d.State(1, 100))
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	d := NewDirectory(4)
+	d.Read(0, 100)
+	d.Read(1, 100)
+	d.Read(2, 100)
+	act := d.Write(1, 100)
+	if act.Invalidations != 2 {
+		t.Fatalf("invalidations = %d, want 2", act.Invalidations)
+	}
+	if d.State(1, 100) != Modified {
+		t.Fatal("writer not in M")
+	}
+	if d.State(0, 100) != Invalid || d.State(2, 100) != Invalid {
+		t.Fatal("sharers not invalidated")
+	}
+}
+
+func TestReadOfModifiedCreatesOwned(t *testing.T) {
+	d := NewDirectory(2)
+	d.Write(0, 100) // M (write-allocate)
+	act := d.Read(1, 100)
+	if act.Source != FromCache {
+		t.Fatal("dirty supply not cache-to-cache")
+	}
+	if d.State(0, 100) != Owned || d.State(1, 100) != Shared {
+		t.Fatalf("states = %v/%v, want O/S", d.State(0, 100), d.State(1, 100))
+	}
+}
+
+func TestSilentUpgradeFromExclusive(t *testing.T) {
+	d := NewDirectory(2)
+	d.Read(0, 100) // E
+	act := d.Write(0, 100)
+	if act.Invalidations != 0 {
+		t.Fatal("E->M upgrade should not invalidate anyone")
+	}
+	if d.State(0, 100) != Modified {
+		t.Fatal("E->M upgrade failed")
+	}
+}
+
+func TestEvictModifiedWritesBack(t *testing.T) {
+	d := NewDirectory(2)
+	d.Write(0, 100)
+	act := d.Evict(0, 100)
+	if !act.Writeback {
+		t.Fatal("dirty eviction lost data")
+	}
+	if d.State(0, 100) != Invalid {
+		t.Fatal("evicted state not I")
+	}
+}
+
+func TestEvictOwnedPassesOwnership(t *testing.T) {
+	d := NewDirectory(3)
+	d.Write(0, 100) // M
+	d.Read(1, 100)  // 0:O, 1:S
+	act := d.Evict(0, 100)
+	if act.Writeback {
+		t.Fatal("ownership should migrate to the sharer, not memory")
+	}
+	if d.State(1, 100) != Owned {
+		t.Fatalf("heir state = %v, want O", d.State(1, 100))
+	}
+	// Now the heir's eviction must write back.
+	if act := d.Evict(1, 100); !act.Writeback {
+		t.Fatal("final owner eviction lost dirty data")
+	}
+}
+
+func TestEvictInvalidIsNoop(t *testing.T) {
+	d := NewDirectory(2)
+	if act := d.Evict(1, 999); act.Writeback || act.Invalidations != 0 {
+		t.Fatal("evicting an invalid line did something")
+	}
+}
+
+func TestWriteMissSuppliedByPeer(t *testing.T) {
+	d := NewDirectory(2)
+	d.Write(0, 100) // M in 0
+	act := d.Write(1, 100)
+	if act.Source != FromCache || act.Invalidations != 1 {
+		t.Fatalf("write-miss action: %+v", act)
+	}
+	if d.State(0, 100) != Invalid || d.State(1, 100) != Modified {
+		t.Fatal("ownership transfer on write-miss wrong")
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	d := NewDirectory(3)
+	d.Read(0, 1)  // E
+	d.Write(1, 2) // M
+	d.Read(0, 2)  // 1:O, 0:S
+	occ := d.Occupancy()
+	if occ[Exclusive] != 1 || occ[Owned] != 1 || occ[Shared] != 1 {
+		t.Fatalf("occupancy: %v", occ)
+	}
+}
+
+func TestDirectoryValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDirectory(0) accepted")
+		}
+	}()
+	NewDirectory(0)
+}
+
+// Property: after any random event sequence, the MOESI invariants hold
+// (single writer, no stale copies beside M/E, at most one owner).
+func TestPropertyMOESIInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 61))
+		d := NewDirectory(4)
+		for i := 0; i < 500; i++ {
+			c := rng.IntN(4)
+			b := rng.Uint64() % 16
+			switch rng.IntN(3) {
+			case 0:
+				d.Read(c, b)
+			case 1:
+				d.Write(c, b)
+			default:
+				d.Evict(c, b)
+			}
+			if v := d.CheckInvariants(); v != "" {
+				t.Logf("violation: %s", v)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: dirty data is never lost — every Write is eventually matched
+// by exactly one Writeback once all copies are evicted.
+func TestPropertyNoLostDirtyData(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 67))
+		d := NewDirectory(4)
+		const block = 7
+		dirty := false
+		for i := 0; i < 300; i++ {
+			c := rng.IntN(4)
+			switch rng.IntN(3) {
+			case 0:
+				d.Read(c, block)
+			case 1:
+				d.Write(c, block)
+				dirty = true
+			default:
+				if act := d.Evict(c, block); act.Writeback {
+					if !dirty {
+						return false // writeback without preceding write
+					}
+					dirty = false
+				}
+			}
+		}
+		// Drain: evict everything; dirty data must surface exactly once.
+		for c := 0; c < 4; c++ {
+			if act := d.Evict(c, block); act.Writeback {
+				if !dirty {
+					return false
+				}
+				dirty = false
+			}
+		}
+		return !dirty // nothing dirty may remain untracked
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDirectory(b *testing.B) {
+	d := NewDirectory(4)
+	rng := rand.New(rand.NewPCG(1, 2))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := rng.IntN(4)
+		blk := rng.Uint64() % 4096
+		switch i % 3 {
+		case 0:
+			d.Read(c, blk)
+		case 1:
+			d.Write(c, blk)
+		default:
+			d.Evict(c, blk)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Package core implements the paper's contribution: the inclusion
+// properties between the private L2s and the shared LLC. It provides
+// controllers for the three traditional policies (inclusive,
+// non-inclusive, exclusive), the two dynamic switching baselines
+// (FLEXclusion and Dswitch), the proposed Loop-block-Aware Policy (LAP)
+// with its loop-bit identification and loop-aware set-dueling replacement,
+// and the Lhybrid data-placement policy for hybrid SRAM/STT-RAM LLCs.
+//
+// A controller owns the LLC-side state machine; the hierarchy simulator
+// (internal/sim) calls Fetch on every L2 miss and EvictL2 on every L2
+// victim, exactly the two data paths the paper's Figure 8 draws.
+package core
+
+// WriteSource categorises a write to the LLC, matching the decomposition
+// of the paper's Figure 15.
+type WriteSource int
+
+// Write sources: data-fills from memory, dirty victims from the L2, and
+// clean victims from the L2.
+const (
+	SrcFill WriteSource = iota
+	SrcDirty
+	SrcClean
+)
+
+// Metrics accumulates the event counts every experiment in the paper
+// reports. The controller updates the LLC-side counters; the simulator
+// fills in the upper-level and end-of-run fields.
+type Metrics struct {
+	// L3Accesses, L3Hits and L3Misses count controller Fetch outcomes.
+	L3Accesses uint64
+	L3Hits     uint64
+	L3Misses   uint64
+
+	// WritesFill, WritesDirty and WritesClean decompose data-array writes
+	// to the LLC by source (Fig. 15).
+	WritesFill  uint64
+	WritesDirty uint64
+	WritesClean uint64
+
+	// MigrationWrites counts hybrid-LLC SRAM→STT migrations (Lhybrid).
+	MigrationWrites uint64
+
+	// TagOnlyUpdates counts LAP's loop-bit refreshes on dropped clean
+	// victims — tag-array writes that spare a full data-array write.
+	TagOnlyUpdates uint64
+
+	// L3Evictions and L3DirtyEvictions count replacement victims.
+	L3Evictions      uint64
+	L3DirtyEvictions uint64
+
+	// MemReads and MemWrites count main-memory traffic.
+	MemReads  uint64
+	MemWrites uint64
+
+	// BackInvalidations counts inclusive-policy upper-level kills.
+	BackInvalidations uint64
+
+	// Upper-level counters, filled by the simulator.
+	L1Accesses       uint64
+	L1Misses         uint64
+	L2Accesses       uint64
+	L2Misses         uint64
+	L2Evictions      uint64
+	L2CleanEvictions uint64
+	L2DirtyEvictions uint64
+
+	// SnoopProbes and SnoopDirtyTransfers count coherence activity for
+	// multi-threaded runs (Fig. 20c); SnoopTraffic is the weighted bus
+	// message total.
+	SnoopProbes         uint64
+	SnoopDirtyTransfers uint64
+	SnoopTraffic        uint64
+
+	// Prefetches counts L2 prefetch fills (PrefetchDegree > 0).
+	Prefetches uint64
+
+	// BypassedWrites counts L2 victims a dead-write predictor diverted
+	// around the LLC (DeadWriteBypass).
+	BypassedWrites uint64
+
+	// Instructions and Cycles summarise the run.
+	Instructions uint64
+	Cycles       uint64
+}
+
+// AddWrite records a data-array write by source.
+func (m *Metrics) AddWrite(src WriteSource) {
+	switch src {
+	case SrcFill:
+		m.WritesFill++
+	case SrcDirty:
+		m.WritesDirty++
+	case SrcClean:
+		m.WritesClean++
+	}
+}
+
+// WritesToLLC is the total data-array write traffic (Fig. 15's bar
+// height), excluding hybrid migrations.
+func (m *Metrics) WritesToLLC() uint64 {
+	return m.WritesFill + m.WritesDirty + m.WritesClean
+}
+
+// MPKI returns LLC misses per kilo-instruction (Fig. 18).
+func (m *Metrics) MPKI() float64 {
+	if m.Instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(m.L3Misses) / float64(m.Instructions)
+}
+
+// IPC returns aggregate retired instructions per cycle.
+func (m *Metrics) IPC() float64 {
+	if m.Cycles == 0 {
+		return 0
+	}
+	return float64(m.Instructions) / float64(m.Cycles)
+}

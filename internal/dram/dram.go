@@ -1,0 +1,138 @@
+// Package dram models a DDR3-class main memory with per-bank row buffers
+// and an open-page policy, replacing the simulator's fixed memory latency
+// when configured. The paper's Table II machine uses 4GB DDR3-1600; the
+// defaults here correspond to that part's timing at a 3GHz core clock.
+//
+// The model captures the first-order effects that matter to an LLC study:
+// row-buffer hits are much cheaper than conflicts, so streaming misses
+// (sequential fills) are faster than pointer-chasing misses, and bank
+// contention queues concurrent misses.
+package dram
+
+// Config sizes and times the memory system. All latencies are in core
+// clock cycles.
+type Config struct {
+	// Banks is the total number of DRAM banks (channels x ranks x banks).
+	Banks int
+	// RowBytes is the row-buffer size.
+	RowBytes int
+	// BlockBytes is the transfer granularity (cache-block size).
+	BlockBytes int
+	// CASCycles is the column access latency (row-buffer hit cost).
+	CASCycles uint64
+	// RCDCycles is the RAS-to-CAS delay (activating a closed row).
+	RCDCycles uint64
+	// RPCycles is the precharge latency (closing a conflicting row).
+	RPCycles uint64
+	// BurstCycles is the data-burst occupancy per block transfer.
+	BurstCycles uint64
+}
+
+// DDR3_1600 returns timing for DDR3-1600 (CL-tRCD-tRP = 11-11-11,
+// ~13.75ns each) at a 3GHz core clock, with 8 banks x 2 ranks and 8KB
+// rows.
+func DDR3_1600() Config {
+	return Config{
+		Banks:       16,
+		RowBytes:    8 << 10,
+		BlockBytes:  64,
+		CASCycles:   41,
+		RCDCycles:   41,
+		RPCycles:    41,
+		BurstCycles: 12, // 4 DRAM-bus cycles at 800MHz
+	}
+}
+
+// Stats counts row-buffer outcomes.
+type Stats struct {
+	// RowHits are accesses served from an open row.
+	RowHits uint64
+	// RowClosed are accesses that had to activate a closed bank.
+	RowClosed uint64
+	// RowConflicts are accesses that displaced another open row.
+	RowConflicts uint64
+	// Reads and Writes count accesses by type.
+	Reads, Writes uint64
+}
+
+// HitRate returns the row-buffer hit fraction.
+func (s Stats) HitRate() float64 {
+	total := s.RowHits + s.RowClosed + s.RowConflicts
+	if total == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(total)
+}
+
+// Memory is an open-page DRAM model. Not safe for concurrent use; the
+// simulator is single-threaded by design.
+type Memory struct {
+	cfg      Config
+	openRow  []int64 // per bank; -1 = precharged (closed)
+	nextFree []uint64
+	// Stats accumulates row-buffer outcomes.
+	Stats Stats
+}
+
+// New builds a memory from cfg, validating its geometry.
+func New(cfg Config) *Memory {
+	if cfg.Banks <= 0 || cfg.RowBytes <= 0 || cfg.BlockBytes <= 0 || cfg.RowBytes < cfg.BlockBytes {
+		panic("dram: invalid geometry")
+	}
+	m := &Memory{
+		cfg:      cfg,
+		openRow:  make([]int64, cfg.Banks),
+		nextFree: make([]uint64, cfg.Banks),
+	}
+	for i := range m.openRow {
+		m.openRow[i] = -1
+	}
+	return m
+}
+
+// Config returns the memory's configuration.
+func (m *Memory) Config() Config { return m.cfg }
+
+// addressing: block address -> (bank, row). Consecutive blocks walk a
+// row; rows interleave across banks so streams engage multiple banks.
+func (m *Memory) decode(addr uint64) (bank int, row int64) {
+	blocksPerRow := uint64(m.cfg.RowBytes / m.cfg.BlockBytes)
+	rowID := addr / uint64(m.cfg.BlockBytes) / blocksPerRow
+	bank = int(rowID % uint64(m.cfg.Banks))
+	row = int64(rowID / uint64(m.cfg.Banks))
+	return bank, row
+}
+
+// Access performs one block transfer at byte address addr starting no
+// earlier than now, returning its latency (queueing + DRAM timing).
+// Writes use the same timing; their latency is typically not on the
+// requester's critical path, but the bank stays occupied either way.
+func (m *Memory) Access(addr uint64, now uint64, write bool) uint64 {
+	bank, row := m.decode(addr)
+	var lat uint64
+	switch {
+	case m.openRow[bank] == row:
+		m.Stats.RowHits++
+		lat = m.cfg.CASCycles
+	case m.openRow[bank] == -1:
+		m.Stats.RowClosed++
+		lat = m.cfg.RCDCycles + m.cfg.CASCycles
+	default:
+		m.Stats.RowConflicts++
+		lat = m.cfg.RPCycles + m.cfg.RCDCycles + m.cfg.CASCycles
+	}
+	m.openRow[bank] = row
+	if write {
+		m.Stats.Writes++
+	} else {
+		m.Stats.Reads++
+	}
+	start := now
+	if m.nextFree[bank] > start {
+		start = m.nextFree[bank]
+	}
+	// The bank is busy for the access plus the burst; the requester also
+	// waits for the burst to complete.
+	m.nextFree[bank] = start + lat + m.cfg.BurstCycles
+	return start - now + lat + m.cfg.BurstCycles
+}

@@ -1,0 +1,152 @@
+package dram
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometryValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Banks: 0, RowBytes: 8192, BlockBytes: 64},
+		{Banks: 8, RowBytes: 32, BlockBytes: 64}, // row smaller than block
+	}
+	for _, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v accepted", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+	if New(DDR3_1600()).Config().Banks != 16 {
+		t.Fatal("default config drifted")
+	}
+}
+
+func TestRowHitCheaperThanConflict(t *testing.T) {
+	m := New(DDR3_1600())
+	cfg := m.Config()
+	// First access to a closed bank: activate + CAS.
+	lat1 := m.Access(0, 1_000_000, false)
+	if lat1 != cfg.RCDCycles+cfg.CASCycles+cfg.BurstCycles {
+		t.Fatalf("closed-bank latency = %d", lat1)
+	}
+	// Same row, later in time (bank drained): row hit.
+	lat2 := m.Access(64, 2_000_000, false)
+	if lat2 != cfg.CASCycles+cfg.BurstCycles {
+		t.Fatalf("row-hit latency = %d", lat2)
+	}
+	// Different row, same bank: conflict.
+	rowStride := uint64(cfg.RowBytes * cfg.Banks)
+	lat3 := m.Access(rowStride, 3_000_000, false)
+	if lat3 != cfg.RPCycles+cfg.RCDCycles+cfg.CASCycles+cfg.BurstCycles {
+		t.Fatalf("conflict latency = %d", lat3)
+	}
+	if m.Stats.RowHits != 1 || m.Stats.RowClosed != 1 || m.Stats.RowConflicts != 1 {
+		t.Fatalf("stats: %+v", m.Stats)
+	}
+}
+
+func TestBankQueueing(t *testing.T) {
+	m := New(DDR3_1600())
+	l1 := m.Access(0, 100, false)
+	l2 := m.Access(64, 100, false) // same bank & row, same time: queues
+	if l2 <= l1-1 && l2 < l1 {
+		t.Fatalf("queued access latency %d not above first %d", l2, l1)
+	}
+	if l2 <= m.Config().CASCycles {
+		t.Fatal("queued access did not wait for the bank")
+	}
+}
+
+func TestStreamingBeatsRandom(t *testing.T) {
+	seq := New(DDR3_1600())
+	var seqTotal uint64
+	now := uint64(0)
+	for i := 0; i < 2000; i++ {
+		now += 200
+		seqTotal += seq.Access(uint64(i*64), now, false)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	rnd := New(DDR3_1600())
+	var rndTotal uint64
+	now = 0
+	for i := 0; i < 2000; i++ {
+		now += 200
+		rndTotal += rnd.Access(rng.Uint64()%(1<<32), now, false)
+	}
+	if seqTotal >= rndTotal {
+		t.Fatalf("sequential stream (%d cycles) not faster than random (%d)", seqTotal, rndTotal)
+	}
+	if seq.Stats.HitRate() < 0.9 {
+		t.Fatalf("sequential row-hit rate = %.2f, want ~1", seq.Stats.HitRate())
+	}
+	if rnd.Stats.HitRate() > 0.3 {
+		t.Fatalf("random row-hit rate = %.2f, want low", rnd.Stats.HitRate())
+	}
+}
+
+func TestReadsWritesCounted(t *testing.T) {
+	m := New(DDR3_1600())
+	m.Access(0, 0, false)
+	m.Access(64, 1000, true)
+	if m.Stats.Reads != 1 || m.Stats.Writes != 1 {
+		t.Fatalf("stats: %+v", m.Stats)
+	}
+}
+
+func TestHitRateZeroWhenIdle(t *testing.T) {
+	var s Stats
+	if s.HitRate() != 0 {
+		t.Fatal("idle hit rate must be 0")
+	}
+}
+
+// Property: latency is always at least the CAS+burst minimum and exactly
+// one row-buffer outcome is recorded per access.
+func TestPropertyLatencyFloorAndAccounting(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 5))
+		m := New(DDR3_1600())
+		cfg := m.Config()
+		now := uint64(0)
+		for i := 0; i < int(n); i++ {
+			now += uint64(rng.IntN(500))
+			lat := m.Access(rng.Uint64()%(1<<34), now, rng.IntN(2) == 0)
+			if lat < cfg.CASCycles+cfg.BurstCycles {
+				return false
+			}
+		}
+		total := m.Stats.RowHits + m.Stats.RowClosed + m.Stats.RowConflicts
+		return total == uint64(n) && m.Stats.Reads+m.Stats.Writes == uint64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the decoder spreads consecutive rows across banks.
+func TestPropertyBankInterleaving(t *testing.T) {
+	m := New(DDR3_1600())
+	seen := map[int]bool{}
+	for r := 0; r < m.Config().Banks; r++ {
+		bank, _ := m.decode(uint64(r * m.Config().RowBytes))
+		seen[bank] = true
+	}
+	if len(seen) != m.Config().Banks {
+		t.Fatalf("row interleaving reached %d/%d banks", len(seen), m.Config().Banks)
+	}
+}
+
+func BenchmarkAccess(b *testing.B) {
+	m := New(DDR3_1600())
+	rng := rand.New(rand.NewPCG(1, 2))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Access(rng.Uint64()%(1<<32), uint64(i*50), i%3 == 0)
+	}
+}

@@ -1,0 +1,198 @@
+package energy
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestTableIConstants(t *testing.T) {
+	s, m := SRAM(), STTRAM()
+	if s.ReadNJ != 0.072 || s.WriteNJ != 0.056 || s.LeakMWPerBank != 50.736 {
+		t.Fatalf("SRAM constants drifted from Table I: %+v", s)
+	}
+	if m.ReadNJ != 0.133 || m.WriteNJ != 0.436 || m.LeakMWPerBank != 7.108 {
+		t.Fatalf("STT-RAM constants drifted from Table I: %+v", m)
+	}
+	// Paper: STT write is ~8x SRAM write energy, ~6x SRAM write latency.
+	if r := m.WriteNJ / s.WriteNJ; r < 7 || r > 9 {
+		t.Errorf("STT/SRAM write-energy ratio = %.2f, want ~8x", r)
+	}
+	if r := m.WriteLatNS / s.WriteLatNS; r < 5.5 || r > 7 {
+		t.Errorf("STT/SRAM write-latency ratio = %.2f, want ~6x", r)
+	}
+	// Paper: STT leakage ~7x lower, density ~3x higher.
+	if r := s.LeakMWPerBank / m.LeakMWPerBank; r < 6.5 || r > 7.5 {
+		t.Errorf("leakage ratio = %.2f, want ~7x", r)
+	}
+	if r := s.AreaMM2 / m.AreaMM2; r < 2.5 || r > 3 {
+		t.Errorf("area ratio = %.2f, want ~2.7x", r)
+	}
+}
+
+func TestWriteReadRatio(t *testing.T) {
+	m := STTRAM()
+	if r := m.WriteReadRatio(); !almost(r, 0.436/0.133, 1e-12) {
+		t.Fatalf("WriteReadRatio = %v", r)
+	}
+	var zero Tech
+	if zero.WriteReadRatio() != 0 {
+		t.Fatal("zero tech should report ratio 0, not NaN")
+	}
+}
+
+func TestWithWriteReadRatio(t *testing.T) {
+	base := STTRAM()
+	for _, ratio := range []float64{1, 2, 3.3, 8, 25} {
+		s := base.WithWriteReadRatio(ratio)
+		if !almost(s.WriteReadRatio(), ratio, 1e-9) {
+			t.Errorf("ratio %v: got %v", ratio, s.WriteReadRatio())
+		}
+		if s.ReadNJ != base.ReadNJ || s.LeakMWPerBank != base.LeakMWPerBank {
+			t.Errorf("ratio %v: read energy or leakage changed", ratio)
+		}
+		if !strings.Contains(s.Name, "w/r=") {
+			t.Errorf("scaled tech name %q lacks ratio marker", s.Name)
+		}
+	}
+}
+
+func TestWithWriteReadRatioProperty(t *testing.T) {
+	base := STTRAM()
+	f := func(r uint8) bool {
+		ratio := 0.5 + float64(r)/8
+		s := base.WithWriteReadRatio(ratio)
+		return almost(s.WriteNJ, base.ReadNJ*ratio, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFtoa(t *testing.T) {
+	cases := map[float64]string{0: "0.0", 1: "1.0", 2.5: "2.5", 3.26: "3.3", 9.99: "10.0", -1.2: "-1.2"}
+	for in, want := range cases {
+		if got := ftoa(in); got != want {
+			t.Errorf("ftoa(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestMeterDynamic(t *testing.T) {
+	m := SingleTech(3e9, STTRAM(), 8<<20)
+	for i := 0; i < 10; i++ {
+		m.AddTag()
+	}
+	for i := 0; i < 4; i++ {
+		m.AddRead(0)
+	}
+	for i := 0; i < 3; i++ {
+		m.AddWrite(0)
+	}
+	want := 10*0.015 + 4*0.133 + 3*0.436
+	if got := m.DynamicNJ(); !almost(got, want, 1e-9) {
+		t.Fatalf("DynamicNJ = %v, want %v", got, want)
+	}
+}
+
+func TestMeterLeakage(t *testing.T) {
+	m := SingleTech(3e9, STTRAM(), 8<<20)
+	// 8MB = 4 banks of STT-RAM plus the SRAM tag array.
+	want := 4*7.108 + 17.73
+	if got := m.LeakMW(); !almost(got, want, 1e-9) {
+		t.Fatalf("LeakMW = %v, want %v (Table II)", got, want)
+	}
+	s := SingleTech(3e9, SRAM(), 8<<20)
+	wantS := 4*50.736 + 17.73
+	if got := s.LeakMW(); !almost(got, wantS, 1e-9) {
+		t.Fatalf("SRAM LeakMW = %v, want %v", got, wantS)
+	}
+}
+
+func TestHybridMeterLeakage(t *testing.T) {
+	m := Hybrid(3e9, SRAM(), STTRAM(), 2<<20, 6<<20)
+	want := 1*50.736 + 3*7.108 + 17.73
+	if got := m.LeakMW(); !almost(got, want, 1e-9) {
+		t.Fatalf("hybrid LeakMW = %v, want %v", got, want)
+	}
+	m.AddWrite(RegionSRAM)
+	m.AddWrite(RegionSTT)
+	want = 0.056 + 0.436
+	if got := m.DynamicNJ(); !almost(got, want, 1e-9) {
+		t.Fatalf("hybrid DynamicNJ = %v, want %v", got, want)
+	}
+}
+
+func TestStaticNJ(t *testing.T) {
+	m := SingleTech(3e9, STTRAM(), 8<<20)
+	// One second of simulated time at 3GHz.
+	nj := m.StaticNJ(3_000_000_000)
+	wantMJ := m.LeakMW() // mW for 1s = mJ
+	if !almost(nj/1e6, wantMJ, 1e-6) {
+		t.Fatalf("StaticNJ(1s) = %v nJ, want %v mJ", nj, wantMJ)
+	}
+}
+
+func TestEPI(t *testing.T) {
+	m := SingleTech(3e9, STTRAM(), 8<<20)
+	m.AddRead(0)
+	b := m.EPI(3000, 100)
+	if b.DynamicNJPerInstr <= 0 || b.StaticNJPerInstr <= 0 {
+		t.Fatal("EPI components must be positive")
+	}
+	if !almost(b.Total(), b.StaticNJPerInstr+b.DynamicNJPerInstr, 1e-12) {
+		t.Fatal("Total != static + dynamic")
+	}
+}
+
+func TestEPIZeroInstructionsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero instructions")
+		}
+	}()
+	SingleTech(3e9, SRAM(), 8<<20).EPI(100, 0)
+}
+
+func TestEPIMonotoneInWrites(t *testing.T) {
+	f := func(w uint16) bool {
+		m := SingleTech(3e9, STTRAM(), 8<<20)
+		for i := 0; i < int(w); i++ {
+			m.AddWrite(0)
+		}
+		lo := m.EPI(1000, 1000).Total()
+		m.AddWrite(0)
+		hi := m.EPI(1000, 1000).Total()
+		return hi > lo
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublishedConfigsSorted(t *testing.T) {
+	pcs := PublishedConfigs()
+	if len(pcs) != 11 {
+		t.Fatalf("want 11 published design points (Fig. 23), got %d", len(pcs))
+	}
+	for i := 1; i < len(pcs); i++ {
+		if pcs[i].WriteReadRatio < pcs[i-1].WriteReadRatio {
+			t.Fatalf("published configs not sorted at %d", i)
+		}
+	}
+	for _, pc := range pcs {
+		if pc.Ref == "" || pc.Description == "" || pc.WriteReadRatio <= 0 {
+			t.Fatalf("incomplete published config %+v", pc)
+		}
+	}
+}
+
+func TestMeterString(t *testing.T) {
+	m := SingleTech(3e9, STTRAM(), 8<<20)
+	if s := m.String(); !strings.Contains(s, "Meter{") {
+		t.Fatalf("unexpected String: %q", s)
+	}
+}

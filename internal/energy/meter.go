@@ -1,0 +1,141 @@
+package energy
+
+import "fmt"
+
+// RegionID indexes a technology region inside a Meter. A single-technology
+// LLC has one region; the hybrid SRAM/STT-RAM LLC has two.
+type RegionID int
+
+// Canonical region indices used by the simulator. A single-technology LLC
+// registers only region 0; the hybrid LLC registers RegionSRAM and
+// RegionSTT in that order.
+const (
+	RegionSRAM RegionID = 0
+	RegionSTT  RegionID = 1
+)
+
+// Region accumulates the dynamic access counts of one technology region of
+// the LLC data array.
+type Region struct {
+	// Tech is the technology the region is built from.
+	Tech Tech
+	// Banks scales the per-bank leakage to the region's capacity
+	// (capacity / 2MB). Fractional values are allowed so that, e.g., the
+	// hybrid LLC's 6MB STT region leaks 3 banks' worth.
+	Banks float64
+	// Reads and Writes count data-array accesses.
+	Reads  uint64
+	Writes uint64
+}
+
+// Meter accumulates LLC dynamic-energy events and converts them, together
+// with the simulated runtime, into energy totals and EPI. It deliberately
+// covers only the LLC (tag + data), matching the paper's reported metric.
+type Meter struct {
+	// ClockHz is the core clock used to convert cycles into seconds.
+	ClockHz float64
+	// Tag is the shared SRAM tag array.
+	Tag SRAMTag
+	// TagAccesses counts tag-array lookups and updates.
+	TagAccesses uint64
+	// Regions holds one entry per technology region of the data array.
+	Regions []Region
+}
+
+// NewMeter returns a meter for an LLC whose data array consists of the
+// given regions, clocked at clockHz, with the default Table II tag array.
+func NewMeter(clockHz float64, regions ...Region) *Meter {
+	m := &Meter{ClockHz: clockHz, Tag: DefaultTag(), Regions: regions}
+	return m
+}
+
+// SingleTech returns a meter for a single-technology LLC of totalBytes
+// capacity built from tech.
+func SingleTech(clockHz float64, tech Tech, totalBytes int64) *Meter {
+	return NewMeter(clockHz, Region{Tech: tech, Banks: float64(totalBytes) / float64(BankBytes)})
+}
+
+// Hybrid returns a meter for a hybrid LLC with sramBytes of SRAM (region
+// 0) and sttBytes of STT-RAM (region 1).
+func Hybrid(clockHz float64, sram, stt Tech, sramBytes, sttBytes int64) *Meter {
+	return NewMeter(clockHz,
+		Region{Tech: sram, Banks: float64(sramBytes) / float64(BankBytes)},
+		Region{Tech: stt, Banks: float64(sttBytes) / float64(BankBytes)},
+	)
+}
+
+// AddTag records one tag-array access (lookup or tag-only update, such as
+// LAP's loop-bit refresh on a dropped clean victim).
+func (m *Meter) AddTag() { m.TagAccesses++ }
+
+// AddRead records one data-array read in the given region.
+func (m *Meter) AddRead(r RegionID) { m.Regions[r].Reads++ }
+
+// AddWrite records one data-array write in the given region.
+func (m *Meter) AddWrite(r RegionID) { m.Regions[r].Writes++ }
+
+// DynamicNJ returns the total dynamic energy accumulated so far, in
+// nanojoules.
+func (m *Meter) DynamicNJ() float64 {
+	nj := float64(m.TagAccesses) * m.Tag.DynNJ
+	for i := range m.Regions {
+		reg := &m.Regions[i]
+		nj += float64(reg.Reads)*reg.Tech.ReadNJ + float64(reg.Writes)*reg.Tech.WriteNJ
+	}
+	return nj
+}
+
+// LeakMW returns the total leakage power of the LLC (tag + all data
+// regions) in milliwatts.
+func (m *Meter) LeakMW() float64 {
+	mw := m.Tag.LeakMW
+	for i := range m.Regions {
+		mw += m.Regions[i].Tech.LeakMWPerBank * m.Regions[i].Banks
+	}
+	return mw
+}
+
+// StaticNJ returns the leakage energy dissipated over the given number of
+// core cycles, in nanojoules.
+func (m *Meter) StaticNJ(cycles uint64) float64 {
+	seconds := float64(cycles) / m.ClockHz
+	// mW * s = mJ; convert to nJ.
+	return m.LeakMW() * seconds * 1e6
+}
+
+// Breakdown is the result of an EPI computation, split the way the paper's
+// Figure 12 stacks its bars.
+type Breakdown struct {
+	// StaticNJPerInstr and DynamicNJPerInstr are the leakage and dynamic
+	// components of EPI, in nanojoules per instruction.
+	StaticNJPerInstr  float64
+	DynamicNJPerInstr float64
+}
+
+// Total returns the overall EPI in nanojoules per instruction.
+func (b Breakdown) Total() float64 { return b.StaticNJPerInstr + b.DynamicNJPerInstr }
+
+// EPI computes the LLC energy-per-instruction over a run of the given
+// length. It panics if instructions is zero, since EPI is undefined there.
+func (m *Meter) EPI(cycles, instructions uint64) Breakdown {
+	if instructions == 0 {
+		panic("energy: EPI of a run with zero instructions")
+	}
+	n := float64(instructions)
+	return Breakdown{
+		StaticNJPerInstr:  m.StaticNJ(cycles) / n,
+		DynamicNJPerInstr: m.DynamicNJ() / n,
+	}
+}
+
+// TotalNJ returns the total (static + dynamic) LLC energy of a run that
+// lasted the given number of cycles.
+func (m *Meter) TotalNJ(cycles uint64) float64 {
+	return m.StaticNJ(cycles) + m.DynamicNJ()
+}
+
+// String summarises the meter's accumulated state.
+func (m *Meter) String() string {
+	return fmt.Sprintf("Meter{tag=%d accesses, regions=%d, dyn=%.1f nJ, leak=%.2f mW}",
+		m.TagAccesses, len(m.Regions), m.DynamicNJ(), m.LeakMW())
+}

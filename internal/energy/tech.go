@@ -1,0 +1,153 @@
+// Package energy models the energy and latency characteristics of the
+// cache technologies evaluated in the LAP paper (ISCA 2016, Table I and
+// Table II), and provides an accounting meter that turns dynamic access
+// counts and simulated runtime into the paper's headline metric, LLC
+// energy-per-instruction (EPI).
+//
+// All technology constants are taken verbatim from the paper, which in
+// turn derived them from CACTI 6.0 and NVSim for a 2MB cache bank in 22nm
+// at 350K. The package also implements the write/read energy-ratio scaling
+// used by the paper's Figure 23 sensitivity study.
+package energy
+
+// Tech describes one memory technology for a single 2MB cache bank,
+// mirroring the rows of Table I in the paper.
+type Tech struct {
+	// Name identifies the technology ("SRAM", "STT-RAM", or a scaled
+	// variant such as "STT-RAM(w/r=4.0)").
+	Name string
+	// AreaMM2 is the bank area in square millimetres (informational).
+	AreaMM2 float64
+	// ReadLatNS and WriteLatNS are the access latencies in nanoseconds.
+	ReadLatNS  float64
+	WriteLatNS float64
+	// ReadNJ and WriteNJ are the dynamic energies per access in nanojoules.
+	ReadNJ  float64
+	WriteNJ float64
+	// LeakMWPerBank is the leakage power of one 2MB bank in milliwatts.
+	LeakMWPerBank float64
+}
+
+// BankBytes is the capacity of the bank that the Table I figures describe.
+const BankBytes = 2 << 20
+
+// SRAM returns the SRAM column of Table I.
+func SRAM() Tech {
+	return Tech{
+		Name:          "SRAM",
+		AreaMM2:       1.65,
+		ReadLatNS:     2.09,
+		WriteLatNS:    1.73,
+		ReadNJ:        0.072,
+		WriteNJ:       0.056,
+		LeakMWPerBank: 50.736,
+	}
+}
+
+// STTRAM returns the STT-RAM column of Table I.
+func STTRAM() Tech {
+	return Tech{
+		Name:          "STT-RAM",
+		AreaMM2:       0.62,
+		ReadLatNS:     2.69,
+		WriteLatNS:    10.91,
+		ReadNJ:        0.133,
+		WriteNJ:       0.436,
+		LeakMWPerBank: 7.108,
+	}
+}
+
+// WriteReadRatio reports the technology's write/read dynamic-energy ratio,
+// the key indicator the paper identifies for inclusion-policy sensitivity.
+func (t Tech) WriteReadRatio() float64 {
+	if t.ReadNJ == 0 {
+		return 0
+	}
+	return t.WriteNJ / t.ReadNJ
+}
+
+// WithWriteReadRatio returns a copy of t whose write energy is scaled so
+// that WriteNJ/ReadNJ equals ratio while the read energy and leakage are
+// held fixed. This is exactly the scaling the paper applies in Figure 23.
+func (t Tech) WithWriteReadRatio(ratio float64) Tech {
+	s := t
+	s.WriteNJ = t.ReadNJ * ratio
+	s.Name = t.Name + "(w/r=" + ftoa(ratio) + ")"
+	return s
+}
+
+func ftoa(f float64) string {
+	// Minimal fixed-point formatter (1 decimal) to avoid importing fmt in
+	// this leaf package's hot path users.
+	neg := f < 0
+	if neg {
+		f = -f
+	}
+	whole := int64(f)
+	frac := int64((f-float64(whole))*10 + 0.5)
+	if frac == 10 {
+		whole++
+		frac = 0
+	}
+	buf := make([]byte, 0, 8)
+	if neg {
+		buf = append(buf, '-')
+	}
+	buf = appendInt(buf, whole)
+	buf = append(buf, '.')
+	buf = append(buf, byte('0'+frac))
+	return string(buf)
+}
+
+func appendInt(buf []byte, v int64) []byte {
+	if v >= 10 {
+		buf = appendInt(buf, v/10)
+	}
+	return append(buf, byte('0'+v%10))
+}
+
+// SRAMTag describes the SRAM tag array used by the 8MB L3 in Table II.
+// Both the pure-SRAM, pure-STT-RAM and hybrid LLCs keep their tags in
+// SRAM, so tag energy is technology-independent.
+type SRAMTag struct {
+	// LeakMW is the total tag-array leakage for the whole LLC.
+	LeakMW float64
+	// DynNJ is the dynamic energy of one tag-array access.
+	DynNJ float64
+}
+
+// DefaultTag returns the Table II tag-array parameters for the 8MB L3.
+func DefaultTag() SRAMTag {
+	return SRAMTag{LeakMW: 17.73, DynNJ: 0.015}
+}
+
+// PublishedConfig is one published STT-RAM design point plotted in the
+// paper's Figure 23. The write/read ratios are approximations recovered
+// from the figure's x-axis positions; the citations match the paper's
+// reference list.
+type PublishedConfig struct {
+	// Ref is the paper's bracketed citation tag, e.g. "[13]-1".
+	Ref string
+	// Description summarises the design point.
+	Description string
+	// WriteReadRatio is the design's write/read dynamic-energy ratio.
+	WriteReadRatio float64
+}
+
+// PublishedConfigs returns the published STT-RAM design points overlaid on
+// Figure 23, ordered by increasing write/read energy ratio.
+func PublishedConfigs() []PublishedConfig {
+	return []PublishedConfig{
+		{Ref: "[13]-1", Description: "Smullen et al., relaxed retention (fast)", WriteReadRatio: 2.0},
+		{Ref: "[12]", Description: "Noguchi et al., perpendicular MTJ cache", WriteReadRatio: 2.8},
+		{Ref: "[34]", Description: "Ahn et al., DASCA baseline cell", WriteReadRatio: 3.3},
+		{Ref: "[13]-2", Description: "Smullen et al., relaxed retention (dense)", WriteReadRatio: 4.4},
+		{Ref: "[17]", Description: "Wang et al., hybrid-cache STT cell", WriteReadRatio: 5.5},
+		{Ref: "[41]", Description: "Chang et al., low write-energy L3C", WriteReadRatio: 6.8},
+		{Ref: "[11]", Description: "Noguchi et al., read-disturb-free MTJ", WriteReadRatio: 8.9},
+		{Ref: "[42]", Description: "Halupka et al., negative-resistance cell", WriteReadRatio: 11.5},
+		{Ref: "[43]", Description: "Ohsawa et al., 4T-2MTJ embedded", WriteReadRatio: 14.6},
+		{Ref: "[14]", Description: "Noguchi et al., dual-cell magnetic cache", WriteReadRatio: 18.0},
+		{Ref: "[16]", Description: "Tsuchida et al., clamped-reference MRAM", WriteReadRatio: 22.0},
+	}
+}

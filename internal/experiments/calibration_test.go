@@ -1,0 +1,66 @@
+package experiments
+
+// The calibration-envelope test: executes the motivation experiments and
+// verifies every SPEC surrogate still lands inside the target ranges of
+// workload.CalibrationTargets(). This is the guard rail that turns the
+// Fig. 2/4/6 calibration into an executable specification — edit a
+// surrogate and this test tells you whether the paper's shapes survived.
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestCalibrationEnvelope(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration envelope needs full-length traces")
+	}
+	opt := Defaults()
+	opt.Accesses = 250_000 // enough passes for loop statistics, ~30s total
+
+	loopFrac := map[string]float64{}
+	for _, r := range Fig4Data(opt) {
+		loopFrac[r.Bench] = r.Total()
+	}
+	redundant := map[string]float64{}
+	for _, r := range Fig6Data(opt) {
+		redundant[r.Bench] = r.RedundantFillFrac
+	}
+	wrel := map[string]float64{}
+	for _, r := range Fig2Data(opt) {
+		wrel[r.Bench] = r.Wrel
+	}
+
+	targets := workload.CalibrationTargets()
+	if len(targets) != len(workload.SPEC()) {
+		t.Fatalf("calibration covers %d of %d surrogates", len(targets), len(workload.SPEC()))
+	}
+	for _, c := range targets {
+		lf, ok := loopFrac[c.Bench]
+		if !ok {
+			t.Errorf("%s: no Fig. 4 measurement", c.Bench)
+			continue
+		}
+		if c.LoopFracMin > 0 && lf < c.LoopFracMin {
+			t.Errorf("%s: loop fraction %.2f below target %.2f", c.Bench, lf, c.LoopFracMin)
+		}
+		if c.LoopFracMax > 0 && lf > c.LoopFracMax {
+			t.Errorf("%s: loop fraction %.2f above target %.2f", c.Bench, lf, c.LoopFracMax)
+		}
+		rf := redundant[c.Bench]
+		if c.RedundantFillMin > 0 && rf < c.RedundantFillMin {
+			t.Errorf("%s: redundant fills %.2f below target %.2f", c.Bench, rf, c.RedundantFillMin)
+		}
+		if c.RedundantFillMax > 0 && rf > c.RedundantFillMax {
+			t.Errorf("%s: redundant fills %.2f above target %.2f", c.Bench, rf, c.RedundantFillMax)
+		}
+		w := wrel[c.Bench]
+		if c.WrelMin > 0 && w < c.WrelMin {
+			t.Errorf("%s: Wrel %.2f below target %.2f", c.Bench, w, c.WrelMin)
+		}
+		if c.WrelMax > 0 && w > c.WrelMax {
+			t.Errorf("%s: Wrel %.2f above target %.2f", c.Bench, w, c.WrelMax)
+		}
+	}
+}

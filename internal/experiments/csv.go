@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// CSV export so artifact data can be fed to external plotting tools.
+
+// WriteCSV renders the table as CSV: a comment line with the ID/title,
+// then the header and rows.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"# " + t.ID, t.Title}); err != nil {
+		return fmt.Errorf("experiments: csv header: %w", err)
+	}
+	if err := cw.Write(t.Header); err != nil {
+		return fmt.Errorf("experiments: csv columns: %w", err)
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiments: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaveCSV writes the table to dir/<id>.csv, deriving the file name from
+// the artifact ID ("Fig. 14" -> fig14.csv).
+func (t *Table) SaveCSV(dir string) (string, error) {
+	name := strings.ToLower(t.ID)
+	name = strings.NewReplacer(" ", "", ".", "", "ext", "ext-").Replace(name)
+	path := filepath.Join(dir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", fmt.Errorf("experiments: creating %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := t.WriteCSV(f); err != nil {
+		return "", err
+	}
+	return path, f.Close()
+}

@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// tiny returns a scale small enough for unit tests: shapes are noisier
+// than at Defaults() but the structural properties tested here hold.
+func tiny() Options {
+	return Options{Accesses: 40_000, Seed: 2016, RandomMixes: 3, DuelPeriod: 60_000}
+}
+
+func TestRegistryCoversOrder(t *testing.T) {
+	reg := Registry(tiny())
+	for _, id := range Order() {
+		if _, ok := reg[id]; !ok {
+			t.Errorf("Order lists %q but Registry lacks it", id)
+		}
+	}
+	if len(reg) != len(Order()) {
+		t.Errorf("Registry has %d entries, Order %d", len(reg), len(Order()))
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	opt := tiny()
+	for _, id := range []string{"table1", "table2", "table4"} {
+		tab := Registry(opt)[id]()
+		if len(tab.Rows) == 0 || len(tab.Header) == 0 {
+			t.Errorf("%s: empty table", id)
+		}
+		var sb strings.Builder
+		tab.Fprint(&sb)
+		if !strings.Contains(sb.String(), tab.ID) {
+			t.Errorf("%s: rendering lacks ID", id)
+		}
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	tab := Table1(tiny())
+	var sb strings.Builder
+	tab.Fprint(&sb)
+	for _, v := range []string{"0.436", "0.133", "7.108", "50.736", "10.91"} {
+		if !strings.Contains(sb.String(), v) {
+			t.Errorf("Table I missing paper constant %s", v)
+		}
+	}
+}
+
+func TestFig2ShapeHolds(t *testing.T) {
+	opt := tiny()
+	opt.Accesses = 120_000
+	rows := Fig2Data(opt)
+	if len(rows) != 13 {
+		t.Fatalf("Fig2 rows = %d", len(rows))
+	}
+	var exWins, noniWins int
+	for _, r := range rows {
+		// SRAM: exclusion never loses materially.
+		if r.SRAMExOverNoni > 1.05 {
+			t.Errorf("%s: SRAM ex/noni = %.2f > 1.05", r.Bench, r.SRAMExOverNoni)
+		}
+		// Exclusion must not increase misses.
+		if r.Mrel > 1.02 {
+			t.Errorf("%s: Mrel = %.2f > 1", r.Bench, r.Mrel)
+		}
+		if r.STTExOverNoni < 0.98 {
+			exWins++
+		}
+		if r.STTExOverNoni > 1.02 {
+			noniWins++
+		}
+	}
+	// The paper's central motivation: neither traditional policy is
+	// dominant for STT-RAM.
+	if exWins == 0 || noniWins == 0 {
+		t.Fatalf("no policy diversity: exWins=%d noniWins=%d", exWins, noniWins)
+	}
+}
+
+func TestFig4LoopWorkloadsStandOut(t *testing.T) {
+	// Loop-block statistics need enough passes over the ~1.5MB loop
+	// regions to accumulate clean-trip runs, hence the longer trace.
+	opt := tiny()
+	opt.Accesses = 300_000
+	byName := map[string]Fig4Row{}
+	for _, r := range Fig4Data(opt) {
+		byName[r.Bench] = r
+	}
+	for _, loopy := range []string{"omnetpp", "xalancbmk"} {
+		if byName[loopy].Total() < 0.35 {
+			t.Errorf("%s loop-block fraction = %.2f, want high", loopy, byName[loopy].Total())
+		}
+		// Majority of their loop-blocks repeat many clean trips.
+		if byName[loopy].CTCHigh < byName[loopy].CTC1 {
+			t.Errorf("%s: CTC>=5 share below CTC=1 share", loopy)
+		}
+	}
+	for _, streamy := range []string{"libquantum", "lbm"} {
+		if byName[streamy].Total() > 0.05 {
+			t.Errorf("%s loop-block fraction = %.2f, want ~0", streamy, byName[streamy].Total())
+		}
+	}
+}
+
+func TestFig6RedundantFills(t *testing.T) {
+	opt := tiny()
+	byName := map[string]float64{}
+	for _, r := range Fig6Data(opt) {
+		byName[r.Bench] = r.RedundantFillFrac
+	}
+	if byName["libquantum"] < 0.8 {
+		t.Errorf("libquantum redundant fills = %.2f, want > 0.8", byName["libquantum"])
+	}
+	if byName["libquantum"] <= byName["leslie3d"] {
+		t.Error("stream-update workload should out-rank read-stream workload")
+	}
+}
+
+func TestFig13BorderlineNote(t *testing.T) {
+	tab := Fig13(tiny())
+	found := false
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "classifies") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Fig13 missing borderline classification note")
+	}
+}
+
+// TestFig14LAPWins asserts the paper's headline on every Table III mix:
+// LAP's EPI is at or below both traditional policies.
+func TestFig14LAPWins(t *testing.T) {
+	opt := tiny()
+	opt.Accesses = 100_000
+	cfg := sim.DefaultConfig()
+	for _, mix := range workload.TableIII() {
+		b := baselines(cfg, mix, opt)
+		lapRes := run(cfg, "LAP", LAP(opt), mix, opt)
+		if lapRes.EPI.Total() > b.Noni.EPI.Total()*1.01 {
+			t.Errorf("%s: LAP EPI above non-inclusive (%.4f vs %.4f)",
+				mix.Name, lapRes.EPI.Total(), b.Noni.EPI.Total())
+		}
+		if lapRes.EPI.Total() > b.Ex.EPI.Total()*1.01 {
+			t.Errorf("%s: LAP EPI above exclusive (%.4f vs %.4f)",
+				mix.Name, lapRes.EPI.Total(), b.Ex.EPI.Total())
+		}
+	}
+}
+
+func TestFig15LAPNeverFills(t *testing.T) {
+	tab := Fig15(tiny())
+	for _, row := range tab.Rows {
+		if row[1] == "LAP" && row[2] != "0.00" {
+			t.Errorf("%s: LAP data-fill share %s, want 0.00", row[0], row[2])
+		}
+		if row[1] == "noni" && row[4] != "0.00" {
+			t.Errorf("%s: noni clean share %s, want 0.00", row[0], row[4])
+		}
+	}
+}
+
+func TestFig23MonotoneInRatio(t *testing.T) {
+	opt := tiny()
+	tab := Fig23(opt)
+	// The sweep rows come first; savings must increase with the ratio.
+	var prev float64 = -1
+	count := 0
+	for _, row := range tab.Rows {
+		if row[1] != "scalability sweep" {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[2], "%"), 64)
+		if err != nil {
+			t.Fatalf("bad savings cell %q", row[2])
+		}
+		if v < prev-1.0 { // allow 1pp noise at tiny scale
+			t.Errorf("savings dropped from %.1f%% to %.1f%% as ratio grew", prev, v)
+		}
+		prev = v
+		count++
+	}
+	if count < 5 {
+		t.Fatalf("sweep rows = %d", count)
+	}
+}
+
+func TestFig24LhybridBeatsLAP(t *testing.T) {
+	opt := tiny()
+	opt.Accesses = 100_000
+	cfg := sim.DefaultConfig().WithHybridL3()
+	var lapSum, lhySum float64
+	for _, mix := range workload.TableIII() {
+		base := run(cfg, "noni", Noni(), mix, opt)
+		lapSum += ratio(run(cfg, "LAP", LAP(opt), mix, opt).EPI.Total(), base.EPI.Total())
+		lhySum += ratio(run(cfg, "Lhybrid", Lhybrid(opt), mix, opt).EPI.Total(), base.EPI.Total())
+	}
+	if lhySum >= lapSum {
+		t.Fatalf("Lhybrid avg %.3f not better than LAP avg %.3f", lhySum/10, lapSum/10)
+	}
+}
+
+func TestMemoReuses(t *testing.T) {
+	ResetMemo()
+	opt := tiny()
+	cfg := sim.DefaultConfig()
+	mix := workload.TableIII()[0]
+	a := run(cfg, "noni", Noni(), mix, opt)
+	before := len(memo)
+	b := run(cfg, "noni", Noni(), mix, opt)
+	if len(memo) != before {
+		t.Fatal("second identical run was not memoised")
+	}
+	if a.Met != b.Met {
+		t.Fatal("memoised result differs")
+	}
+	// A different config must not hit the same entry.
+	run(cfg.WithSRAML3(), "noni", Noni(), mix, opt)
+	if len(memo) == before {
+		t.Fatal("different config shared a memo entry")
+	}
+	ResetMemo()
+	if len(memo) != 0 {
+		t.Fatal("ResetMemo did not clear")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := &Table{ID: "X", Title: "t", Header: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.Notes = []string{"n"}
+	var sb strings.Builder
+	tab.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"X — t", "a", "bb", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHelperMath(t *testing.T) {
+	if mean(nil) != 0 || mean([]float64{2, 4}) != 3 {
+		t.Error("mean wrong")
+	}
+	if maxOf([]float64{1, 5, 2}) != 5 || minOf([]float64{3, 1, 2}) != 1 {
+		t.Error("max/min wrong")
+	}
+	if ratio(1, 0) != 0 || ratio(6, 3) != 2 {
+		t.Error("ratio wrong")
+	}
+	if joinShort([]string{"omnetpp", "mcf"}) != "omne,mcf" {
+		t.Errorf("joinShort = %q", joinShort([]string{"omnetpp", "mcf"}))
+	}
+	if pct(0.125) != "12.5%" || f2(1.234) != "1.23" || f3(1.2345) != "1.234" || itoa(7) != "7" {
+		t.Error("formatters wrong")
+	}
+}
+
+func TestTableIIIMixesForWidening(t *testing.T) {
+	m4 := tableIIIMixesFor(4)
+	if len(m4[0].Members) != 4 {
+		t.Fatal("4-core mixes wrong width")
+	}
+	m8 := tableIIIMixesFor(8)
+	for _, m := range m8 {
+		if len(m.Members) != 8 {
+			t.Fatalf("%s: width %d", m.Name, len(m.Members))
+		}
+		for j := 0; j < 4; j++ {
+			if m.Members[j] != m.Members[j+4] {
+				t.Fatalf("%s: widening did not repeat members", m.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestExtRRIPTable(t *testing.T) {
+	tab := ExtRRIP(tiny())
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want LRU and RRIP", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "LRU" || tab.Rows[1][0] != "RRIP" {
+		t.Fatalf("row labels: %v / %v", tab.Rows[0][0], tab.Rows[1][0])
+	}
+	// LAP must stay the best policy under both replacement families.
+	for _, row := range tab.Rows {
+		lapV := parseCell(t, row[4])
+		for i := 1; i < 4; i++ {
+			if lapV > parseCell(t, row[i])+0.02 {
+				t.Errorf("%s: LAP (%.2f) worse than %s (%.2f)", row[0], lapV, tab.Header[i], parseCell(t, row[i]))
+			}
+		}
+	}
+}
+
+func TestExtFlipNWriteTable(t *testing.T) {
+	tab := ExtFlipNWrite(tiny())
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// LAP saves energy in both write-energy models, more in the uncoded
+	// one (FNW shrinks the pie LAP eats from).
+	base := parsePct(t, tab.Rows[0][2])
+	fnw := parsePct(t, tab.Rows[1][2])
+	if base <= 0 || fnw <= 0 {
+		t.Fatalf("LAP savings not positive: %v / %v", base, fnw)
+	}
+	if fnw >= base {
+		t.Fatalf("FNW-coded savings %.1f%% >= uncoded %.1f%%", fnw, base)
+	}
+}
+
+func TestExtSeedsTable(t *testing.T) {
+	opt := tiny()
+	opt.Accesses = 20_000
+	tab := ExtSeeds(opt)
+	if len(tab.Rows) != 11 { // 10 mixes + All
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if !strings.Contains(row[1], "±") || !strings.Contains(row[1], "n=") {
+			t.Fatalf("%s: malformed summary %q", row[0], row[1])
+		}
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	tab := Table1(tiny())
+	var sb strings.Builder
+	if err := tab.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# Table I") || !strings.Contains(out, "0.436") {
+		t.Fatalf("csv output:\n%s", out)
+	}
+	dir := t.TempDir()
+	path, err := tab.SaveCSV(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(path, ".csv") {
+		t.Fatalf("path %q", path)
+	}
+}
+
+func parseCell(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q: %v", s, err)
+	}
+	return v
+}
+
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	return parseCell(t, strings.TrimSuffix(s, "%"))
+}
+
+func TestExtDRAMOrderingStable(t *testing.T) {
+	tab := ExtDRAM(tiny())
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		lapV := parseCell(t, row[4])
+		for i := 1; i < 4; i++ {
+			if lapV > parseCell(t, row[i])+0.02 {
+				t.Errorf("%s: LAP (%.2f) worse than %s", row[0], lapV, tab.Header[i])
+			}
+		}
+	}
+}
+
+func TestExtPrefetchLAPStillWins(t *testing.T) {
+	tab := ExtPrefetch(tiny())
+	pfRow := tab.Rows[1]
+	lapV := parseCell(t, pfRow[4])
+	exV := parseCell(t, pfRow[1])
+	if lapV >= exV {
+		t.Fatalf("with prefetching, LAP (%.2f) not below exclusive (%.2f)", lapV, exV)
+	}
+	if lapV >= 1.0 {
+		t.Fatalf("with prefetching, LAP (%.2f) not below non-inclusive", lapV)
+	}
+}
+
+func TestExtDWBComposition(t *testing.T) {
+	// Dead-write training needs LLC evictions, so this test needs traces
+	// long enough to put the 8MB L3 under replacement pressure.
+	opt := tiny()
+	opt.Accesses = 120_000
+	tab := ExtDWB(opt)
+	avg := tab.Rows[len(tab.Rows)-1]
+	lapV := parseCell(t, avg[2])
+	lapDWB := parseCell(t, avg[3])
+	if lapDWB > lapV+0.01 {
+		t.Fatalf("LAP+DWB (%.2f) worse than LAP (%.2f): composition broke", lapDWB, lapV)
+	}
+	// Some writes must actually be bypassed on at least one mix.
+	sawBypass := false
+	for _, row := range tab.Rows[:len(tab.Rows)-1] {
+		if row[4] != "0" && row[4] != "" {
+			sawBypass = true
+		}
+	}
+	if !sawBypass {
+		t.Fatal("no writes bypassed anywhere")
+	}
+}

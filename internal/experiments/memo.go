@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Experiments share many (config, policy, mix) simulation runs — e.g. the
+// non-inclusive baseline appears in every figure. A process-wide memo
+// avoids recomputing them when cmd/lapexp regenerates several artifacts in
+// one invocation. Keys include every knob that affects a run.
+
+var memo = map[string]sim.Result{}
+
+// runKey builds the memo key. Config is a plain value struct, so %+v is a
+// complete fingerprint.
+func runKey(cfg sim.Config, policy string, mix workload.Mix, opt Options) string {
+	return fmt.Sprintf("%+v|%s|%s%v|%d|%d|%d", cfg, policy, mix.Name, mix.Members, opt.Accesses, opt.Seed, opt.DuelPeriod)
+}
+
+// run executes (or recalls) one simulation. policyName must uniquely
+// identify the controller the factory builds.
+func run(cfg sim.Config, policyName string, ctrl sim.Controller, mix workload.Mix, opt Options) sim.Result {
+	key := runKey(cfg, policyName, mix, opt)
+	if r, ok := memo[key]; ok {
+		return r
+	}
+	r := mustRun(cfg, ctrl, mix, opt)
+	memo[key] = r
+	return r
+}
+
+// runThreaded executes (or recalls) one coherent multi-threaded run.
+func runThreaded(cfg sim.Config, policyName string, ctrl sim.Controller, b workload.Benchmark, opt Options) sim.Result {
+	key := runKey(cfg, policyName+"|mt", workload.Mix{Name: b.Name}, opt)
+	if r, ok := memo[key]; ok {
+		return r
+	}
+	r := sim.RunThreaded(cfg, ctrl, b, opt.Accesses, opt.Seed)
+	memo[key] = r
+	return r
+}
+
+// ResetMemo clears the run cache (tests use it to bound memory).
+func ResetMemo() { memo = map[string]sim.Result{} }

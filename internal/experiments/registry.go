@@ -1,0 +1,52 @@
+package experiments
+
+// Registry maps artifact IDs to generators at the given scale; Order
+// returns the canonical presentation order (paper order).
+
+// Generator produces one artifact's table.
+type Generator func() *Table
+
+// Registry returns all artifact generators.
+func Registry(opt Options) map[string]Generator {
+	return map[string]Generator{
+		"table1": func() *Table { return Table1(opt) },
+		"table2": func() *Table { return Table2(opt) },
+		"table3": func() *Table { return Table3(opt) },
+		"table4": func() *Table { return Table4(opt) },
+		"fig2":   func() *Table { return Fig2(opt) },
+		"fig4":   func() *Table { return Fig4(opt) },
+		"fig6":   func() *Table { return Fig6(opt) },
+		"fig12":  func() *Table { return Fig12(opt) },
+		"fig13":  func() *Table { return Fig13(opt) },
+		"fig14":  func() *Table { return Fig14(opt) },
+		"fig15":  func() *Table { return Fig15(opt) },
+		"fig16":  func() *Table { return Fig16(opt) },
+		"fig17":  func() *Table { return Fig17(opt) },
+		"fig18":  func() *Table { return Fig18(opt) },
+		"fig19":  func() *Table { return Fig19(opt) },
+		"fig20":  func() *Table { return Fig20(opt) },
+		"fig21":  func() *Table { return Fig21(opt) },
+		"fig22":  func() *Table { return Fig22(opt) },
+		"fig23":  func() *Table { return Fig23(opt) },
+		"fig24":  func() *Table { return Fig24(opt) },
+		"fig25":  func() *Table { return Fig25(opt) },
+		// Extensions beyond the paper's artifacts.
+		"ext-rrip":  func() *Table { return ExtRRIP(opt) },
+		"ext-fnw":   func() *Table { return ExtFlipNWrite(opt) },
+		"ext-seeds": func() *Table { return ExtSeeds(opt) },
+		"ext-dram":  func() *Table { return ExtDRAM(opt) },
+		"ext-pf":    func() *Table { return ExtPrefetch(opt) },
+		"ext-dwb":   func() *Table { return ExtDWB(opt) },
+	}
+}
+
+// Order returns artifact IDs in the paper's presentation order.
+func Order() []string {
+	return []string{
+		"table1", "table2", "table3", "table4",
+		"fig2", "fig4", "fig6",
+		"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+		"fig20", "fig21", "fig22", "fig23", "fig24", "fig25",
+		"ext-rrip", "ext-fnw", "ext-seeds", "ext-dram", "ext-pf", "ext-dwb",
+	}
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/energy"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Table1 reproduces the paper's Table I: 2MB cache-bank characteristics.
+func Table1(Options) *Table {
+	s, m := energy.SRAM(), energy.STTRAM()
+	t := &Table{
+		ID:     "Table I",
+		Title:  "Characteristics of a 2MB SRAM and STT-RAM cache bank (22nm, 350K)",
+		Header: []string{"parameter", "SRAM", "STT-RAM"},
+	}
+	t.AddRow("Area (mm2)", fmt.Sprintf("%.2f", s.AreaMM2), fmt.Sprintf("%.2f", m.AreaMM2))
+	t.AddRow("Read latency (ns)", fmt.Sprintf("%.2f", s.ReadLatNS), fmt.Sprintf("%.2f", m.ReadLatNS))
+	t.AddRow("Write latency (ns)", fmt.Sprintf("%.2f", s.WriteLatNS), fmt.Sprintf("%.2f", m.WriteLatNS))
+	t.AddRow("Read energy (nJ/access)", fmt.Sprintf("%.3f", s.ReadNJ), fmt.Sprintf("%.3f", m.ReadNJ))
+	t.AddRow("Write energy (nJ/access)", fmt.Sprintf("%.3f", s.WriteNJ), fmt.Sprintf("%.3f", m.WriteNJ))
+	t.AddRow("Leakage power (mW)", fmt.Sprintf("%.3f", s.LeakMWPerBank), fmt.Sprintf("%.3f", m.LeakMWPerBank))
+	return t
+}
+
+// Table2 reproduces the paper's Table II: the simulated system.
+func Table2(Options) *Table {
+	cfg := sim.DefaultConfig()
+	t := &Table{
+		ID:     "Table II",
+		Title:  "System configuration",
+		Header: []string{"component", "configuration"},
+	}
+	t.AddRow("Cores", fmt.Sprintf("%d x %.0fGHz, OoO (BaseCPI %.2f, MLP %.0f)", cfg.Cores, cfg.ClockHz/1e9, cfg.BaseCPI, cfg.MLP))
+	t.AddRow("L1 D", fmt.Sprintf("private %dKB per core, %d-way LRU, %dB blocks, %d-cycle", cfg.L1SizeBytes>>10, cfg.L1Ways, cfg.BlockBytes, cfg.L1Cycles))
+	t.AddRow("L2", fmt.Sprintf("private %dKB per core, %d-way LRU, write-back, %d-cycle", cfg.L2SizeBytes>>10, cfg.L2Ways, cfg.L2Cycles))
+	t.AddRow("L3", fmt.Sprintf("shared %dMB, %d-way, %d banks, write-back write-allocate", cfg.L3SizeBytes>>20, cfg.L3Ways, cfg.L3Banks))
+	t.AddRow("L3 STT-RAM", fmt.Sprintf("%d-cycle read, %d-cycle write; r|w %.3f|%.3f nJ; leakage %.2f mW", cfg.STTReadCycles, cfg.STTWriteCycles, cfg.STTTech.ReadNJ, cfg.STTTech.WriteNJ, 4*cfg.STTTech.LeakMWPerBank))
+	t.AddRow("L3 SRAM", fmt.Sprintf("%d-cycle read, %d-cycle write; r|w %.3f|%.3f nJ; leakage %.2f mW", cfg.SRAMReadCycles, cfg.SRAMWriteCycles, cfg.SRAMTech.ReadNJ, cfg.SRAMTech.WriteNJ, 4*cfg.SRAMTech.LeakMWPerBank))
+	t.AddRow("L3 tag (SRAM)", fmt.Sprintf("leakage %.2f mW, dynamic %.3f nJ/access", energy.DefaultTag().LeakMW, energy.DefaultTag().DynNJ))
+	t.AddRow("Hybrid L3", "2MB SRAM (4-way) + 6MB STT-RAM (12-way)")
+	t.AddRow("Memory", fmt.Sprintf("%d-cycle (DDR3-1600 class)", cfg.MemCycles))
+	return t
+}
+
+// Table3 reproduces the paper's Table III: the selected workload mixes,
+// annotated with our measured write ratios.
+func Table3(opt Options) *Table {
+	cfg := sim.DefaultConfig()
+	t := &Table{
+		ID:     "Table III",
+		Title:  "Selected SPEC CPU2006 workload mixes (WL/WH: fewer/more writes under exclusion)",
+		Header: []string{"mix", "benchmarks", "measured Wrel"},
+	}
+	for _, mix := range workload.TableIII() {
+		b := baselines(cfg, mix, opt)
+		t.AddRow(mix.Name, strings.Join(mix.Members, ","), f2(b.Wrel()))
+	}
+	return t
+}
+
+// Table4 reproduces the paper's Table IV: the evaluated policies.
+func Table4(Options) *Table {
+	t := &Table{
+		ID:     "Table IV",
+		Title:  "Evaluated policies",
+		Header: []string{"policy", "description"},
+	}
+	t.AddRow("Non-inclusive", "baseline inclusion property; fills both levels, drops clean victims")
+	t.AddRow("Exclusive", "fills upper level only, invalidates on hit, inserts all victims")
+	t.AddRow("FLEXclusion", "duels non-inclusion vs exclusion on capacity/bandwidth demand")
+	t.AddRow("Dswitch", "duels non-inclusion vs exclusion weighing LLC writes by energy")
+	t.AddRow("LAP-LRU", "LAP data flow with plain LRU replacement")
+	t.AddRow("LAP-Loop", "LAP data flow, always evicting non-loop-blocks first")
+	t.AddRow("LAP", "LAP with set-dueling between LRU and loop-aware replacement")
+	t.AddRow("Lhybrid", "LAP plus loop-block-aware SRAM/STT-RAM data placement")
+	return t
+}

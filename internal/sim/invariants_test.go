@@ -1,0 +1,196 @@
+package sim
+
+// Integration tests asserting the structural invariants each inclusion
+// property promises, checked against the live cache state after a run.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// runMachine builds and runs a machine, returning it for inspection.
+func runMachine(cfg Config, ctrl core.Controller, b workload.Benchmark, accesses uint64) *machine {
+	m := build(cfg, ctrl, sourcesFor(b, cfg.Cores, accesses))
+	m.loop()
+	return m
+}
+
+// l2Duplication returns how many valid L2 lines have (dup) and lack
+// (nodup) a copy in the L3.
+func l2Duplication(m *machine) (dup, nodup int) {
+	for _, c := range m.cores {
+		for set := 0; set < c.l2.NumSets(); set++ {
+			for way := 0; way < c.l2.Ways(); way++ {
+				l := c.l2.Line(set, way)
+				if !l.Valid {
+					continue
+				}
+				if m.ctx.L3.Probe(l.Tag) >= 0 {
+					dup++
+				} else {
+					nodup++
+				}
+			}
+		}
+	}
+	return dup, nodup
+}
+
+func TestInvariantInclusive(t *testing.T) {
+	cfg := smallCfg()
+	m := runMachine(cfg, core.NewInclusive(), loopy(), 40000)
+	dup, nodup := l2Duplication(m)
+	if nodup != 0 {
+		t.Fatalf("inclusion violated: %d L2 lines missing from L3 (%d present)", nodup, dup)
+	}
+	// L1 must be included too.
+	for _, c := range m.cores {
+		for set := 0; set < c.l1.NumSets(); set++ {
+			for way := 0; way < c.l1.Ways(); way++ {
+				l := c.l1.Line(set, way)
+				if l.Valid && m.ctx.L3.Probe(l.Tag) < 0 {
+					t.Fatalf("inclusion violated at L1: block %#x", l.Tag)
+				}
+			}
+		}
+	}
+}
+
+func TestInvariantExclusive(t *testing.T) {
+	cfg := smallCfg()
+	m := runMachine(cfg, core.NewExclusive(), loopy(), 40000)
+	dup, nodup := l2Duplication(m)
+	// Exclusion keeps upper-level blocks out of the L3, with one known
+	// transient: an L1 dirty writeback can re-create an L2 line whose
+	// stale copy still sits in the L3 (the L2 is non-inclusive of the
+	// L1). Those duplicates must therefore all be dirty in the L2, and
+	// they must be rare.
+	if dup*10 > nodup {
+		t.Fatalf("exclusivity violated: %d duplicated vs %d exclusive L2 lines", dup, nodup)
+	}
+	for _, c := range m.cores {
+		for set := 0; set < c.l2.NumSets(); set++ {
+			for way := 0; way < c.l2.Ways(); way++ {
+				l := c.l2.Line(set, way)
+				if l.Valid && !l.Dirty && m.ctx.L3.Probe(l.Tag) >= 0 {
+					t.Fatalf("clean L2 block %#x duplicated in an exclusive L3", l.Tag)
+				}
+			}
+		}
+	}
+}
+
+func TestInvariantNonInclusiveMostlyDuplicates(t *testing.T) {
+	cfg := smallCfg()
+	m := runMachine(cfg, core.NewNonInclusive(), loopy(), 40000)
+	dup, nodup := l2Duplication(m)
+	// Non-inclusion holds "most" upper-level blocks (Section II-B); the
+	// exceptions are blocks whose L3 copy was replaced without
+	// back-invalidation.
+	if dup <= nodup {
+		t.Fatalf("non-inclusive L3 duplicates only %d of %d L2 lines", dup, dup+nodup)
+	}
+}
+
+func TestInvariantLAPKeepsLoopDuplicates(t *testing.T) {
+	cfg := smallCfg()
+	m := runMachine(cfg, core.NewLAP(), loopy(), 60000)
+	// LAP's promise: the duplicates it does keep skew toward loop-blocks
+	// (the data it pays capacity for), and dirty L3 lines only arise from
+	// dirty victims, never data-fills.
+	loopDup := 0
+	dup, _ := l2Duplication(m)
+	for _, c := range m.cores {
+		for set := 0; set < c.l2.NumSets(); set++ {
+			for way := 0; way < c.l2.Ways(); way++ {
+				l := c.l2.Line(set, way)
+				if l.Valid && l.Loop && m.ctx.L3.Probe(l.Tag) >= 0 {
+					loopDup++
+				}
+			}
+		}
+	}
+	if dup == 0 {
+		t.Fatal("LAP kept no duplicates at all on a loop workload")
+	}
+	if loopDup == 0 {
+		t.Fatal("none of LAP's duplicates are loop-blocks")
+	}
+	if m.ctx.Met.WritesFill != 0 {
+		t.Fatal("LAP data-filled the L3")
+	}
+}
+
+// TestInvariantVictimConsistency drives every policy and verifies global
+// accounting invariants that must hold regardless of policy.
+func TestInvariantAccounting(t *testing.T) {
+	cfg := smallCfg()
+	ctrls := []func() core.Controller{
+		func() core.Controller { return core.NewNonInclusive() },
+		func() core.Controller { return core.NewExclusive() },
+		func() core.Controller { return core.NewInclusive() },
+		func() core.Controller { return core.NewFLEXclusion() },
+		func() core.Controller { return core.NewDswitch(0.5, 0.436) },
+		func() core.Controller { return core.NewLAP() },
+	}
+	for _, mk := range ctrls {
+		ctrl := mk()
+		m := runMachine(cfg, ctrl, loopy(), 30000)
+		met := m.ctx.Met
+		if met.L3Hits+met.L3Misses != met.L3Accesses {
+			t.Errorf("%s: L3 accounting inconsistent", ctrl.Name())
+		}
+		if met.MemReads != met.L3Misses {
+			t.Errorf("%s: memory reads %d != LLC misses %d", ctrl.Name(), met.MemReads, met.L3Misses)
+		}
+		if met.L2CleanEvictions+met.L2DirtyEvictions != met.L2Evictions {
+			t.Errorf("%s: L2 eviction accounting inconsistent", ctrl.Name())
+		}
+		// The L3 can never hold more valid lines than its capacity.
+		if got, max := m.ctx.L3.FillCount(), m.ctx.L3.NumSets()*m.ctx.L3.Ways(); got > max {
+			t.Errorf("%s: L3 overfilled %d/%d", ctrl.Name(), got, max)
+		}
+	}
+}
+
+// TestInvariantHybridRegions verifies that, under Lhybrid, loop-blocks
+// accumulate in the STT-RAM region and dirty blocks skew toward SRAM.
+func TestInvariantHybridRegions(t *testing.T) {
+	cfg := smallCfg().WithHybridL3()
+	m := runMachine(cfg, core.NewLhybrid(), loopy(), 60000)
+	var sramDirty, sttDirty, sramLoop, sttLoop int
+	l3 := m.ctx.L3
+	for set := 0; set < l3.NumSets(); set++ {
+		for way := 0; way < l3.Ways(); way++ {
+			l := l3.Line(set, way)
+			if !l.Valid {
+				continue
+			}
+			if l3.IsSRAMWay(way) {
+				if l.Dirty {
+					sramDirty++
+				}
+				if l.Loop {
+					sramLoop++
+				}
+			} else {
+				if l.Dirty {
+					sttDirty++
+				}
+				if l.Loop {
+					sttLoop++
+				}
+			}
+		}
+	}
+	if sttLoop == 0 {
+		t.Fatal("no loop-blocks migrated to STT-RAM")
+	}
+	// The STT region is 3x the SRAM region; loop-blocks should dominate
+	// there relative to SRAM in per-way density.
+	if float64(sttLoop)/3 < float64(sramLoop)/4 {
+		t.Errorf("loop-block density: STT %d/12-way vs SRAM %d/4-way", sttLoop, sramLoop)
+	}
+}

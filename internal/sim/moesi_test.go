@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func TestMOESITrackerOnThreadedRun(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Coherent = true
+	cfg.TrackMOESI = true
+	// Small shared regions so the threads' windows genuinely overlap
+	// within a short run.
+	b := workload.Benchmark{
+		Name: "sharing", InstrPerAccess: 2, Threaded: true,
+		Regions: []workload.Region{
+			{Kind: workload.Loop, Blocks: 512, Weight: 0.5, Shared: true},
+			{Kind: workload.RMW, Blocks: 256, Weight: 0.3, WriteFrac: 0.6, Shared: true},
+			{Kind: workload.Hot, Blocks: 64, Weight: 0.2, WriteFrac: 0.3},
+		},
+	}
+	srcs := ThreadSources(b, cfg.Cores, 30000, 5)
+	r := Run(cfg, core.NewLAP(), srcs)
+	if r.MOESIViolation != "" {
+		t.Fatalf("MOESI invariant violated: %s", r.MOESIViolation)
+	}
+	if r.MOESI.Reads == 0 || r.MOESI.Writes == 0 {
+		t.Fatalf("tracker saw no traffic: %+v", r.MOESI)
+	}
+	// Shared read-mostly data must produce genuine sharing.
+	if r.MOESIOccupancy[coherence.Shared] == 0 {
+		t.Fatalf("no Shared-state lines on a shared workload: %v", r.MOESIOccupancy)
+	}
+	// Dirty shared data produces Owned or Modified lines.
+	if r.MOESIOccupancy[coherence.Modified]+r.MOESIOccupancy[coherence.Owned] == 0 {
+		t.Fatalf("no dirty coherence states: %v", r.MOESIOccupancy)
+	}
+	if r.MOESI.CacheSupplies == 0 {
+		t.Fatal("no cache-to-cache supplies on shared data")
+	}
+}
+
+func TestMOESITrackerOffByDefault(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Coherent = true
+	b, _ := workload.ByName("streamcluster")
+	r := Run(cfg, core.NewLAP(), ThreadSources(b, cfg.Cores, 5000, 5))
+	if r.MOESIOccupancy != nil || r.MOESI.Reads != 0 {
+		t.Fatal("MOESI tracker ran without TrackMOESI")
+	}
+}

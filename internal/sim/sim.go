@@ -1,0 +1,605 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/energy"
+	"repro/internal/trace"
+)
+
+// Result summarises one simulation run.
+type Result struct {
+	// Policy names the inclusion controller that ran.
+	Policy string
+	// Met holds the raw event counts.
+	Met core.Metrics
+	// EPI is the LLC energy-per-instruction breakdown (the paper's
+	// headline metric).
+	EPI energy.Breakdown
+	// TotalNJ is the total LLC energy of the run.
+	TotalNJ float64
+	// IPCs holds the per-core instructions-per-cycle; Throughput is their
+	// sum (the paper's multi-programmed performance metric).
+	IPCs       []float64
+	Throughput float64
+	// Cycles is the runtime (slowest core).
+	Cycles uint64
+	// Prof holds redundancy/CTC statistics when profiling was enabled.
+	Prof *core.Profiler
+	// Snoop holds coherence-bus statistics for coherent runs.
+	Snoop coherence.Stats
+	// DRAM holds row-buffer statistics when the DRAM model was enabled.
+	DRAM dram.Stats
+	// MOESI holds reference-protocol statistics for TrackMOESI runs;
+	// MOESIOccupancy is the end-of-run state mix and MOESIViolation the
+	// first invariant violation ("" when the protocol stayed consistent).
+	MOESI          coherence.DirectoryStats
+	MOESIOccupancy map[coherence.MOESIState]int
+	MOESIViolation string
+}
+
+// MPKI returns LLC misses per kilo-instruction.
+func (r Result) MPKI() float64 { return r.Met.MPKI() }
+
+// coreState is one core's private hierarchy and progress.
+type coreState struct {
+	id     int
+	l1, l2 *cache.Cache
+	src    trace.Source
+	cycles float64
+	instrs uint64
+	nAcc   uint64
+	done   bool
+}
+
+// machine is the assembled simulator.
+type machine struct {
+	cfg   Config
+	cores []*coreState
+	ctx   *core.Ctx
+	ctrl  core.Controller
+	bus   *coherence.Bus
+	mem   *dram.Memory
+	moesi *coherence.Directory
+
+	// Warmup baselines, captured when the measurement window opens so
+	// that reported metrics cover only the post-warmup region.
+	warmupDone bool
+	baseMet    core.Metrics
+	baseSnoop  coherence.Stats
+	baseMeter  meterSnapshot
+	baseCycles []float64
+	baseInstrs []uint64
+}
+
+// meterSnapshot freezes the energy meter's counters at a point in time.
+type meterSnapshot struct {
+	tag    uint64
+	reads  [2]uint64
+	writes [2]uint64
+}
+
+// Run simulates srcs (one per core) under the given inclusion controller
+// and returns the collected metrics. It panics on configuration misuse
+// (wrong source count), since that is a programming error.
+func Run(cfg Config, ctrl core.Controller, srcs []trace.Source) Result {
+	if len(srcs) != cfg.Cores {
+		panic(fmt.Sprintf("sim: %d sources for %d cores", len(srcs), cfg.Cores))
+	}
+	m := build(cfg, ctrl, srcs)
+	m.loop()
+	return m.result()
+}
+
+func build(cfg Config, ctrl core.Controller, srcs []trace.Source) *machine {
+	l3 := cache.New(cache.Config{
+		Name: "L3", SizeBytes: cfg.L3SizeBytes, Ways: cfg.L3Ways,
+		BlockBytes: cfg.BlockBytes, SRAMWays: cfg.L3SRAMWays,
+		Replacement: cfg.L3Replacement,
+	})
+	var meter *energy.Meter
+	readCyc := [2]uint64{cfg.L3ReadCycles, cfg.L3ReadCycles}
+	writeCyc := [2]uint64{cfg.L3WriteCycles, cfg.L3WriteCycles}
+	if cfg.hybrid() {
+		sramBytes := int64(cfg.L3SizeBytes) * int64(cfg.L3SRAMWays) / int64(cfg.L3Ways)
+		sttBytes := int64(cfg.L3SizeBytes) - sramBytes
+		meter = energy.Hybrid(cfg.ClockHz, cfg.SRAMTech, cfg.STTTech, sramBytes, sttBytes)
+		readCyc = [2]uint64{cfg.SRAMReadCycles, cfg.STTReadCycles}
+		writeCyc = [2]uint64{cfg.SRAMWriteCycles, cfg.STTWriteCycles}
+	} else {
+		meter = energy.SingleTech(cfg.ClockHz, cfg.L3Tech, int64(cfg.L3SizeBytes))
+	}
+	occ := func(lat uint64) uint64 {
+		frac := cfg.BankOccupancyFrac
+		if frac <= 0 || frac > 1 {
+			frac = 1
+		}
+		o := uint64(float64(lat) * frac)
+		if o < 1 {
+			o = 1
+		}
+		return o
+	}
+	ctx := &core.Ctx{
+		L3:        l3,
+		E:         meter,
+		Met:       &core.Metrics{},
+		Banks:     core.NewBanks(cfg.L3Banks),
+		ReadCyc:   readCyc,
+		WriteCyc:  writeCyc,
+		ReadOcc:   [2]uint64{occ(readCyc[0]), occ(readCyc[1])},
+		WriteOcc:  [2]uint64{occ(writeCyc[0]), occ(writeCyc[1])},
+		MemCycles: cfg.MemCycles,
+	}
+	if cfg.Profile {
+		ctx.Prof = core.NewProfiler()
+	}
+	m := &machine{cfg: cfg, ctx: ctx, ctrl: ctrl}
+	if cfg.UseDRAM {
+		dcfg := cfg.DRAM
+		if dcfg.Banks == 0 {
+			dcfg = dram.DDR3_1600()
+		}
+		m.mem = dram.New(dcfg)
+		blockBytes := uint64(cfg.BlockBytes)
+		ctx.MemAccess = func(block, now uint64, write bool) uint64 {
+			return m.mem.Access(block*blockBytes, now, write)
+		}
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		m.cores = append(m.cores, &coreState{
+			id: i,
+			l1: cache.New(cache.Config{Name: "L1", SizeBytes: cfg.L1SizeBytes,
+				Ways: cfg.L1Ways, BlockBytes: cfg.BlockBytes}),
+			l2: cache.New(cache.Config{Name: "L2", SizeBytes: cfg.L2SizeBytes,
+				Ways: cfg.L2Ways, BlockBytes: cfg.BlockBytes}),
+			src: srcs[i],
+		})
+	}
+	if cfg.Coherent {
+		peers := make([]coherence.Peer, len(m.cores))
+		for i, c := range m.cores {
+			peers[i] = (*corePeer)(c)
+		}
+		m.bus = coherence.NewBus(peers)
+		if cfg.TrackMOESI {
+			m.moesi = coherence.NewDirectory(cfg.Cores)
+		}
+	}
+	if _, ok := ctrl.(*core.Inclusive); ok {
+		ctx.BackInvalidate = m.backInvalidate
+	}
+	return m
+}
+
+// loop advances the least-progressed active core one access at a time,
+// which interleaves the cores' LLC traffic in timestamp order.
+func (m *machine) loop() {
+	for {
+		var next *coreState
+		for _, c := range m.cores {
+			if c.done {
+				continue
+			}
+			if next == nil || c.cycles < next.cycles {
+				next = c
+			}
+		}
+		if next == nil {
+			break
+		}
+		acc, ok := next.src.Next()
+		if !ok {
+			next.done = true
+			continue
+		}
+		m.step(next, acc)
+		next.nAcc++
+		if !m.warmupDone && m.cfg.WarmupAccessesPerCore > 0 {
+			m.maybeEndWarmup()
+		}
+		if m.cfg.MaxAccessesPerCore > 0 && next.nAcc >= m.cfg.MaxAccessesPerCore+m.cfg.WarmupAccessesPerCore {
+			next.done = true
+		}
+	}
+	if m.ctx.Prof != nil {
+		m.ctx.Prof.Finish()
+	}
+}
+
+// maybeEndWarmup opens the measurement window once every core has
+// finished its warmup quota, snapshotting the counters accumulated so
+// far so they can be subtracted from the final report.
+func (m *machine) maybeEndWarmup() {
+	for _, c := range m.cores {
+		if !c.done && c.nAcc < m.cfg.WarmupAccessesPerCore {
+			return
+		}
+	}
+	m.warmupDone = true
+	m.baseMet = *m.ctx.Met
+	if m.bus != nil {
+		m.baseSnoop = m.bus.Stats
+	}
+	m.baseMeter = meterSnapshot{tag: m.ctx.E.TagAccesses}
+	for i := range m.ctx.E.Regions {
+		m.baseMeter.reads[i] = m.ctx.E.Regions[i].Reads
+		m.baseMeter.writes[i] = m.ctx.E.Regions[i].Writes
+	}
+	m.baseCycles = make([]float64, len(m.cores))
+	m.baseInstrs = make([]uint64, len(m.cores))
+	for i, c := range m.cores {
+		m.baseCycles[i] = c.cycles
+		m.baseInstrs[i] = c.instrs
+	}
+	if m.ctx.Prof != nil {
+		// Redundancy statistics restart with the measurement window.
+		m.ctx.Prof = core.NewProfiler()
+	}
+}
+
+// subtractBaselines removes warmup-era counts from the final metrics.
+func (m *machine) subtractBaselines() {
+	if !m.warmupDone {
+		return
+	}
+	met, base := m.ctx.Met, &m.baseMet
+	met.L3Accesses -= base.L3Accesses
+	met.L3Hits -= base.L3Hits
+	met.L3Misses -= base.L3Misses
+	met.WritesFill -= base.WritesFill
+	met.WritesDirty -= base.WritesDirty
+	met.WritesClean -= base.WritesClean
+	met.MigrationWrites -= base.MigrationWrites
+	met.TagOnlyUpdates -= base.TagOnlyUpdates
+	met.L3Evictions -= base.L3Evictions
+	met.L3DirtyEvictions -= base.L3DirtyEvictions
+	met.MemReads -= base.MemReads
+	met.MemWrites -= base.MemWrites
+	met.BackInvalidations -= base.BackInvalidations
+	met.L1Accesses -= base.L1Accesses
+	met.L1Misses -= base.L1Misses
+	met.L2Accesses -= base.L2Accesses
+	met.L2Misses -= base.L2Misses
+	met.L2Evictions -= base.L2Evictions
+	met.L2CleanEvictions -= base.L2CleanEvictions
+	met.L2DirtyEvictions -= base.L2DirtyEvictions
+	met.SnoopDirtyTransfers -= base.SnoopDirtyTransfers
+	met.Prefetches -= base.Prefetches
+	met.BypassedWrites -= base.BypassedWrites
+	if m.bus != nil {
+		m.bus.Stats.Probes -= m.baseSnoop.Probes
+		m.bus.Stats.Broadcasts -= m.baseSnoop.Broadcasts
+		m.bus.Stats.DirtyTransfers -= m.baseSnoop.DirtyTransfers
+		m.bus.Stats.Invalidations -= m.baseSnoop.Invalidations
+		m.bus.Stats.MemMessages -= m.baseSnoop.MemMessages
+	}
+	m.ctx.E.TagAccesses -= m.baseMeter.tag
+	for i := range m.ctx.E.Regions {
+		m.ctx.E.Regions[i].Reads -= m.baseMeter.reads[i]
+		m.ctx.E.Regions[i].Writes -= m.baseMeter.writes[i]
+	}
+}
+
+// step processes one access on core c.
+func (m *machine) step(c *coreState, acc trace.Access) {
+	cfg := &m.cfg
+	c.instrs += uint64(acc.Instrs)
+	c.cycles += cfg.BaseCPI * float64(acc.Instrs)
+	m.ctx.Now = uint64(c.cycles)
+
+	block := acc.Addr / uint64(cfg.BlockBytes)
+	lat := m.access(c, block, acc.Write)
+	if m.moesi != nil {
+		if acc.Write {
+			m.moesi.Write(c.id, block)
+		} else {
+			m.moesi.Read(c.id, block)
+		}
+	}
+
+	// Latency beyond the (pipelined) L1 stalls the core, divided by the
+	// memory-level parallelism the OoO window extracts; stores stall only
+	// for the un-buffered fraction.
+	penalty := 0.0
+	if lat > cfg.L1Cycles {
+		penalty = float64(lat-cfg.L1Cycles) / cfg.MLP
+		if acc.Write {
+			penalty *= cfg.StoreStallFrac
+		}
+	}
+	c.cycles += penalty
+}
+
+// access performs the hierarchy walk and returns the access latency.
+func (m *machine) access(c *coreState, block uint64, write bool) uint64 {
+	cfg := &m.cfg
+	met := m.ctx.Met
+	met.L1Accesses++
+
+	if write && m.ctx.Prof != nil {
+		m.ctx.Prof.OnL2Write(block)
+	}
+
+	// L1.
+	if w := c.l1.Lookup(block); w >= 0 {
+		set := c.l1.SetOf(block)
+		l := c.l1.Line(set, w)
+		if write {
+			m.onWriteHit(c, block, l)
+			l.Dirty = true
+		}
+		return cfg.L1Cycles
+	}
+	met.L1Misses++
+	met.L2Accesses++
+
+	// L2.
+	if w := c.l2.Lookup(block); w >= 0 {
+		set := c.l2.SetOf(block)
+		l := c.l2.Line(set, w)
+		if write {
+			m.onWriteHit(c, block, l)
+			l.Loop = false // a written block is no loop-block (Fig. 10a)
+		}
+		m.fillL1(c, block, write, l.Shared)
+		return cfg.L1Cycles + cfg.L2Cycles
+	}
+	met.L2Misses++
+
+	// Coherence snoop before going to the LLC.
+	shared := false
+	if m.bus != nil {
+		res := m.bus.OnMiss(c.id, block)
+		shared = res.SharedElsewhere
+		if res.SuppliedDirty {
+			met.SnoopDirtyTransfers++
+			// Cache-to-cache supply: the requester inherits ownership of
+			// the dirty data; the LLC is not consulted.
+			m.installL2(c, block, true, false, shared)
+			m.fillL1(c, block, write, shared)
+			if write {
+				m.busWrite(c, block)
+			}
+			return cfg.L1Cycles + cfg.L2Cycles + cfg.SnoopCycles
+		}
+	}
+
+	// LLC via the inclusion controller.
+	m.ctx.Now = uint64(c.cycles)
+	r := m.ctrl.Fetch(m.ctx, block)
+	if !r.Hit && m.bus != nil {
+		m.bus.OnLLCMiss()
+	}
+	m.installL2(c, block, write, r.Loop && !write, shared)
+	m.fillL1(c, block, write, shared)
+	if write && shared {
+		m.busWrite(c, block)
+	}
+	m.prefetch(c, block)
+	return cfg.L1Cycles + cfg.L2Cycles + r.Lat
+}
+
+// prefetch issues next-line prefetches into the L2 after a demand miss.
+// Prefetches run through the inclusion controller like demand fetches
+// (they cost LLC energy and bank time) but never stall the core.
+func (m *machine) prefetch(c *coreState, block uint64) {
+	for d := 1; d <= m.cfg.PrefetchDegree; d++ {
+		pb := block + uint64(d)
+		if c.l2.Probe(pb) >= 0 || c.l1.Probe(pb) >= 0 {
+			continue
+		}
+		m.ctx.Now = uint64(c.cycles)
+		r := m.ctrl.Fetch(m.ctx, pb)
+		if !r.Hit && m.bus != nil {
+			m.bus.OnLLCMiss()
+		}
+		m.installL2(c, pb, false, r.Loop, false)
+		m.ctx.Met.Prefetches++
+	}
+}
+
+// onWriteHit handles a store that hit a private-cache line: shared copies
+// elsewhere are invalidated, and the L2 duplicate's loop-bit is cleared.
+func (m *machine) onWriteHit(c *coreState, block uint64, l *cache.Line) {
+	if l.Shared {
+		m.busWrite(c, block)
+		l.Shared = false
+	}
+	if w := c.l2.Probe(block); w >= 0 {
+		c.l2.Line(c.l2.SetOf(block), w).Loop = false
+	}
+}
+
+// busWrite broadcasts a write-invalidation for a shared block.
+func (m *machine) busWrite(c *coreState, block uint64) {
+	if m.bus != nil {
+		m.bus.OnWriteShared(c.id, block)
+	}
+}
+
+// fillL1 installs a block into the L1, writing back the victim into the
+// L2 (allocating there if needed, since the L2 is non-inclusive of L1).
+func (m *machine) fillL1(c *coreState, block uint64, write, shared bool) {
+	if w := c.l1.Probe(block); w >= 0 {
+		set := c.l1.SetOf(block)
+		l := c.l1.Line(set, w)
+		l.Dirty = l.Dirty || write
+		l.Shared = l.Shared || shared
+		c.l1.Touch(set, w)
+		return
+	}
+	set := c.l1.SetOf(block)
+	way := c.l1.LRUVictim(set)
+	if v, ok := c.l1.Evict(set, way); ok && v.Dirty {
+		m.writebackL1Victim(c, v)
+	}
+	c.l1.InsertAt(set, way, block, write, false)
+	c.l1.Line(set, way).Shared = shared
+}
+
+// writebackL1Victim merges a dirty L1 victim into the L2.
+func (m *machine) writebackL1Victim(c *coreState, v cache.Line) {
+	if w := c.l2.Probe(v.Tag); w >= 0 {
+		set := c.l2.SetOf(v.Tag)
+		l := c.l2.Line(set, w)
+		l.Dirty = true
+		l.Loop = false
+		c.l2.Touch(set, w)
+		return
+	}
+	// The L2 no longer holds the block (non-inclusive): allocate it.
+	m.installL2(c, v.Tag, true, false, v.Shared)
+}
+
+// installL2 places a block into the L2, handing the victim to the
+// inclusion controller.
+func (m *machine) installL2(c *coreState, block uint64, dirty, loop, shared bool) {
+	if w := c.l2.Probe(block); w >= 0 {
+		set := c.l2.SetOf(block)
+		l := c.l2.Line(set, w)
+		l.Dirty = l.Dirty || dirty
+		l.Loop = loop
+		l.Shared = l.Shared || shared
+		c.l2.Touch(set, w)
+		return
+	}
+	set := c.l2.SetOf(block)
+	way := c.l2.LRUVictim(set)
+	if v, ok := c.l2.Evict(set, way); ok {
+		m.onL2Evict(c, v)
+	}
+	c.l2.InsertAt(set, way, block, dirty, loop)
+	c.l2.Line(set, way).Shared = shared
+}
+
+// onL2Evict routes an L2 victim to the inclusion controller.
+func (m *machine) onL2Evict(c *coreState, v cache.Line) {
+	if m.moesi != nil && c.l1.Probe(v.Tag) < 0 {
+		m.moesi.Evict(c.id, v.Tag)
+	}
+	met := m.ctx.Met
+	met.L2Evictions++
+	if v.Dirty {
+		met.L2DirtyEvictions++
+	} else {
+		met.L2CleanEvictions++
+	}
+	if m.ctx.Prof != nil {
+		m.ctx.Prof.OnL2Evict(v.Tag, v.Dirty)
+	}
+	m.ctx.Now = uint64(c.cycles)
+	m.ctrl.EvictL2(m.ctx, v)
+}
+
+// backInvalidate enforces strict inclusion: every upper-level copy of the
+// block is removed; reports whether a dirty copy existed.
+func (m *machine) backInvalidate(block uint64) bool {
+	dirty := false
+	for _, c := range m.cores {
+		if l, ok := c.l1.Invalidate(block); ok && l.Dirty {
+			dirty = true
+		}
+		if l, ok := c.l2.Invalidate(block); ok && l.Dirty {
+			dirty = true
+		}
+	}
+	return dirty
+}
+
+// corePeer adapts a coreState to the coherence.Peer interface.
+type corePeer coreState
+
+// ProbeBlock implements coherence.Peer.
+func (p *corePeer) ProbeBlock(block uint64, downgrade bool) (found, dirty bool) {
+	c := (*coreState)(p)
+	if w := c.l1.Probe(block); w >= 0 {
+		l := c.l1.Line(c.l1.SetOf(block), w)
+		found = true
+		if l.Dirty {
+			dirty = true
+			if downgrade {
+				l.Dirty = false
+			}
+		}
+		l.Shared = true
+	}
+	if w := c.l2.Probe(block); w >= 0 {
+		l := c.l2.Line(c.l2.SetOf(block), w)
+		found = true
+		if l.Dirty {
+			dirty = true
+			if downgrade {
+				l.Dirty = false
+			}
+		}
+		l.Shared = true
+	}
+	return found, dirty
+}
+
+// DropBlock implements coherence.Peer.
+func (p *corePeer) DropBlock(block uint64) {
+	c := (*coreState)(p)
+	c.l1.Invalidate(block)
+	c.l2.Invalidate(block)
+}
+
+// result assembles the Result.
+func (m *machine) result() Result {
+	m.subtractBaselines()
+	met := m.ctx.Met
+	var maxCycles float64
+	var totalInstr uint64
+	ipcs := make([]float64, len(m.cores))
+	throughput := 0.0
+	for i, c := range m.cores {
+		cycles, instrs := c.cycles, c.instrs
+		if m.warmupDone {
+			cycles -= m.baseCycles[i]
+			instrs -= m.baseInstrs[i]
+		}
+		if cycles > maxCycles {
+			maxCycles = cycles
+		}
+		totalInstr += instrs
+		if cycles > 0 {
+			ipcs[i] = float64(instrs) / cycles
+		}
+		throughput += ipcs[i]
+	}
+	met.Instructions = totalInstr
+	met.Cycles = uint64(maxCycles)
+	if m.bus != nil {
+		met.SnoopProbes = m.bus.Stats.Probes
+		met.SnoopTraffic = m.bus.Stats.Traffic()
+	}
+	res := Result{
+		Policy:     m.ctrl.Name(),
+		Met:        *met,
+		IPCs:       ipcs,
+		Throughput: throughput,
+		Cycles:     met.Cycles,
+		Prof:       m.ctx.Prof,
+	}
+	if m.bus != nil {
+		res.Snoop = m.bus.Stats
+	}
+	if m.mem != nil {
+		res.DRAM = m.mem.Stats
+	}
+	if m.moesi != nil {
+		res.MOESI = m.moesi.Stats
+		res.MOESIOccupancy = m.moesi.Occupancy()
+		res.MOESIViolation = m.moesi.CheckInvariants()
+	}
+	if totalInstr > 0 {
+		res.EPI = m.ctx.E.EPI(met.Cycles, totalInstr)
+	}
+	res.TotalNJ = m.ctx.E.TotalNJ(met.Cycles)
+	return res
+}

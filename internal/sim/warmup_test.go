@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func TestWarmupExcludesColdMisses(t *testing.T) {
+	cfg := smallCfg()
+	cold := Run(cfg, core.NewNonInclusive(), sourcesFor(loopy(), 2, 60000))
+
+	warm := cfg
+	warm.WarmupAccessesPerCore = 20000
+	warmed := Run(warm, core.NewNonInclusive(), sourcesFor(loopy(), 2, 80000))
+
+	// Both measure ~60k accesses per core, but the warmed run starts with
+	// hot caches: its measured MPKI must be lower.
+	if warmed.MPKI() >= cold.MPKI() {
+		t.Fatalf("warmup did not reduce measured MPKI: %.3f vs %.3f", warmed.MPKI(), cold.MPKI())
+	}
+	if warmed.Met.Instructions == 0 || warmed.Met.Instructions >= cold.Met.Instructions*2 {
+		t.Fatalf("measured instructions off: %d", warmed.Met.Instructions)
+	}
+}
+
+func TestWarmupAccountingConsistent(t *testing.T) {
+	cfg := smallCfg()
+	cfg.WarmupAccessesPerCore = 10000
+	r := Run(cfg, core.NewLAP(), sourcesFor(loopy(), 2, 40000))
+	met := r.Met
+	if met.L3Hits+met.L3Misses != met.L3Accesses {
+		t.Fatal("post-warmup L3 accounting inconsistent")
+	}
+	if met.L2CleanEvictions+met.L2DirtyEvictions != met.L2Evictions {
+		t.Fatal("post-warmup L2 accounting inconsistent")
+	}
+	if met.MemReads != met.L3Misses {
+		t.Fatal("post-warmup memory accounting inconsistent")
+	}
+	if r.EPI.Total() <= 0 || r.Throughput <= 0 {
+		t.Fatal("warmed run produced empty results")
+	}
+}
+
+func TestWarmupWithMaxAccesses(t *testing.T) {
+	cfg := smallCfg()
+	cfg.WarmupAccessesPerCore = 5000
+	cfg.MaxAccessesPerCore = 10000
+	// Endless sources: the run must stop at warmup+max per core.
+	srcs := sourcesFor(loopy(), 2, 1<<40)
+	r := Run(cfg, core.NewExclusive(), srcs)
+	// The warmup window closes when the slowest core finishes its quota,
+	// so cores that ran ahead donate a few accesses to warmup; the
+	// measured count is bounded by (max, max+slack).
+	if r.Met.L1Accesses > 2*10000 || r.Met.L1Accesses < 2*10000-500 {
+		t.Fatalf("measured accesses = %d, want ~%d", r.Met.L1Accesses, 2*10000)
+	}
+}
+
+func TestWarmupCoherentRun(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Coherent = true
+	cfg.WarmupAccessesPerCore = 5000
+	b, err := workload.ByName("streamcluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := ThreadSources(b, cfg.Cores, 20000, 3)
+	r := Run(cfg, core.NewNonInclusive(), srcs)
+	if r.Snoop.Probes == 0 {
+		t.Fatal("coherent warmed run lost snoop stats")
+	}
+	if r.Met.SnoopTraffic == 0 {
+		t.Fatal("snoop traffic empty after warmup subtraction")
+	}
+}

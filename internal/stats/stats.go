@@ -1,0 +1,117 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses for multi-seed stability studies: streaming (Welford)
+// moments, summaries, and Student-t confidence intervals. The paper
+// reports single long runs; our shorter synthetic runs instead quantify
+// run-to-run variation across workload seeds (Ext. Seeds).
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Stream accumulates moments online via Welford's algorithm; the zero
+// value is ready to use.
+type Stream struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add incorporates one observation.
+func (s *Stream) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the observation count.
+func (s *Stream) N() int { return s.n }
+
+// Mean returns the running mean (0 when empty).
+func (s *Stream) Mean() float64 { return s.mean }
+
+// Variance returns the unbiased sample variance.
+func (s *Stream) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Stream) Std() float64 { return math.Sqrt(s.Variance()) }
+
+// Min and Max return the extremes (0 when empty).
+func (s *Stream) Min() float64 { return s.min }
+
+// Max returns the maximum observation.
+func (s *Stream) Max() float64 { return s.max }
+
+// Summary freezes a stream's statistics.
+type Summary struct {
+	N          int
+	Mean, Std  float64
+	Min, Max   float64
+	CI95Radius float64
+}
+
+// Summarize computes the summary of a sample.
+func Summarize(xs []float64) Summary {
+	var s Stream
+	for _, x := range xs {
+		s.Add(x)
+	}
+	return s.Summary()
+}
+
+// Summary freezes the stream.
+func (s *Stream) Summary() Summary {
+	return Summary{
+		N: s.n, Mean: s.Mean(), Std: s.Std(),
+		Min: s.min, Max: s.max,
+		CI95Radius: s.CI95Radius(),
+	}
+}
+
+// CI95Radius returns the half-width of the 95% confidence interval of
+// the mean, using the Student-t critical value for small samples.
+func (s *Stream) CI95Radius() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return tCrit95(s.n-1) * s.Std() / math.Sqrt(float64(s.n))
+}
+
+// String renders "mean ± radius [min, max] (n)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.3f±%.3f [%.3f,%.3f] (n=%d)", s.Mean, s.CI95Radius, s.Min, s.Max, s.N)
+}
+
+// tCrit95 returns the two-sided 95% Student-t critical value for df
+// degrees of freedom (exact table through 30, asymptote beyond).
+func tCrit95(df int) float64 {
+	table := []float64{ // df 1..30
+		12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+		2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+	}
+	if df <= 0 {
+		return math.Inf(1)
+	}
+	if df <= len(table) {
+		return table[df-1]
+	}
+	return 1.960
+}

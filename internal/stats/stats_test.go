@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestStreamBasics(t *testing.T) {
+	var s Stream
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 || !almost(s.Mean(), 5, 1e-12) {
+		t.Fatalf("n=%d mean=%v", s.N(), s.Mean())
+	}
+	// Sample variance of this classic dataset is 32/7.
+	if !almost(s.Variance(), 32.0/7, 1e-9) {
+		t.Fatalf("variance = %v", s.Variance())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	var s Stream
+	if s.Mean() != 0 || s.Std() != 0 || s.CI95Radius() != 0 {
+		t.Fatal("empty stream must be all zeros")
+	}
+	s.Add(3)
+	if s.Mean() != 3 || s.Variance() != 0 || s.CI95Radius() != 0 {
+		t.Fatal("single observation stats wrong")
+	}
+	if s.Min() != 3 || s.Max() != 3 {
+		t.Fatal("single observation extremes wrong")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	sum := Summarize([]float64{1, 2, 3})
+	if sum.N != 3 || !almost(sum.Mean, 2, 1e-12) || !almost(sum.Std, 1, 1e-12) {
+		t.Fatalf("summary: %+v", sum)
+	}
+	// df=2 -> t=4.303; radius = 4.303*1/sqrt(3).
+	want := 4.303 / math.Sqrt(3)
+	if !almost(sum.CI95Radius, want, 1e-9) {
+		t.Fatalf("CI radius = %v, want %v", sum.CI95Radius, want)
+	}
+	if !strings.Contains(sum.String(), "n=3") {
+		t.Fatalf("String: %s", sum.String())
+	}
+}
+
+func TestTCrit(t *testing.T) {
+	if tCrit95(1) != 12.706 || tCrit95(30) != 2.042 {
+		t.Fatal("t table drifted")
+	}
+	if tCrit95(1000) != 1.960 {
+		t.Fatal("asymptotic t wrong")
+	}
+	if !math.IsInf(tCrit95(0), 1) {
+		t.Fatal("df=0 must be infinite")
+	}
+}
+
+// Property: Welford agrees with the two-pass computation.
+func TestPropertyWelfordMatchesTwoPass(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 51))
+		m := int(n%50) + 2
+		xs := make([]float64, m)
+		var s Stream
+		for i := range xs {
+			xs[i] = rng.Float64()*100 - 50
+			s.Add(xs[i])
+		}
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(m)
+		varSum := 0.0
+		for _, x := range xs {
+			varSum += (x - mean) * (x - mean)
+		}
+		variance := varSum / float64(m-1)
+		return almost(s.Mean(), mean, 1e-9) && almost(s.Variance(), variance, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the CI radius shrinks as the sample grows (for iid data).
+func TestPropertyCIShrinks(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 9))
+	var s Stream
+	var prev float64
+	for i := 0; i < 200; i++ {
+		s.Add(rng.NormFloat64())
+		if i == 9 {
+			prev = s.CI95Radius()
+		}
+	}
+	if s.CI95Radius() >= prev {
+		t.Fatalf("CI did not shrink: %v -> %v", prev, s.CI95Radius())
+	}
+}

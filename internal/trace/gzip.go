@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// Gzip support: the binary record format compresses ~6-8x (addresses are
+// highly redundant), so large captured traces are stored gzipped. Readers
+// auto-detect compression from the gzip magic bytes.
+
+// GzipWriter writes the binary trace format through gzip. Close must be
+// called to flush the compressed stream.
+type GzipWriter struct {
+	*Writer
+	gz *gzip.Writer
+}
+
+// NewGzipWriter returns a trace writer that gzip-compresses its output.
+func NewGzipWriter(w io.Writer) *GzipWriter {
+	gz := gzip.NewWriter(w)
+	return &GzipWriter{Writer: NewWriter(gz), gz: gz}
+}
+
+// Close flushes buffered records and finalises the gzip stream.
+func (w *GzipWriter) Close() error {
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if err := w.gz.Close(); err != nil {
+		return fmt.Errorf("trace: closing gzip stream: %w", err)
+	}
+	return nil
+}
+
+// WriteAllGzip copies src to w as a gzipped binary trace.
+func WriteAllGzip(w io.Writer, src Source) (uint64, error) {
+	gw := NewGzipWriter(w)
+	for {
+		a, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := gw.Write(a); err != nil {
+			return gw.Count(), err
+		}
+	}
+	return gw.Count(), gw.Close()
+}
+
+// NewAutoReader returns a binary-trace Source that transparently handles
+// both plain and gzip-compressed inputs, sniffing the gzip magic bytes.
+func NewAutoReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(2)
+	if err == nil && len(magic) == 2 && magic[0] == 0x1f && magic[1] == 0x8b {
+		gzr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: opening gzip stream: %w", err)
+		}
+		return NewReader(gzr), nil
+	}
+	return NewReader(br), nil
+}

@@ -1,0 +1,245 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sample() []Access {
+	return []Access{
+		{Addr: 0x1000, Write: false, Instrs: 3},
+		{Addr: 0x1040, Write: true, Instrs: 1},
+		{Addr: 0xdeadbeef00, Write: false, Instrs: 65535},
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	s := NewSliceSource(sample())
+	got := Drain(s)
+	if !reflect.DeepEqual(got, sample()) {
+		t.Fatalf("drain mismatch: %+v", got)
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("exhausted source yielded an access")
+	}
+	s.Reset()
+	if a, ok := s.Next(); !ok || a.Addr != 0x1000 {
+		t.Fatal("reset did not rewind")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	s := Limit(NewSliceSource(sample()), 2)
+	if got := len(Drain(s)); got != 2 {
+		t.Fatalf("limited drain = %d accesses, want 2", got)
+	}
+	// Limit larger than the stream truncates at stream end.
+	s2 := Limit(NewSliceSource(sample()), 100)
+	if got := len(Drain(s2)); got != 3 {
+		t.Fatalf("over-limit drain = %d accesses, want 3", got)
+	}
+	if _, ok := s2.Next(); ok {
+		t.Fatal("drained limited source yielded an access")
+	}
+}
+
+func TestWithOffset(t *testing.T) {
+	s := WithOffset(NewSliceSource(sample()), 1<<40)
+	got := Drain(s)
+	for i, a := range got {
+		if a.Addr != sample()[i].Addr+1<<40 {
+			t.Fatalf("access %d addr = %#x", i, a.Addr)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := WriteAll(&buf, NewSliceSource(sample()))
+	if err != nil || n != 3 {
+		t.Fatalf("WriteAll: n=%d err=%v", n, err)
+	}
+	r := NewReader(&buf)
+	got := Drain(r)
+	if r.Err() != nil {
+		t.Fatalf("reader error: %v", r.Err())
+	}
+	if !reflect.DeepEqual(got, sample()) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		in := make([]Access, int(n))
+		for i := range in {
+			in[i] = Access{Addr: rng.Uint64(), Write: rng.IntN(2) == 1, Instrs: uint16(1 + rng.IntN(1000))}
+		}
+		var buf bytes.Buffer
+		if _, err := WriteAll(&buf, NewSliceSource(in)); err != nil {
+			return false
+		}
+		r := NewReader(&buf)
+		out := Drain(r)
+		if r.Err() != nil {
+			return false
+		}
+		if len(in) == 0 {
+			return len(out) == 0
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	r := NewReader(strings.NewReader("NOTATRACEFILE......."))
+	if _, ok := r.Next(); ok {
+		t.Fatal("bad magic yielded an access")
+	}
+	if r.Err() == nil {
+		t.Fatal("bad magic not reported")
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteAll(&buf, NewSliceSource(sample())); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-5]
+	r := NewReader(bytes.NewReader(trunc))
+	Drain(r)
+	if r.Err() == nil {
+		t.Fatal("truncated trace not reported")
+	}
+}
+
+func TestEmptyBinaryWriterWritesNothing(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewWriter(&buf)
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("abandoned writer emitted %d bytes", buf.Len())
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteText(&buf, NewSliceSource(sample())); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sample()) {
+		t.Fatalf("text round trip mismatch: %+v", got)
+	}
+}
+
+func TestParseTextCommentsAndErrors(t *testing.T) {
+	good := "# header comment\nR 1000 3\n\nW 1040 1\n"
+	got, err := ParseText(strings.NewReader(good))
+	if err != nil || len(got) != 2 {
+		t.Fatalf("parse: %v, n=%d", err, len(got))
+	}
+	bad := []string{
+		"X 1000 1\n",     // bad op
+		"R zz 1\n",       // bad addr
+		"R 1000 nope\n",  // bad count
+		"R 1000\n",       // missing field
+		"R 1000 0\n",     // zero instructions
+		"R 1000 99999\n", // overflows uint16
+	}
+	for _, in := range bad {
+		if _, err := ParseText(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseText(%q) accepted invalid input", in)
+		}
+	}
+}
+
+func TestGzipRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := WriteAllGzip(&buf, NewSliceSource(sample()))
+	if err != nil || n != 3 {
+		t.Fatalf("WriteAllGzip: n=%d err=%v", n, err)
+	}
+	r, err := NewAutoReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Drain(r)
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if !reflect.DeepEqual(got, sample()) {
+		t.Fatalf("gzip round trip mismatch: %+v", got)
+	}
+}
+
+func TestAutoReaderPlain(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteAll(&buf, NewSliceSource(sample())); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewAutoReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Drain(r); !reflect.DeepEqual(got, sample()) {
+		t.Fatalf("plain auto-read mismatch: %+v", got)
+	}
+}
+
+func TestGzipCompresses(t *testing.T) {
+	// A long trace of similar records must compress substantially.
+	accs := make([]Access, 20000)
+	for i := range accs {
+		accs[i] = Access{Addr: uint64(i * 64), Instrs: 4}
+	}
+	var plain, packed bytes.Buffer
+	if _, err := WriteAll(&plain, NewSliceSource(accs)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteAllGzip(&packed, NewSliceSource(accs)); err != nil {
+		t.Fatal(err)
+	}
+	if packed.Len()*3 > plain.Len() {
+		t.Fatalf("gzip trace %dB not well below plain %dB", packed.Len(), plain.Len())
+	}
+}
+
+func TestAutoReaderCorruptGzip(t *testing.T) {
+	// Correct magic but garbage body must error at open or first read.
+	buf := bytes.NewReader([]byte{0x1f, 0x8b, 0xff, 0xff, 0xff})
+	r, err := NewAutoReader(buf)
+	if err == nil {
+		Drain(r)
+		err = r.Err()
+	}
+	if err == nil {
+		t.Fatal("corrupt gzip accepted")
+	}
+}
+
+func TestEmptyTraceReadsClean(t *testing.T) {
+	// Zero records -> zero bytes (lazy header); the reader must treat
+	// that as a valid empty trace, not a header error.
+	r := NewReader(bytes.NewReader(nil))
+	if got := Drain(r); len(got) != 0 {
+		t.Fatalf("empty trace yielded %d accesses", len(got))
+	}
+	if r.Err() != nil {
+		t.Fatalf("empty trace reported error: %v", r.Err())
+	}
+}

@@ -1,0 +1,365 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+)
+
+// This file is the benchmark catalogue: the 13 SPEC CPU2006 surrogates of
+// the paper's Figure 2/4/6, the PARSEC surrogates of Figure 20, the ten
+// Table III workload mixes, and the 50 random mixes used by Figures 12-14.
+//
+// Region sizes are stated in 64B blocks. For calibration: the 512KB L2 is
+// 8,192 blocks, the 8MB shared L3 is 131,072 blocks, and each of 4 cores
+// can claim a ~32,768-block (2MB) LLC share. Loop regions sit between the
+// L2 and the per-core LLC share so their sweeps miss L2 but hit L3 — the
+// loop-block condition of Section II-C1.
+
+// SPEC returns the SPEC CPU2006 surrogates in the order the paper's
+// Figure 2 plots them.
+func SPEC() []Benchmark {
+	return []Benchmark{
+		{
+			// astar: pointer-chasing pathfinding over a large mutable
+			// graph; dirty-victim dominated, many redundant fills.
+			Name: "astar", InstrPerAccess: 16,
+			Regions: []Region{
+				{Kind: RMW, Blocks: 32768, Weight: 0.50, WriteFrac: 0.70},
+				{Kind: Hot, Blocks: 1024, Weight: 0.40, WriteFrac: 0.30},
+				{Kind: Stream, Weight: 0.10},
+			},
+		},
+		{
+			// zeusmp: CFD with large writable arrays; favours exclusion.
+			Name: "zeusmp", InstrPerAccess: 20,
+			Regions: []Region{
+				{Kind: Hot, Blocks: 2048, Weight: 0.35, WriteFrac: 0.30},
+				{Kind: RMW, Blocks: 24576, Weight: 0.45, WriteFrac: 0.80},
+				{Kind: Stream, Weight: 0.20},
+			},
+		},
+		{
+			// dealII: finite elements; mostly cache-resident with a
+			// modest reused read set.
+			Name: "dealII", InstrPerAccess: 20,
+			Regions: []Region{
+				{Kind: Hot, Blocks: 3072, Weight: 0.56, WriteFrac: 0.30},
+				{Kind: Loop, Blocks: 8192 + 4096, Weight: 0.06},
+				{Kind: RMW, Blocks: 16384, Weight: 0.38, WriteFrac: 0.45},
+			},
+		},
+		{
+			// omnetpp: discrete-event simulation with a frequently-read
+			// event structure bigger than L2 but smaller than the LLC —
+			// the paper's canonical loop-block workload (>60%, Fig. 4).
+			Name: "omnetpp", InstrPerAccess: 12,
+			Regions: []Region{
+				{Kind: Loop, Blocks: 24576, Weight: 0.58},
+				{Kind: Hot, Blocks: 512, Weight: 0.17, WriteFrac: 0.30},
+				{Kind: RMW, Blocks: 32768, Weight: 0.25, WriteFrac: 0.50},
+			},
+		},
+		{
+			// xalancbmk: XSLT processing; reused read-mostly tables,
+			// >60% loop-blocks.
+			Name: "xalancbmk", InstrPerAccess: 12,
+			Regions: []Region{
+				{Kind: Loop, Blocks: 20480, Weight: 0.58},
+				{Kind: Hot, Blocks: 768, Weight: 0.18, WriteFrac: 0.25},
+				{Kind: RMW, Blocks: 24576, Weight: 0.24, WriteFrac: 0.50},
+			},
+		},
+		{
+			// bzip2: compression; block-sorting tables give a moderate
+			// loop-block population (>20%, Fig. 4).
+			Name: "bzip2", InstrPerAccess: 16,
+			Regions: []Region{
+				{Kind: Loop, Blocks: 12288, Weight: 0.26},
+				{Kind: Hot, Blocks: 2048, Weight: 0.40, WriteFrac: 0.35},
+				{Kind: RMW, Blocks: 24576, Weight: 0.34, WriteFrac: 0.50},
+			},
+		},
+		{
+			// GemsFDTD: finite-difference time domain; sweeping updates
+			// of large grids — heavy redundant data-fill (Fig. 6).
+			Name: "GemsFDTD", InstrPerAccess: 16,
+			Regions: []Region{
+				{Kind: StreamRMW, Weight: 0.45},
+				{Kind: RMW, Blocks: 40960, Weight: 0.25, WriteFrac: 0.60},
+				{Kind: Hot, Blocks: 1024, Weight: 0.30, WriteFrac: 0.20},
+			},
+		},
+		{
+			// mcf: sparse network simplex; a giant pointer-heavy
+			// structure far beyond the LLC, high miss rate.
+			Name: "mcf", InstrPerAccess: 8,
+			Regions: []Region{
+				{Kind: RMW, Blocks: 49152, Weight: 0.45, WriteFrac: 0.55},
+				{Kind: Stream, Weight: 0.25},
+				{Kind: Hot, Blocks: 1024, Weight: 0.30, WriteFrac: 0.20},
+			},
+		},
+		{
+			// milc: lattice QCD; streaming with moderate reuse.
+			Name: "milc", InstrPerAccess: 20,
+			Regions: []Region{
+				{Kind: Stream, Weight: 0.40},
+				{Kind: RMW, Blocks: 32768, Weight: 0.20, WriteFrac: 0.50},
+				{Kind: Hot, Blocks: 1024, Weight: 0.28, WriteFrac: 0.20},
+				{Kind: Loop, Blocks: 8192 + 2048, Weight: 0.12},
+			},
+		},
+		{
+			// leslie3d: CFD; streaming plus a reused stencil halo.
+			Name: "leslie3d", InstrPerAccess: 20,
+			Regions: []Region{
+				{Kind: Stream, Weight: 0.33},
+				{Kind: Loop, Blocks: 8192 + 2048, Weight: 0.10},
+				{Kind: Hot, Blocks: 1536, Weight: 0.27, WriteFrac: 0.25},
+				{Kind: RMW, Blocks: 16384, Weight: 0.30, WriteFrac: 0.55},
+			},
+		},
+		{
+			// lbm: lattice Boltzmann; stream-and-update of the whole
+			// fluid grid — write-dominated, favours exclusion.
+			Name: "lbm", InstrPerAccess: 16,
+			Regions: []Region{
+				{Kind: StreamRMW, Weight: 0.55},
+				{Kind: Stream, Weight: 0.20},
+				{Kind: Hot, Blocks: 512, Weight: 0.25, WriteFrac: 0.30},
+			},
+		},
+		{
+			// bwaves: blast-wave CFD; read-streaming dominated.
+			Name: "bwaves", InstrPerAccess: 24,
+			Regions: []Region{
+				{Kind: Stream, Weight: 0.50},
+				{Kind: RMW, Blocks: 24576, Weight: 0.22, WriteFrac: 0.40},
+				{Kind: Hot, Blocks: 1024, Weight: 0.28, WriteFrac: 0.20},
+			},
+		},
+		{
+			// libquantum: quantum simulation; a pure read-modify-write
+			// sweep over a huge vector — >80% redundant data-fills.
+			Name: "libquantum", InstrPerAccess: 16,
+			Regions: []Region{
+				{Kind: StreamRMW, Weight: 0.80},
+				{Kind: Hot, Blocks: 256, Weight: 0.20, WriteFrac: 0.20},
+			},
+		},
+	}
+}
+
+// PARSEC returns the multi-threaded surrogates for Figure 20.
+func PARSEC() []Benchmark {
+	return []Benchmark{
+		{
+			// blackscholes: embarrassingly parallel option pricing;
+			// tiny footprint, compute bound.
+			Name: "blackscholes", InstrPerAccess: 40, Threaded: true,
+			Regions: []Region{
+				{Kind: Hot, Blocks: 1024, Weight: 0.85, WriteFrac: 0.30},
+				{Kind: Stream, Weight: 0.15},
+			},
+		},
+		{
+			Name: "bodytrack", InstrPerAccess: 36, Threaded: true,
+			Regions: []Region{
+				{Kind: Hot, Blocks: 2048, Weight: 0.75, WriteFrac: 0.30},
+				{Kind: Loop, Blocks: 12288, Weight: 0.07, Shared: true},
+				{Kind: StreamRMW, Weight: 0.08},
+				{Kind: Stream, Weight: 0.10},
+			},
+		},
+		{
+			// canneal: simulated annealing over a netlist far larger
+			// than the LLC; cache-hostile random RMW.
+			Name: "canneal", InstrPerAccess: 10, Threaded: true,
+			Regions: []Region{
+				{Kind: RMW, Blocks: 163840, Weight: 0.50, WriteFrac: 0.50, Shared: true},
+				{Kind: Hot, Blocks: 1024, Weight: 0.30, WriteFrac: 0.20},
+				{Kind: Stream, Weight: 0.20},
+			},
+		},
+		{
+			Name: "dedup", InstrPerAccess: 14, Threaded: true,
+			Regions: []Region{
+				{Kind: Stream, Weight: 0.40},
+				{Kind: RMW, Blocks: 32768, Weight: 0.25, WriteFrac: 0.50, Shared: true},
+				{Kind: Hot, Blocks: 2048, Weight: 0.35, WriteFrac: 0.30},
+			},
+		},
+		{
+			Name: "ferret", InstrPerAccess: 18, Threaded: true,
+			Regions: []Region{
+				{Kind: Loop, Blocks: 16384, Weight: 0.20, Shared: true},
+				{Kind: Hot, Blocks: 2048, Weight: 0.40, WriteFrac: 0.30},
+				{Kind: RMW, Blocks: 16384, Weight: 0.25, WriteFrac: 0.40},
+				{Kind: Stream, Weight: 0.15},
+			},
+		},
+		{
+			Name: "fluidanimate", InstrPerAccess: 18, Threaded: true,
+			Regions: []Region{
+				{Kind: RMW, Blocks: 49152, Weight: 0.35, WriteFrac: 0.60, Shared: true},
+				{Kind: Hot, Blocks: 2048, Weight: 0.40, WriteFrac: 0.30},
+				{Kind: Stream, Weight: 0.25},
+			},
+		},
+		{
+			Name: "freqmine", InstrPerAccess: 18, Threaded: true,
+			Regions: []Region{
+				{Kind: Loop, Blocks: 32768, Weight: 0.25, Shared: true},
+				{Kind: Hot, Blocks: 2048, Weight: 0.35, WriteFrac: 0.30},
+				{Kind: RMW, Blocks: 8192, Weight: 0.20, WriteFrac: 0.50},
+				{Kind: StreamRMW, Weight: 0.20},
+			},
+		},
+		{
+			Name: "raytrace", InstrPerAccess: 20, Threaded: true,
+			Regions: []Region{
+				{Kind: Loop, Blocks: 98304, Weight: 0.45, Shared: true},
+				{Kind: Hot, Blocks: 2048, Weight: 0.35, WriteFrac: 0.25},
+				{Kind: Stream, Weight: 0.20},
+			},
+		},
+		{
+			// streamcluster: repeatedly scans a shared point set with a
+			// footprint between L2 and the LLC — the paper's standout
+			// LAP winner (53% over non-inclusion).
+			Name: "streamcluster", InstrPerAccess: 10, Threaded: true,
+			Regions: []Region{
+				{Kind: Loop, Blocks: 49152, Weight: 0.30, Shared: true},
+				{Kind: StreamRMW, Weight: 0.45},
+				{Kind: Hot, Blocks: 1024, Weight: 0.15, WriteFrac: 0.20},
+				{Kind: RMW, Blocks: 4096, Weight: 0.10, WriteFrac: 0.50},
+			},
+		},
+		{
+			Name: "swaptions", InstrPerAccess: 44, Threaded: true,
+			Regions: []Region{
+				{Kind: Hot, Blocks: 1024, Weight: 0.90, WriteFrac: 0.30},
+				{Kind: Stream, Weight: 0.10},
+			},
+		},
+		{
+			Name: "vips", InstrPerAccess: 18, Threaded: true,
+			Regions: []Region{
+				{Kind: Stream, Weight: 0.50},
+				{Kind: Hot, Blocks: 2048, Weight: 0.30, WriteFrac: 0.30},
+				{Kind: RMW, Blocks: 16384, Weight: 0.20, WriteFrac: 0.50, Shared: true},
+			},
+		},
+		{
+			Name: "x264", InstrPerAccess: 18, Threaded: true,
+			Regions: []Region{
+				{Kind: Stream, Weight: 0.35},
+				{Kind: StreamRMW, Weight: 0.15},
+				{Kind: Loop, Blocks: 16384, Weight: 0.15, Shared: true},
+				{Kind: Hot, Blocks: 2048, Weight: 0.35, WriteFrac: 0.30},
+			},
+		},
+	}
+}
+
+// ByName looks a benchmark up in both catalogues, accepting the paper's
+// abbreviations (omn, xalan, lib, Gems).
+func ByName(name string) (Benchmark, error) {
+	switch name {
+	case "omn":
+		name = "omnetpp"
+	case "xalan":
+		name = "xalancbmk"
+	case "lib":
+		name = "libquantum"
+	case "Gems":
+		name = "GemsFDTD"
+	}
+	for _, b := range SPEC() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	for _, b := range PARSEC() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// Mix is a multi-programmed workload: one benchmark per core.
+type Mix struct {
+	// Name labels the mix ("WL1"... "WH5", or "mix07").
+	Name string
+	// Members holds one benchmark name per core.
+	Members []string
+}
+
+// TableIII returns the paper's ten selected workload mixes. WL mixes have
+// fewer writes under exclusion than non-inclusion; WH mixes have more.
+func TableIII() []Mix {
+	return []Mix{
+		{Name: "WL1", Members: []string{"zeusmp", "leslie3d", "omnetpp", "dealII"}},
+		{Name: "WL2", Members: []string{"lbm", "xalancbmk", "libquantum", "GemsFDTD"}},
+		{Name: "WL3", Members: []string{"GemsFDTD", "GemsFDTD", "GemsFDTD", "mcf"}},
+		{Name: "WL4", Members: []string{"milc", "libquantum", "leslie3d", "bwaves"}},
+		{Name: "WL5", Members: []string{"bzip2", "xalancbmk", "GemsFDTD", "GemsFDTD"}},
+		{Name: "WH1", Members: []string{"omnetpp", "xalancbmk", "zeusmp", "libquantum"}},
+		{Name: "WH2", Members: []string{"milc", "omnetpp", "bzip2", "xalancbmk"}},
+		{Name: "WH3", Members: []string{"omnetpp", "omnetpp", "dealII", "leslie3d"}},
+		{Name: "WH4", Members: []string{"mcf", "omnetpp", "leslie3d", "xalancbmk"}},
+		{Name: "WH5", Members: []string{"xalancbmk", "xalancbmk", "xalancbmk", "bzip2"}},
+	}
+}
+
+// RandomMixes reproduces the paper's methodology of randomly choosing
+// combinations of SPEC CPU2006 benchmarks: n mixes of width benchmarks
+// each, drawn with replacement, deterministically from seed.
+func RandomMixes(n, width int, seed uint64) []Mix {
+	rng := rand.New(rand.NewPCG(seed, 50))
+	names := make([]string, 0, len(SPEC()))
+	for _, b := range SPEC() {
+		names = append(names, b.Name)
+	}
+	mixes := make([]Mix, n)
+	for i := range mixes {
+		members := make([]string, width)
+		for j := range members {
+			members[j] = names[rng.IntN(len(names))]
+		}
+		mixes[i] = Mix{Name: fmt.Sprintf("mix%02d", i+1), Members: members}
+	}
+	return mixes
+}
+
+// Benchmarks resolves the mix's member names.
+func (m Mix) Benchmarks() ([]Benchmark, error) {
+	bs := make([]Benchmark, len(m.Members))
+	for i, name := range m.Members {
+		b, err := ByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("mix %s: %w", m.Name, err)
+		}
+		bs[i] = b
+	}
+	return bs, nil
+}
+
+// Duplicate returns a mix running n copies of one benchmark, the setup
+// the paper's Figure 2 uses ("running duplicate copies of SPEC2006").
+func Duplicate(name string, n int) Mix {
+	members := make([]string, n)
+	for i := range members {
+		members[i] = name
+	}
+	return Mix{Name: name + "x4", Members: members}
+}
+
+// SortByWriteRatio orders mixes by a supplied write-ratio metric,
+// matching the paper's presentation (mixes sorted by the number of writes
+// under exclusion normalised to non-inclusion).
+func SortByWriteRatio(mixes []Mix, ratio func(Mix) float64) {
+	sort.SliceStable(mixes, func(i, j int) bool { return ratio(mixes[i]) < ratio(mixes[j]) })
+}

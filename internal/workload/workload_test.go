@@ -1,0 +1,348 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+func take(src trace.Source, n int) []trace.Access {
+	return trace.Drain(trace.Limit(src, uint64(n)))
+}
+
+func TestCatalogueComplete(t *testing.T) {
+	spec := SPEC()
+	if len(spec) != 13 {
+		t.Fatalf("SPEC surrogates = %d, want the 13 of Fig. 2", len(spec))
+	}
+	parsec := PARSEC()
+	if len(parsec) < 11 {
+		t.Fatalf("PARSEC surrogates = %d, want >= 11 (Fig. 20)", len(parsec))
+	}
+	for _, b := range parsec {
+		if !b.Threaded {
+			t.Errorf("PARSEC %s not marked Threaded", b.Name)
+		}
+	}
+	seen := map[string]bool{}
+	for _, b := range append(spec, parsec...) {
+		if seen[b.Name] {
+			t.Errorf("duplicate benchmark %q", b.Name)
+		}
+		seen[b.Name] = true
+		if len(b.Regions) == 0 || b.InstrPerAccess < 1 {
+			t.Errorf("benchmark %q malformed", b.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, alias := range []struct{ in, want string }{
+		{"omn", "omnetpp"}, {"xalan", "xalancbmk"}, {"lib", "libquantum"},
+		{"Gems", "GemsFDTD"}, {"mcf", "mcf"}, {"streamcluster", "streamcluster"},
+	} {
+		b, err := ByName(alias.in)
+		if err != nil || b.Name != alias.want {
+			t.Errorf("ByName(%q) = %q, %v", alias.in, b.Name, err)
+		}
+	}
+	if _, err := ByName("notabenchmark"); err == nil {
+		t.Error("unknown benchmark did not error")
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	b, _ := ByName("omnetpp")
+	a1 := take(New(b, 42), 5000)
+	a2 := take(New(b, 42), 5000)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("access %d differs between identical seeds", i)
+		}
+	}
+	a3 := take(New(b, 43), 5000)
+	same := 0
+	for i := range a1 {
+		if a1[i] == a3[i] {
+			same++
+		}
+	}
+	if same == len(a1) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestGeneratorBlockAligned(t *testing.T) {
+	for _, b := range SPEC() {
+		for _, a := range take(New(b, 1), 2000) {
+			if a.Addr%BlockBytes != 0 {
+				t.Fatalf("%s: unaligned address %#x", b.Name, a.Addr)
+			}
+			if a.Instrs < 1 {
+				t.Fatalf("%s: zero instruction count", b.Name)
+			}
+		}
+	}
+}
+
+func TestInstrPerAccessConverges(t *testing.T) {
+	for _, name := range []string{"mcf", "blackscholes", "omnetpp"} {
+		b, _ := ByName(name)
+		accs := take(New(b, 7), 20000)
+		var sum float64
+		for _, a := range accs {
+			sum += float64(a.Instrs)
+		}
+		mean := sum / float64(len(accs))
+		if math.Abs(mean-b.InstrPerAccess) > 0.05*b.InstrPerAccess {
+			t.Errorf("%s: mean instrs/access = %.3f, want ~%.1f", name, mean, b.InstrPerAccess)
+		}
+	}
+}
+
+func TestRMWEmitsWriteAfterRead(t *testing.T) {
+	b := Benchmark{Name: "rmwonly", InstrPerAccess: 1, Regions: []Region{
+		{Kind: RMW, Blocks: 64, Weight: 1, WriteFrac: 1},
+	}}
+	accs := take(New(b, 9), 1000)
+	for i := 0; i+1 < len(accs); i += 2 {
+		rd, wr := accs[i], accs[i+1]
+		if rd.Write || !wr.Write || rd.Addr != wr.Addr {
+			t.Fatalf("pair %d: read=%+v write=%+v", i/2, rd, wr)
+		}
+	}
+}
+
+func TestStreamNeverRepeatsWithinRing(t *testing.T) {
+	b := Benchmark{Name: "stream", InstrPerAccess: 1, Regions: []Region{
+		{Kind: Stream, Weight: 1},
+	}}
+	accs := take(New(b, 9), 100000)
+	seen := map[uint64]bool{}
+	for _, a := range accs {
+		if seen[a.Addr] {
+			t.Fatalf("stream repeated address %#x", a.Addr)
+		}
+		seen[a.Addr] = true
+	}
+}
+
+func TestLoopCyclesExactly(t *testing.T) {
+	const ws = 128
+	b := Benchmark{Name: "loop", InstrPerAccess: 1, Regions: []Region{
+		{Kind: Loop, Blocks: ws, Weight: 1},
+	}}
+	accs := take(New(b, 9), ws*3)
+	for i, a := range accs {
+		if a.Addr != accs[i%ws].Addr {
+			t.Fatalf("loop not cyclic at access %d", i)
+		}
+		if a.Write {
+			t.Fatal("loop region emitted a write")
+		}
+	}
+}
+
+func TestHotWriteFraction(t *testing.T) {
+	b := Benchmark{Name: "hot", InstrPerAccess: 1, Regions: []Region{
+		{Kind: Hot, Blocks: 16, Weight: 1, WriteFrac: 0.4},
+	}}
+	accs := take(New(b, 11), 20000)
+	writes := 0
+	for _, a := range accs {
+		if a.Write {
+			writes++
+		}
+	}
+	frac := float64(writes) / float64(len(accs))
+	if math.Abs(frac-0.4) > 0.03 {
+		t.Fatalf("write fraction = %.3f, want ~0.4", frac)
+	}
+}
+
+func TestRegionSpacesDisjoint(t *testing.T) {
+	// Every region must generate addresses in its own subspace; verify by
+	// checking region index recovery from the high bits.
+	b, _ := ByName("milc") // 4 regions
+	accs := take(New(b, 3), 50000)
+	regions := map[uint64]bool{}
+	for _, a := range accs {
+		block := a.Addr / BlockBytes
+		regions[(block>>regionSpaceBits)&0xff] = true
+	}
+	if len(regions) != len(b.Regions) {
+		t.Fatalf("observed %d region subspaces, want %d", len(regions), len(b.Regions))
+	}
+}
+
+func TestThreadsShareOnlySharedRegions(t *testing.T) {
+	b, _ := ByName("canneal") // random shared RMW: cross-thread overlap is certain
+	srcs := Threads(b, 4, 5)
+	if len(srcs) != 4 {
+		t.Fatalf("Threads returned %d sources", len(srcs))
+	}
+	perThread := make([]map[uint64]bool, 4)
+	for ti, src := range srcs {
+		perThread[ti] = map[uint64]bool{}
+		for _, a := range take(src, 60000) {
+			perThread[ti][a.Addr] = true
+		}
+	}
+	sharedSeen, privateDisjoint := false, true
+	for a := range perThread[0] {
+		if perThread[1][a] {
+			sharedSeen = true
+		}
+	}
+	// Private hot-region addresses carry the thread tag in high bits;
+	// verify no cross-thread collision for them.
+	for a := range perThread[0] {
+		block := a / BlockBytes
+		if (block>>threadSpaceBits)&0xff == 1 { // thread 0's private tag
+			for t := 1; t < 4; t++ {
+				if perThread[t][a] {
+					privateDisjoint = false
+				}
+			}
+		}
+	}
+	if !sharedSeen {
+		t.Error("threads never touched a common shared address")
+	}
+	if !privateDisjoint {
+		t.Error("private regions overlap across threads")
+	}
+}
+
+func TestThreadsPhaseShifted(t *testing.T) {
+	b := Benchmark{Name: "sl", InstrPerAccess: 1, Threaded: true, Regions: []Region{
+		{Kind: Loop, Blocks: 1000, Weight: 1, Shared: true},
+	}}
+	srcs := Threads(b, 4, 5)
+	a0, _ := srcs[0].Next()
+	a2, _ := srcs[2].Next()
+	if a0.Addr == a2.Addr {
+		t.Fatal("shared loop cursors not phase-shifted across threads")
+	}
+}
+
+func TestTableIIIMixes(t *testing.T) {
+	mixes := TableIII()
+	if len(mixes) != 10 {
+		t.Fatalf("Table III has %d mixes, want 10", len(mixes))
+	}
+	for _, m := range mixes {
+		if len(m.Members) != 4 {
+			t.Errorf("%s: %d members, want 4", m.Name, len(m.Members))
+		}
+		if _, err := m.Benchmarks(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+	if mixes[0].Name != "WL1" || mixes[9].Name != "WH5" {
+		t.Error("Table III ordering drifted")
+	}
+}
+
+func TestRandomMixesDeterministic(t *testing.T) {
+	a := RandomMixes(50, 4, 2016)
+	b := RandomMixes(50, 4, 2016)
+	if len(a) != 50 {
+		t.Fatalf("got %d mixes", len(a))
+	}
+	for i := range a {
+		for j := range a[i].Members {
+			if a[i].Members[j] != b[i].Members[j] {
+				t.Fatal("RandomMixes not deterministic")
+			}
+		}
+		if _, err := a[i].Benchmarks(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDuplicateMix(t *testing.T) {
+	m := Duplicate("omnetpp", 4)
+	if len(m.Members) != 4 {
+		t.Fatal("duplicate width wrong")
+	}
+	for _, name := range m.Members {
+		if name != "omnetpp" {
+			t.Fatal("duplicate member wrong")
+		}
+	}
+}
+
+func TestSortByWriteRatio(t *testing.T) {
+	mixes := []Mix{{Name: "c"}, {Name: "a"}, {Name: "b"}}
+	order := map[string]float64{"a": 0.5, "b": 1.0, "c": 2.0}
+	SortByWriteRatio(mixes, func(m Mix) float64 { return order[m.Name] })
+	if mixes[0].Name != "a" || mixes[2].Name != "c" {
+		t.Fatalf("sorted order wrong: %v", mixes)
+	}
+}
+
+func TestMalformedBenchmarksPanic(t *testing.T) {
+	bad := []Benchmark{
+		{Name: "noregions", InstrPerAccess: 1},
+		{Name: "zeroipa", Regions: []Region{{Kind: Hot, Blocks: 1, Weight: 1}}},
+		{Name: "negweight", InstrPerAccess: 1, Regions: []Region{{Kind: Hot, Blocks: 1, Weight: -1}}},
+		{Name: "zeroweight", InstrPerAccess: 1, Regions: []Region{{Kind: Hot, Blocks: 1, Weight: 0}}},
+	}
+	for _, b := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("benchmark %q: expected panic", b.Name)
+				}
+			}()
+			New(b, 1)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Threads(0) should panic")
+			}
+		}()
+		Threads(SPEC()[0], 0, 1)
+	}()
+}
+
+func TestRegionKindString(t *testing.T) {
+	for k, want := range map[RegionKind]string{Hot: "Hot", Loop: "Loop", RMW: "RMW", Stream: "Stream", StreamRMW: "StreamRMW"} {
+		if k.String() != want {
+			t.Errorf("String(%d) = %q", int(k), k.String())
+		}
+	}
+	if RegionKind(99).String() == "" {
+		t.Error("unknown kind produced empty string")
+	}
+}
+
+// Property: generated weights respected — a region with weight w receives
+// approximately w of the accesses (RMW pairs inflate its share, so test a
+// pure Hot/Loop mixture).
+func TestPropertyWeights(t *testing.T) {
+	f := func(seed uint64) bool {
+		b := Benchmark{Name: "w", InstrPerAccess: 1, Regions: []Region{
+			{Kind: Hot, Blocks: 8, Weight: 3},
+			{Kind: Loop, Blocks: 64, Weight: 1},
+		}}
+		accs := take(New(b, seed), 8000)
+		hot := 0
+		for _, a := range accs {
+			if ((a.Addr/BlockBytes)>>regionSpaceBits)&0xff == 1 {
+				hot++
+			}
+		}
+		frac := float64(hot) / float64(len(accs))
+		return frac > 0.70 && frac < 0.80
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

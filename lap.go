@@ -1,0 +1,198 @@
+// Package lap is a reproduction of "LAP: Loop-Block Aware Inclusion
+// Properties for Energy-Efficient Asymmetric Last Level Caches"
+// (Cheng et al., ISCA 2016) as a self-contained Go library.
+//
+// It provides a trace-driven, cycle-approximate simulator of a multi-core
+// three-level cache hierarchy whose L2↔LLC inclusion property is
+// pluggable: the traditional inclusive/non-inclusive/exclusive policies,
+// the FLEXclusion and Dswitch dynamic-switching baselines, the paper's
+// Loop-block-Aware Policy (LAP) in all its variants, and the Lhybrid
+// data-placement policy for hybrid SRAM/STT-RAM LLCs. An NVSim/CACTI-
+// derived energy model reports the paper's headline metric, LLC
+// energy-per-instruction (EPI).
+//
+// Quick start:
+//
+//	cfg := lap.DefaultConfig()                   // Table II system, STT-RAM LLC
+//	mix := lap.TableIII()[5]                     // the paper's WH1 mix
+//	res, err := lap.Run(cfg, lap.PolicyLAP, mix, 400_000, 1)
+//	if err != nil { ... }
+//	fmt.Println(res.EPI.Total(), res.Throughput)
+//
+// The full experiment suite that regenerates every table and figure of
+// the paper lives in cmd/lapexp; see DESIGN.md and EXPERIMENTS.md.
+package lap
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Re-exported building blocks. These aliases form the public surface of
+// the library; the internal packages stay free to evolve.
+type (
+	// Config describes the simulated machine (see DefaultConfig).
+	Config = sim.Config
+	// Result is one simulation run's outcome.
+	Result = sim.Result
+	// Mix is a multi-programmed workload, one benchmark name per core.
+	Mix = workload.Mix
+	// Benchmark is a synthetic workload surrogate.
+	Benchmark = workload.Benchmark
+	// Tech is a memory technology's energy/latency description.
+	Tech = energy.Tech
+	// Access is one memory reference of a trace.
+	Access = trace.Access
+	// Source is a stream of accesses driving one core.
+	Source = trace.Source
+)
+
+// Policy names an inclusion property implemented by this library.
+type Policy string
+
+// The implemented inclusion policies (paper Table IV).
+const (
+	PolicyNonInclusive Policy = "non-inclusive"
+	PolicyExclusive    Policy = "exclusive"
+	PolicyInclusive    Policy = "inclusive"
+	PolicyFLEXclusion  Policy = "FLEXclusion"
+	PolicyDswitch      Policy = "Dswitch"
+	PolicyLAP          Policy = "LAP"
+	PolicyLAPLRU       Policy = "LAP-LRU"
+	PolicyLAPLoop      Policy = "LAP-Loop"
+	PolicyLhybrid      Policy = "Lhybrid"
+)
+
+// Policies returns every implemented policy in Table IV order.
+func Policies() []Policy {
+	return []Policy{
+		PolicyNonInclusive, PolicyExclusive, PolicyInclusive,
+		PolicyFLEXclusion, PolicyDswitch,
+		PolicyLAPLRU, PolicyLAPLoop, PolicyLAP, PolicyLhybrid,
+	}
+}
+
+// DefaultConfig returns the paper's Table II system: 4 cores at 3GHz,
+// 32KB L1s, 512KB L2s, and a shared 8MB 16-way STT-RAM L3 in 4 banks.
+// Use the Config.WithSRAML3 / WithSTTL3 / WithHybridL3 helpers to vary
+// the LLC technology.
+func DefaultConfig() Config { return sim.DefaultConfig() }
+
+// SRAM and STTRAM return the Table I technology models.
+func SRAM() Tech { return energy.SRAM() }
+
+// STTRAM returns the Table I STT-RAM model; scale its write/read energy
+// ratio with Tech.WithWriteReadRatio for Figure 23-style studies.
+func STTRAM() Tech { return energy.STTRAM() }
+
+// NewController builds a fresh inclusion controller for one run. The
+// Dswitch policy derives its energy cost model from cfg. Appending
+// "+DWB" to any policy name wraps it with the dead-write-bypass
+// predictor (the paper's orthogonal reference [34]), e.g. "LAP+DWB".
+func NewController(p Policy, cfg Config) (core.Controller, error) {
+	if base, ok := strings.CutSuffix(string(p), "+DWB"); ok {
+		inner, err := NewController(Policy(base), cfg)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewDeadWriteBypass(inner), nil
+	}
+	switch p {
+	case PolicyNonInclusive:
+		return core.NewNonInclusive(), nil
+	case PolicyExclusive:
+		return core.NewExclusive(), nil
+	case PolicyInclusive:
+		return core.NewInclusive(), nil
+	case PolicyFLEXclusion:
+		return core.NewFLEXclusion(), nil
+	case PolicyDswitch:
+		tech := cfg.L3Tech
+		leakMW := tech.LeakMWPerBank*float64(cfg.L3SizeBytes)/float64(energy.BankBytes) + energy.DefaultTag().LeakMW
+		exposed := float64(cfg.MemCycles) / cfg.MLP / float64(cfg.Cores)
+		missNJ := tech.ReadNJ + leakMW*1e-3*exposed/cfg.ClockHz*1e9
+		return core.NewDswitch(missNJ, tech.WriteNJ), nil
+	case PolicyLAP:
+		return core.NewLAP(), nil
+	case PolicyLAPLRU:
+		return core.NewLAPVariant(core.AlwaysLRU), nil
+	case PolicyLAPLoop:
+		return core.NewLAPVariant(core.AlwaysLoopAware), nil
+	case PolicyLhybrid:
+		return core.NewLhybrid(), nil
+	default:
+		return nil, fmt.Errorf("lap: unknown policy %q", p)
+	}
+}
+
+// Run simulates a multi-programmed mix (one member per core) under the
+// given policy for accesses references per core, seeded deterministically.
+func Run(cfg Config, p Policy, mix Mix, accesses, seed uint64) (Result, error) {
+	ctrl, err := NewController(p, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	if len(mix.Members) != cfg.Cores {
+		return Result{}, fmt.Errorf("lap: mix %s has %d members for %d cores", mix.Name, len(mix.Members), cfg.Cores)
+	}
+	srcs, err := sim.MixSources(mix, accesses, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	return sim.Run(cfg, ctrl, srcs), nil
+}
+
+// RunThreaded simulates a multi-threaded benchmark (one thread per core,
+// shared address space, snooping coherence) under the given policy.
+func RunThreaded(cfg Config, p Policy, b Benchmark, accesses, seed uint64) (Result, error) {
+	ctrl, err := NewController(p, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg.Coherent = true
+	srcs := sim.ThreadSources(b, cfg.Cores, accesses, seed)
+	return sim.Run(cfg, ctrl, srcs), nil
+}
+
+// RunTraces simulates arbitrary per-core access streams (e.g. loaded from
+// trace files) under the given policy.
+func RunTraces(cfg Config, p Policy, srcs []Source) (Result, error) {
+	ctrl, err := NewController(p, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	if len(srcs) != cfg.Cores {
+		return Result{}, fmt.Errorf("lap: %d sources for %d cores", len(srcs), cfg.Cores)
+	}
+	return sim.Run(cfg, ctrl, srcs), nil
+}
+
+// SPEC returns the SPEC CPU2006 workload surrogates (Fig. 2/4/6).
+func SPEC() []Benchmark { return workload.SPEC() }
+
+// PARSEC returns the multi-threaded PARSEC surrogates (Fig. 20).
+func PARSEC() []Benchmark { return workload.PARSEC() }
+
+// BenchmarkByName resolves a benchmark, accepting the paper's
+// abbreviations (omn, xalan, lib, Gems).
+func BenchmarkByName(name string) (Benchmark, error) { return workload.ByName(name) }
+
+// TableIII returns the paper's ten selected workload mixes WL1-WH5.
+func TableIII() []Mix { return workload.TableIII() }
+
+// RandomMixes reproduces the paper's 50-random-mix methodology.
+func RandomMixes(n, width int, seed uint64) []Mix { return workload.RandomMixes(n, width, seed) }
+
+// DuplicateMix returns n copies of one benchmark, the Figure 2 setup.
+func DuplicateMix(name string, n int) Mix { return workload.Duplicate(name, n) }
+
+// NewWorkloadSource returns an endless deterministic access stream for a
+// benchmark; bound it with trace.Limit via RunTraces, or pass accesses to
+// Run/RunThreaded instead.
+func NewWorkloadSource(b Benchmark, seed uint64) Source { return workload.New(b, seed) }

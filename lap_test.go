@@ -1,0 +1,216 @@
+package lap
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// smallConfig shrinks the hierarchy for fast facade tests.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Cores = 2
+	cfg.L1SizeBytes = 4 << 10
+	cfg.L2SizeBytes = 16 << 10
+	cfg.L3SizeBytes = 256 << 10
+	return cfg
+}
+
+func smallMix() Mix { return Mix{Name: "t", Members: []string{"omnetpp", "libquantum"}} }
+
+func TestAllPoliciesRun(t *testing.T) {
+	cfg := smallConfig()
+	hybrid := cfg.WithHybridL3()
+	for _, p := range Policies() {
+		c := cfg
+		if p == PolicyLhybrid {
+			c = hybrid
+		}
+		res, err := Run(c, p, smallMix(), 20000, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if res.Policy != string(p) && p != PolicyLhybrid {
+			t.Errorf("%s: result policy %q", p, res.Policy)
+		}
+		if res.Met.Instructions == 0 || res.EPI.Total() <= 0 {
+			t.Errorf("%s: empty result", p)
+		}
+	}
+}
+
+func TestUnknownPolicy(t *testing.T) {
+	if _, err := NewController(Policy("bogus"), DefaultConfig()); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if _, err := Run(smallConfig(), Policy("bogus"), smallMix(), 10, 1); err == nil {
+		t.Fatal("Run accepted unknown policy")
+	}
+}
+
+func TestRunValidatesMixWidth(t *testing.T) {
+	if _, err := Run(smallConfig(), PolicyLAP, Mix{Name: "w", Members: []string{"mcf"}}, 10, 1); err == nil {
+		t.Fatal("mix/core mismatch accepted")
+	}
+	if _, err := Run(smallConfig(), PolicyLAP, Mix{Name: "w", Members: []string{"nope", "nope"}}, 10, 1); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(smallConfig(), PolicyLAP, smallMix(), 30000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Run(smallConfig(), PolicyLAP, smallMix(), 30000, 7)
+	if a.Met != b.Met {
+		t.Fatal("identical runs diverged")
+	}
+}
+
+func TestLAPBeatsBaselinesOnWH(t *testing.T) {
+	// End-to-end check of the paper's headline claim on a loop-heavy mix.
+	cfg := DefaultConfig()
+	mix := Mix{Name: "wh", Members: []string{"omnetpp", "xalancbmk", "omnetpp", "xalancbmk"}}
+	noni, err := Run(cfg, PolicyNonInclusive, mix, 150000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, _ := Run(cfg, PolicyExclusive, mix, 150000, 3)
+	lap, _ := Run(cfg, PolicyLAP, mix, 150000, 3)
+	if lap.EPI.Total() >= noni.EPI.Total() {
+		t.Errorf("LAP EPI %.4f >= non-inclusive %.4f", lap.EPI.Total(), noni.EPI.Total())
+	}
+	if lap.EPI.Total() >= ex.EPI.Total() {
+		t.Errorf("LAP EPI %.4f >= exclusive %.4f", lap.EPI.Total(), ex.EPI.Total())
+	}
+	lapMet, exMet, noniMet := lap.Met, ex.Met, noni.Met
+	if lapMet.WritesToLLC() >= exMet.WritesToLLC() || lapMet.WritesToLLC() >= noniMet.WritesToLLC() {
+		t.Error("LAP did not reduce LLC write traffic")
+	}
+}
+
+func TestRunThreadedFacade(t *testing.T) {
+	b, err := BenchmarkByName("streamcluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunThreaded(DefaultConfig(), PolicyLAP, b, 20000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Snoop.Probes == 0 {
+		t.Fatal("threaded run had no coherence activity")
+	}
+}
+
+func TestRunTraces(t *testing.T) {
+	cfg := smallConfig()
+	srcs := make([]Source, cfg.Cores)
+	for i := range srcs {
+		accs := make([]Access, 1000)
+		for j := range accs {
+			accs[j] = Access{Addr: uint64(i)<<40 | uint64(j*64), Write: j%3 == 0, Instrs: 4}
+		}
+		srcs[i] = trace.NewSliceSource(accs)
+	}
+	res, err := RunTraces(cfg, PolicyExclusive, srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Met.L1Accesses != 2000 {
+		t.Fatalf("accesses = %d, want 2000", res.Met.L1Accesses)
+	}
+	if _, err := RunTraces(cfg, PolicyExclusive, srcs[:1]); err == nil {
+		t.Fatal("source/core mismatch accepted")
+	}
+}
+
+func TestCatalogueFacade(t *testing.T) {
+	if len(SPEC()) != 13 || len(PARSEC()) < 11 || len(TableIII()) != 10 {
+		t.Fatal("catalogue sizes drifted")
+	}
+	if len(RandomMixes(5, 4, 1)) != 5 {
+		t.Fatal("RandomMixes wrong count")
+	}
+	m := DuplicateMix("mcf", 4)
+	if len(m.Members) != 4 || m.Members[0] != "mcf" {
+		t.Fatal("DuplicateMix wrong")
+	}
+	src := NewWorkloadSource(SPEC()[0], 1)
+	if a, ok := src.Next(); !ok || a.Instrs == 0 {
+		t.Fatal("workload source empty")
+	}
+}
+
+func TestTechFacade(t *testing.T) {
+	if SRAM().Name != "SRAM" || STTRAM().Name != "STT-RAM" {
+		t.Fatal("tech names drifted")
+	}
+	scaled := STTRAM().WithWriteReadRatio(4)
+	if !strings.Contains(scaled.Name, "w/r=4.0") {
+		t.Fatalf("scaled name %q", scaled.Name)
+	}
+}
+
+func TestAnalyzeFacade(t *testing.T) {
+	b, _ := BenchmarkByName("omnetpp")
+	src := NewWorkloadSource(b, 1)
+	rep := Analyze(src, AnalyzeOptions{MaxAccesses: 50000})
+	if rep.Accesses != 50000 {
+		t.Fatalf("accesses = %d", rep.Accesses)
+	}
+	if rep.LoopPotential() <= 0 {
+		t.Fatal("omnetpp loop potential must be positive")
+	}
+	// Defaults must pick up the Table II capacities.
+	if rep.HitRateAtCapacity(131072) <= rep.HitRateAtCapacity(8192)-1e-9 {
+		t.Fatal("hit rate not monotone in capacity")
+	}
+	var sb strings.Builder
+	FprintReport(&sb, rep)
+	if !strings.Contains(sb.String(), "loop potential") {
+		t.Fatal("report rendering incomplete")
+	}
+}
+
+func TestDRAMConfigViaFacade(t *testing.T) {
+	cfg := smallConfig()
+	cfg.UseDRAM = true
+	res, err := Run(cfg, PolicyLAP, smallMix(), 20000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DRAM.Reads == 0 {
+		t.Fatal("DRAM model not engaged through the facade")
+	}
+}
+
+func TestWarmupViaFacade(t *testing.T) {
+	cfg := smallConfig()
+	cfg.WarmupAccessesPerCore = 5000
+	res, err := Run(cfg, PolicyExclusive, smallMix(), 20000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Met.L1Accesses == 0 || res.Met.L1Accesses > 2*20000 {
+		t.Fatalf("measured accesses = %d", res.Met.L1Accesses)
+	}
+}
+
+func TestDWBPolicySuffix(t *testing.T) {
+	cfg := smallConfig()
+	for _, p := range []Policy{"LAP+DWB", "exclusive+DWB", "non-inclusive+DWB"} {
+		res, err := Run(cfg, p, smallMix(), 20000, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if res.Policy != string(p) {
+			t.Fatalf("%s: result policy %q", p, res.Policy)
+		}
+	}
+	if _, err := NewController(Policy("bogus+DWB"), cfg); err == nil {
+		t.Fatal("bogus base accepted under +DWB")
+	}
+}
