@@ -1,0 +1,34 @@
+# Developer entry points. `make ci` is the full gate: vet, build, the
+# race-enabled test suite, and a one-shot run of the heaviest artifact
+# benchmark. The race run narrows the determinism sweep to a
+# representative artifact subset (see internal/experiments/race_on_test.go)
+# but still hammers the singleflight memo and the warm pools.
+
+GO ?= go
+
+.PHONY: all build test race bench ci quick
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -timeout 30m ./...
+
+bench:
+	$(GO) test -bench=BenchmarkFig14 -benchtime=1x -run '^$$' .
+
+ci:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race -timeout 30m ./...
+	$(GO) test -bench=BenchmarkFig14 -benchtime=1x -run '^$$' .
+
+# Regenerate every artifact at reduced scale (serial vs parallel timing:
+# add -jobs 1 / -jobs N and compare the -timings reports).
+quick:
+	$(GO) run ./cmd/lapexp -quick

@@ -23,9 +23,11 @@ import (
 	"repro/internal/workload"
 )
 
-// benchArtifact regenerates one paper artifact per iteration.
-func benchArtifact(b *testing.B, id string) {
+// benchArtifactJobs regenerates one paper artifact per iteration on the
+// given worker count (0 = GOMAXPROCS, 1 = serial).
+func benchArtifactJobs(b *testing.B, id string, jobs int) {
 	opt := experiments.Quick()
+	opt.Jobs = jobs
 	gen, ok := experiments.Registry(opt)[id]
 	if !ok {
 		b.Fatalf("unknown artifact %q", id)
@@ -40,6 +42,10 @@ func benchArtifact(b *testing.B, id string) {
 	}
 }
 
+// benchArtifact regenerates one paper artifact per iteration on the
+// default worker pool.
+func benchArtifact(b *testing.B, id string) { benchArtifactJobs(b, id, 0) }
+
 func BenchmarkTable1(b *testing.B) { benchArtifact(b, "table1") }
 func BenchmarkTable2(b *testing.B) { benchArtifact(b, "table2") }
 func BenchmarkTable3(b *testing.B) { benchArtifact(b, "table3") }
@@ -50,17 +56,43 @@ func BenchmarkFig6(b *testing.B)   { benchArtifact(b, "fig6") }
 func BenchmarkFig12(b *testing.B)  { benchArtifact(b, "fig12") }
 func BenchmarkFig13(b *testing.B)  { benchArtifact(b, "fig13") }
 func BenchmarkFig14(b *testing.B)  { benchArtifact(b, "fig14") }
-func BenchmarkFig15(b *testing.B)  { benchArtifact(b, "fig15") }
-func BenchmarkFig16(b *testing.B)  { benchArtifact(b, "fig16") }
-func BenchmarkFig17(b *testing.B)  { benchArtifact(b, "fig17") }
-func BenchmarkFig18(b *testing.B)  { benchArtifact(b, "fig18") }
-func BenchmarkFig19(b *testing.B)  { benchArtifact(b, "fig19") }
-func BenchmarkFig20(b *testing.B)  { benchArtifact(b, "fig20") }
-func BenchmarkFig21(b *testing.B)  { benchArtifact(b, "fig21") }
-func BenchmarkFig22(b *testing.B)  { benchArtifact(b, "fig22") }
-func BenchmarkFig23(b *testing.B)  { benchArtifact(b, "fig23") }
-func BenchmarkFig24(b *testing.B)  { benchArtifact(b, "fig24") }
-func BenchmarkFig25(b *testing.B)  { benchArtifact(b, "fig25") }
+
+// The serial/parallel pair quantifies the scheduler's speedup on the
+// heaviest artifact (compare ns/op across the two).
+func BenchmarkFig14Serial(b *testing.B)   { benchArtifactJobs(b, "fig14", 1) }
+func BenchmarkFig14Parallel(b *testing.B) { benchArtifactJobs(b, "fig14", 0) }
+func BenchmarkFig15(b *testing.B)         { benchArtifact(b, "fig15") }
+func BenchmarkFig16(b *testing.B)         { benchArtifact(b, "fig16") }
+func BenchmarkFig17(b *testing.B)         { benchArtifact(b, "fig17") }
+func BenchmarkFig18(b *testing.B)         { benchArtifact(b, "fig18") }
+func BenchmarkFig19(b *testing.B)         { benchArtifact(b, "fig19") }
+func BenchmarkFig20(b *testing.B)         { benchArtifact(b, "fig20") }
+func BenchmarkFig21(b *testing.B)         { benchArtifact(b, "fig21") }
+func BenchmarkFig22(b *testing.B)         { benchArtifact(b, "fig22") }
+func BenchmarkFig23(b *testing.B)         { benchArtifact(b, "fig23") }
+func BenchmarkFig24(b *testing.B)         { benchArtifact(b, "fig24") }
+func BenchmarkFig25(b *testing.B)         { benchArtifact(b, "fig25") }
+
+// BenchmarkMemoRecall measures memo-hit throughput under contention:
+// fig18 is generated once to fill the memo, then concurrent goroutines
+// regenerate it, with every simulation served from the shared cache.
+func BenchmarkMemoRecall(b *testing.B) {
+	opt := experiments.Quick()
+	gen := experiments.Registry(opt)["fig18"]
+	experiments.ResetMemo()
+	if tab := gen(); len(tab.Rows) == 0 {
+		b.Fatal("fig18 produced no rows")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if tab := gen(); len(tab.Rows) == 0 {
+				b.Fatal("fig18 produced no rows")
+			}
+		}
+	})
+}
 
 // --- Simulator microbenchmarks ---
 

@@ -2,15 +2,21 @@
 // arguments it runs everything; otherwise pass artifact IDs such as
 // "fig2", "fig14", "table1".
 //
+// Independent simulation runs inside each artifact execute on a worker
+// pool (-jobs, default one worker per CPU); tables are byte-identical
+// for any -jobs value, including the fully serial -jobs 1.
+//
 // Usage:
 //
-//	lapexp [-quick] [-accesses N] [-seed S] [artifact ...]
+//	lapexp [-quick] [-accesses N] [-seed S] [-jobs N] [-timings out.json] [artifact ...]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -18,12 +24,41 @@ import (
 	"repro/internal/experiments"
 )
 
+// artifactTiming is one artifact's perf record in the -timings report.
+type artifactTiming struct {
+	Artifact string `json:"artifact"`
+	// Seconds is the artifact's wall-clock generation time.
+	Seconds float64 `json:"seconds"`
+	// Runs is the number of simulations actually executed; Recalled the
+	// number served from the process-wide memo.
+	Runs     uint64 `json:"runs"`
+	Recalled uint64 `json:"recalled"`
+	// RunsPerSec is the executed-simulation throughput.
+	RunsPerSec float64 `json:"runs_per_sec"`
+}
+
+// timingReport is the -timings JSON document: enough context to compare
+// run rates across machines, scales, and future PRs.
+type timingReport struct {
+	Jobs         int              `json:"jobs"`
+	GOMAXPROCS   int              `json:"gomaxprocs"`
+	Accesses     uint64           `json:"accesses"`
+	Seed         uint64           `json:"seed"`
+	RandomMixes  int              `json:"random_mixes"`
+	TotalSeconds float64          `json:"total_seconds"`
+	TotalRuns    uint64           `json:"total_runs"`
+	RunsPerSec   float64          `json:"runs_per_sec"`
+	Artifacts    []artifactTiming `json:"artifacts"`
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "reduced scale for a fast smoke run")
 	accesses := flag.Uint64("accesses", 0, "override per-core trace length")
 	seed := flag.Uint64("seed", 0, "override workload seed")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "concurrent simulation runs (1 = serial)")
 	list := flag.Bool("list", false, "list available artifacts and exit")
 	csvDir := flag.String("csv", "", "also save each artifact as CSV into this directory")
+	timings := flag.String("timings", "", "write per-artifact wall-clock and runs/sec JSON to this file")
 	flag.Parse()
 
 	opt := experiments.Defaults()
@@ -36,6 +71,7 @@ func main() {
 	if *seed > 0 {
 		opt.Seed = *seed
 	}
+	opt.Jobs = *jobs
 
 	all := experiments.Registry(opt)
 	if *list {
@@ -52,14 +88,25 @@ func main() {
 	if len(targets) == 0 {
 		targets = experiments.Order()
 	}
+	report := timingReport{
+		Jobs:        opt.Jobs,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Accesses:    opt.Accesses,
+		Seed:        opt.Seed,
+		RandomMixes: opt.RandomMixes,
+	}
+	allStart := time.Now()
 	for _, name := range targets {
 		gen, ok := all[strings.ToLower(name)]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "lapexp: unknown artifact %q (try -list)\n", name)
 			os.Exit(1)
 		}
+		before := experiments.Stats()
 		start := time.Now()
 		tab := gen()
+		elapsed := time.Since(start)
+		after := experiments.Stats()
 		tab.Fprint(os.Stdout)
 		if *csvDir != "" {
 			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -73,6 +120,38 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "[saved %s]\n", path)
 		}
-		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+		runs := after.Computed - before.Computed
+		rate := 0.0
+		if s := elapsed.Seconds(); s > 0 {
+			rate = float64(runs) / s
+		}
+		report.Artifacts = append(report.Artifacts, artifactTiming{
+			Artifact:   strings.ToLower(name),
+			Seconds:    elapsed.Seconds(),
+			Runs:       runs,
+			Recalled:   after.Recalled - before.Recalled,
+			RunsPerSec: rate,
+		})
+		fmt.Fprintf(os.Stderr, "[%s done in %v: %d runs, %d recalled]\n",
+			name, elapsed.Round(time.Millisecond), runs, after.Recalled-before.Recalled)
+	}
+	report.TotalSeconds = time.Since(allStart).Seconds()
+	for _, a := range report.Artifacts {
+		report.TotalRuns += a.Runs
+	}
+	if report.TotalSeconds > 0 {
+		report.RunsPerSec = float64(report.TotalRuns) / report.TotalSeconds
+	}
+	if *timings != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lapexp: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*timings, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "lapexp: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[timings saved to %s]\n", *timings)
 	}
 }

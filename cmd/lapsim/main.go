@@ -1,12 +1,15 @@
 // Command lapsim runs one workload (a named Table III mix, a
 // comma-separated custom mix, a single benchmark duplicated per core, or
-// a multi-threaded PARSEC surrogate) under one inclusion policy and
-// prints the full statistics.
+// a multi-threaded PARSEC surrogate) under one or more inclusion policies
+// and prints the full statistics. Multiple policies (comma-separated, or
+// "all") simulate concurrently on -jobs workers and report in the order
+// given, followed by a comparison normalised to the first policy.
 //
 // Examples:
 //
 //	lapsim -policy LAP -mix WH1
-//	lapsim -policy exclusive -mix omnetpp,xalancbmk,mcf,lbm
+//	lapsim -policy non-inclusive,exclusive,LAP -mix WH1
+//	lapsim -policy all -mix omnetpp,xalancbmk,mcf,lbm
 //	lapsim -policy LAP -bench streamcluster -threads 4
 //	lapsim -policy Lhybrid -llc hybrid -mix WH5
 //	lapsim -policy LAP -llc sram -mix WL2
@@ -17,14 +20,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 
 	lap "repro"
 	"repro/internal/trace"
 )
 
 func main() {
-	policy := flag.String("policy", "LAP", "inclusion policy (see lap.Policies)")
+	policy := flag.String("policy", "LAP", "inclusion policy, comma-separated list, or \"all\" (see lap.Policies)")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "concurrent policy simulations (with multiple -policy values)")
 	mixArg := flag.String("mix", "", "Table III mix name (WL1..WH5) or comma-separated benchmarks")
 	bench := flag.String("bench", "", "single benchmark: duplicated per core, or threaded if -threads > 0")
 	threads := flag.Int("threads", 0, "run -bench as a multi-threaded workload with coherence")
@@ -87,36 +93,127 @@ func main() {
 		fatal("%v", err)
 	}
 
-	p := lap.Policy(*policy)
-	var (
-		res lap.Result
-		err error
-	)
-	switch {
-	case *traceFile != "":
-		res, err = replayTrace(cfg, p, *traceFile)
-	case *bench != "" && *threads > 0:
+	policies := resolvePolicies(*policy, cfg.L3SRAMWays > 0)
+	if *bench != "" && *threads > 0 {
 		cfg.Cores = *threads
-		var b lap.Benchmark
-		b, err = lap.BenchmarkByName(*bench)
-		if err == nil {
-			res, err = lap.RunThreaded(cfg, p, b, *accesses, *seed)
-		}
-	case *bench != "":
-		res, err = lap.Run(cfg, p, lap.DuplicateMix(*bench, cfg.Cores), *accesses, *seed)
-	case *mixArg != "":
-		mix, merrr := resolveMix(*mixArg, cfg.Cores)
-		if merrr != nil {
-			fatal("%v", merrr)
-		}
-		res, err = lap.Run(cfg, p, mix, *accesses, *seed)
-	default:
-		fatal("one of -mix, -bench or -trace is required")
 	}
-	if err != nil {
-		fatal("%v", err)
+	runOne := func(p lap.Policy) (lap.Result, error) {
+		switch {
+		case *traceFile != "":
+			return replayTrace(cfg, p, *traceFile)
+		case *bench != "" && *threads > 0:
+			b, err := lap.BenchmarkByName(*bench)
+			if err != nil {
+				return lap.Result{}, err
+			}
+			return lap.RunThreaded(cfg, p, b, *accesses, *seed)
+		case *bench != "":
+			return lap.Run(cfg, p, lap.DuplicateMix(*bench, cfg.Cores), *accesses, *seed)
+		case *mixArg != "":
+			mix, err := resolveMix(*mixArg, cfg.Cores)
+			if err != nil {
+				return lap.Result{}, err
+			}
+			return lap.Run(cfg, p, mix, *accesses, *seed)
+		default:
+			fatal("one of -mix, -bench or -trace is required")
+			panic("unreachable")
+		}
 	}
-	report(res)
+
+	// Policies are independent simulations: fan them out on a bounded
+	// worker pool and report in the deterministic order given.
+	results := make([]lap.Result, len(policies))
+	errs := make([]error, len(policies))
+	w := *jobs
+	if w < 1 {
+		w = 1
+	}
+	sem := make(chan struct{}, w)
+	var wg sync.WaitGroup
+	for i, p := range policies {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = runOne(p)
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			fatal("%s: %v", policies[i], err)
+		}
+	}
+	for i, res := range results {
+		if len(results) > 1 {
+			fmt.Printf("=== %s ===\n", policies[i])
+		}
+		report(res)
+		if len(results) > 1 {
+			fmt.Println()
+		}
+	}
+	if len(results) > 1 {
+		compare(policies, results)
+	}
+}
+
+// resolvePolicies parses the -policy argument: one name, a
+// comma-separated list, or "all". Lhybrid steers blocks between SRAM
+// and STT-RAM partitions, so it only runs on a hybrid LLC: "all" drops
+// it on other configurations (with a note), an explicit request fails
+// fast instead of panicking mid-simulation.
+func resolvePolicies(arg string, hybrid bool) []lap.Policy {
+	if strings.EqualFold(arg, "all") {
+		all := lap.Policies()
+		if hybrid {
+			return all
+		}
+		kept := make([]lap.Policy, 0, len(all))
+		for _, p := range all {
+			if p == lap.PolicyLhybrid {
+				fmt.Fprintln(os.Stderr, "lapsim: skipping Lhybrid (needs -llc hybrid)")
+				continue
+			}
+			kept = append(kept, p)
+		}
+		return kept
+	}
+	var out []lap.Policy
+	for _, name := range strings.Split(arg, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		p := lap.Policy(name)
+		if p == lap.PolicyLhybrid && !hybrid {
+			fatal("policy Lhybrid needs a hybrid LLC (pass -llc hybrid)")
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		fatal("no policy given")
+	}
+	return out
+}
+
+// compare prints EPI and throughput normalised to the first policy.
+func compare(policies []lap.Policy, results []lap.Result) {
+	base := results[0]
+	fmt.Printf("comparison (normalised to %s)\n", policies[0])
+	fmt.Printf("  %-14s %10s %10s %12s\n", "policy", "EPI", "rel. EPI", "rel. IPC")
+	for i, res := range results {
+		relEPI, relIPC := 1.0, 1.0
+		if base.EPI.Total() > 0 {
+			relEPI = res.EPI.Total() / base.EPI.Total()
+		}
+		if base.Throughput > 0 {
+			relIPC = res.Throughput / base.Throughput
+		}
+		fmt.Printf("  %-14s %10.4f %10.2f %12.2f\n", policies[i], res.EPI.Total(), relEPI, relIPC)
+	}
 }
 
 func resolveMix(arg string, cores int) (lap.Mix, error) {

@@ -3,12 +3,18 @@
 // much energy LAP saves — by sweeping a scaled STT-RAM cell from 2x to
 // 25x and printing LAP's savings over non-inclusion and exclusion.
 //
+// The sweep points are independent, so they fan out across one goroutine
+// per (ratio, policy) simulation, bounded by GOMAXPROCS, and print in
+// ratio order once all results are in.
+//
 // Run with: go run ./examples/policysweep
 package main
 
 import (
 	"fmt"
 	"log"
+	"runtime"
+	"sync"
 
 	lap "repro"
 )
@@ -16,22 +22,38 @@ import (
 func main() {
 	mix := lap.Mix{Name: "sweep", Members: []string{"omnetpp", "libquantum", "xalancbmk", "GemsFDTD"}}
 	const accesses = 200_000
+	ratios := []float64{2, 4, 8, 16, 25}
+	policies := []lap.Policy{lap.PolicyNonInclusive, lap.PolicyExclusive, lap.PolicyLAP}
+
+	// One cell per (ratio, policy); goroutines write disjoint slots, so
+	// the only synchronisation needed is the WaitGroup.
+	results := make([][]lap.Result, len(ratios))
+	errs := make([]error, len(ratios)*len(policies))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, ratio := range ratios {
+		results[i] = make([]lap.Result, len(policies))
+		cfg := lap.DefaultConfig().WithSTTL3(lap.STTRAM().WithWriteReadRatio(ratio))
+		for j, p := range policies {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				results[i][j], errs[i*len(policies)+j] = lap.Run(cfg, p, mix, accesses, 1)
+			}()
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	fmt.Println("w/r ratio   LAP vs non-inclusive   LAP vs exclusive")
-	for _, ratio := range []float64{2, 4, 8, 16, 25} {
-		cfg := lap.DefaultConfig().WithSTTL3(lap.STTRAM().WithWriteReadRatio(ratio))
-		noni, err := lap.Run(cfg, lap.PolicyNonInclusive, mix, accesses, 1)
-		if err != nil {
-			log.Fatal(err)
-		}
-		ex, err := lap.Run(cfg, lap.PolicyExclusive, mix, accesses, 1)
-		if err != nil {
-			log.Fatal(err)
-		}
-		res, err := lap.Run(cfg, lap.PolicyLAP, mix, accesses, 1)
-		if err != nil {
-			log.Fatal(err)
-		}
+	for i, ratio := range ratios {
+		noni, ex, res := results[i][0], results[i][1], results[i][2]
 		fmt.Printf("%8.1fx   %19.1f%%   %15.1f%%\n",
 			ratio,
 			100*(1-res.EPI.Total()/noni.EPI.Total()),

@@ -61,6 +61,7 @@ func baselines(cfg sim.Config, mix workload.Mix, opt Options) mixStats {
 func randomMixStats(opt Options) []mixStats {
 	cfg := sim.DefaultConfig()
 	mixes := workload.RandomMixes(opt.RandomMixes, cfg.Cores, opt.Seed)
+	warmMixRuns(cfg, opt, mixes, noniPol(), exPol())
 	stats := make([]mixStats, len(mixes))
 	for i, m := range mixes {
 		stats[i] = baselines(cfg, m, opt)
@@ -83,7 +84,11 @@ func Fig12(opt Options) *Table {
 			"paper shape: SRAM always favours exclusion; STT splits by Wrel (WL: ex ~18% better; WH: ex ~12% worse)",
 		},
 	}
-	for _, mix := range workload.TableIII() {
+	mixes := workload.TableIII()
+	warm(opt, append(
+		mixRunBatch(stt, opt, mixes, noniPol(), exPol()),
+		mixRunBatch(sram, opt, mixes, noniPol(), exPol())...))
+	for _, mix := range mixes {
 		bSTT := baselines(stt, mix, opt)
 		bSRAM := baselines(sram, mix, opt)
 		t.AddRow(mix.Name,
@@ -161,6 +166,16 @@ func Fig14(opt Options) *Table {
 			"paper shape: LAP saves ~20%/~12% energy vs noni/ex, Dswitch ~10%/~2%; LAP throughput ~= exclusive (+2%)",
 		},
 	}
+	mixes := workload.TableIII()
+	stats := randomMixStats(opt) // warms its own baselines in parallel
+	statMixes := make([]workload.Mix, len(stats))
+	for i, s := range stats {
+		statMixes[i] = s.Mix
+	}
+	withBase := append([]namedPolicy{noniPol()}, pols...)
+	warm(opt, append(
+		mixRunBatch(cfg, opt, mixes, withBase...),
+		mixRunBatch(cfg, opt, statMixes, pols...)...))
 	addMix := func(mix workload.Mix) {
 		base := run(cfg, "noni", Noni(), mix, opt)
 		epi := []string{mix.Name, "EPI"}
@@ -174,12 +189,11 @@ func Fig14(opt Options) *Table {
 		}
 		t.Rows = append(t.Rows, epi, dyn, perf)
 	}
-	for _, mix := range workload.TableIII() {
+	for _, mix := range mixes {
 		addMix(mix)
 	}
 	// Averages over the random mixes.
 	sums := make(map[string][3]float64, len(pols))
-	stats := randomMixStats(opt)
 	for _, s := range stats {
 		for _, p := range pols {
 			r := run(cfg, p.Name, p.New, s.Mix, opt)
@@ -217,7 +231,9 @@ func Fig15(opt Options) *Table {
 		},
 	}
 	pols := []namedPolicy{{"noni", Noni()}, {"ex", Ex()}, {"LAP", LAP(opt)}}
-	for _, mix := range workload.TableIII() {
+	mixes := workload.TableIII()
+	warmMixRuns(cfg, opt, mixes, pols...)
+	for _, mix := range mixes {
 		noniRun := run(cfg, "noni", Noni(), mix, opt)
 		base := float64(noniRun.Met.WritesToLLC())
 		for _, p := range pols {
@@ -246,7 +262,9 @@ func Fig16(opt Options) *Table {
 			"paper shape: WH mixes have many loop-blocks; FLEX/Dswitch trim a few points; LAP removes most",
 		},
 	}
-	for _, mix := range workload.TableIII() {
+	mixes := workload.TableIII()
+	warmMixRuns(cfg, opt, mixes, pols...)
+	for _, mix := range mixes {
 		row := []string{mix.Name}
 		for _, p := range pols {
 			r := run(cfg, p.Name, p.New, mix, opt)
@@ -273,6 +291,7 @@ func Fig17(opt Options) *Table {
 	}
 	total := 0.0
 	mixes := workload.TableIII()
+	warmMixRuns(cfg, opt, mixes, noniPol())
 	for _, mix := range mixes {
 		r := run(cfg, "noni", Noni(), mix, opt)
 		fr := r.Prof.RedundantFillFrac()
@@ -297,6 +316,7 @@ func Fig18(opt Options) *Table {
 	}
 	var sumEx, sumLap float64
 	mixes := workload.TableIII()
+	warmMixRuns(cfg, opt, mixes, noniPol(), exPol(), namedPolicy{"LAP", LAP(opt)})
 	for _, mix := range mixes {
 		base := run(cfg, "noni", Noni(), mix, opt)
 		ex := run(cfg, "ex", Ex(), mix, opt)
@@ -326,6 +346,8 @@ func Fig19(opt Options) *Table {
 	}
 	var s1, s2, s3 float64
 	mixes := workload.TableIII()
+	warmMixRuns(cfg, opt, mixes, noniPol(),
+		namedPolicy{"LAP-LRU", LAPLRU()}, namedPolicy{"LAP-Loop", LAPLoop()}, namedPolicy{"LAP", LAP(opt)})
 	for _, mix := range mixes {
 		base := run(cfg, "noni", Noni(), mix, opt)
 		lru := run(cfg, "LAP-LRU", LAPLRU(), mix, opt)

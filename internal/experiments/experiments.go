@@ -32,6 +32,11 @@ type Options struct {
 	// cycles over 2B-cycle runs; our shorter runs scale the window so the
 	// duel still re-elects many times per run.
 	DuelPeriod uint64
+	// Jobs bounds the scheduler's worker pool for the batched simulation
+	// runs (see sched.go): 0 means one worker per schedulable CPU
+	// (runtime.GOMAXPROCS), 1 forces the fully serial path. Tables are
+	// byte-identical for any value; Jobs only changes wall-clock.
+	Jobs int
 }
 
 // Defaults returns the standard experiment scale.

@@ -15,6 +15,16 @@ func tiny() Options {
 	return Options{Accesses: 40_000, Seed: 2016, RandomMixes: 3, DuelPeriod: 60_000}
 }
 
+// skipHeavyUnderRace skips the heavyweight shape tests when the race
+// detector is on. Their scheduler/memo paths are already exercised at a
+// smaller scale by sched_test.go, so under the detector's ~10x slowdown
+// they dominate the suite without adding race coverage.
+func skipHeavyUnderRace(t *testing.T) {
+	if raceEnabled {
+		t.Skip("heavy shape test: race coverage provided by sched_test.go")
+	}
+}
+
 func TestRegistryCoversOrder(t *testing.T) {
 	reg := Registry(tiny())
 	for _, id := range Order() {
@@ -54,6 +64,7 @@ func TestTable1MatchesPaper(t *testing.T) {
 }
 
 func TestFig2ShapeHolds(t *testing.T) {
+	skipHeavyUnderRace(t)
 	opt := tiny()
 	opt.Accesses = 120_000
 	rows := Fig2Data(opt)
@@ -85,6 +96,7 @@ func TestFig2ShapeHolds(t *testing.T) {
 }
 
 func TestFig4LoopWorkloadsStandOut(t *testing.T) {
+	skipHeavyUnderRace(t)
 	// Loop-block statistics need enough passes over the ~1.5MB loop
 	// regions to accumulate clean-trip runs, hence the longer trace.
 	opt := tiny()
@@ -139,6 +151,7 @@ func TestFig13BorderlineNote(t *testing.T) {
 // TestFig14LAPWins asserts the paper's headline on every Table III mix:
 // LAP's EPI is at or below both traditional policies.
 func TestFig14LAPWins(t *testing.T) {
+	skipHeavyUnderRace(t)
 	opt := tiny()
 	opt.Accesses = 100_000
 	cfg := sim.DefaultConfig()
@@ -169,6 +182,7 @@ func TestFig15LAPNeverFills(t *testing.T) {
 }
 
 func TestFig23MonotoneInRatio(t *testing.T) {
+	skipHeavyUnderRace(t)
 	opt := tiny()
 	tab := Fig23(opt)
 	// The sweep rows come first; savings must increase with the ratio.
@@ -194,6 +208,7 @@ func TestFig23MonotoneInRatio(t *testing.T) {
 }
 
 func TestFig24LhybridBeatsLAP(t *testing.T) {
+	skipHeavyUnderRace(t)
 	opt := tiny()
 	opt.Accesses = 100_000
 	cfg := sim.DefaultConfig().WithHybridL3()
@@ -214,21 +229,25 @@ func TestMemoReuses(t *testing.T) {
 	cfg := sim.DefaultConfig()
 	mix := workload.TableIII()[0]
 	a := run(cfg, "noni", Noni(), mix, opt)
-	before := len(memo)
+	before := memo.size()
+	recalled := Stats().Recalled
 	b := run(cfg, "noni", Noni(), mix, opt)
-	if len(memo) != before {
+	if memo.size() != before {
 		t.Fatal("second identical run was not memoised")
+	}
+	if Stats().Recalled != recalled+1 {
+		t.Fatal("second identical run was not counted as recalled")
 	}
 	if a.Met != b.Met {
 		t.Fatal("memoised result differs")
 	}
 	// A different config must not hit the same entry.
 	run(cfg.WithSRAML3(), "noni", Noni(), mix, opt)
-	if len(memo) == before {
+	if memo.size() == before {
 		t.Fatal("different config shared a memo entry")
 	}
 	ResetMemo()
-	if len(memo) != 0 {
+	if memo.size() != 0 {
 		t.Fatal("ResetMemo did not clear")
 	}
 }

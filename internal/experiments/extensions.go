@@ -56,7 +56,7 @@ func ExtFlipNWrite(opt Options) *Table {
 			"the paper's Section VII orthogonality claim: inclusion-level and bit-level savings compose",
 		},
 	}
-	for _, m := range []struct {
+	scales := []struct {
 		label string
 		scale float64
 	}{
@@ -64,13 +64,23 @@ func ExtFlipNWrite(opt Options) *Table {
 		// Average Flip-N-Write energy scale for random payload updates,
 		// cross-checked by bitflip's tests (~0.37 of a full-line write).
 		{"Flip-N-Write coded", 0.37},
-	} {
+	}
+	cfgFor := func(scale float64) sim.Config {
 		cfg := sim.DefaultConfig()
 		tech := cfg.L3Tech
-		tech.WriteNJ *= m.scale
-		cfg = cfg.WithSTTL3(tech)
+		tech.WriteNJ *= scale
+		return cfg.WithSTTL3(tech)
+	}
+	mixes := workload.TableIII()
+	var batch []func()
+	for _, m := range scales {
+		batch = append(batch, mixRunBatch(cfgFor(m.scale), opt, mixes,
+			noniPol(), exPol(), namedPolicy{"LAP", LAP(opt)})...)
+	}
+	warm(opt, batch)
+	for _, m := range scales {
+		cfg := cfgFor(m.scale)
 		var exSave, lapSave float64
-		mixes := workload.TableIII()
 		for _, mix := range mixes {
 			base := run(cfg, "noni", Noni(), mix, opt)
 			ex := run(cfg, "ex", Ex(), mix, opt)
@@ -108,6 +118,7 @@ func ExtDWB(opt Options) *Table {
 	}
 	sums := make([]float64, len(pols))
 	mixes := workload.TableIII()
+	warmMixRuns(cfg, opt, mixes, append([]namedPolicy{noniPol()}, pols...)...)
 	for _, mix := range mixes {
 		base := run(cfg, "noni", Noni(), mix, opt)
 		row := []string{mix.Name}

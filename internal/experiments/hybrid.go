@@ -20,8 +20,19 @@ func Fig24(opt Options) *Table {
 			"paper shape: LAP saves ~15%/~8% vs noni/ex; Lhybrid ~22%/~15% (up to 50%/41%)",
 		},
 	}
-	sums := make([]float64, len(pols))
+	t.Rows = append(t.Rows, policyMixRows(cfg, opt, pols)...)
+	return t
+}
+
+// policyMixRows runs every (Table III mix, policy) pair under cfg —
+// warmed through the parallel scheduler, collected in mix order — and
+// returns one row per mix plus a trailing average row, each cell the
+// policy's EPI normalised to the mix's non-inclusive baseline.
+func policyMixRows(cfg sim.Config, opt Options, pols []namedPolicy) [][]string {
 	mixes := workload.TableIII()
+	warmMixRuns(cfg, opt, mixes, append([]namedPolicy{noniPol()}, pols...)...)
+	var rows [][]string
+	sums := make([]float64, len(pols))
 	for _, mix := range mixes {
 		base := run(cfg, "noni", Noni(), mix, opt)
 		row := []string{mix.Name}
@@ -31,14 +42,13 @@ func Fig24(opt Options) *Table {
 			sums[i] += rel
 			row = append(row, f2(rel))
 		}
-		t.Rows = append(t.Rows, row)
+		rows = append(rows, row)
 	}
 	avg := []string{"Avg"}
 	for _, s := range sums {
 		avg = append(avg, f2(s/float64(len(mixes))))
 	}
-	t.Rows = append(t.Rows, avg)
-	return t
+	return append(rows, avg)
 }
 
 // Fig25 ablates Lhybrid's placement stages on the hybrid LLC.
@@ -59,23 +69,6 @@ func Fig25(opt Options) *Table {
 			"paper shape: each stage helps a little; combined Lhybrid is ~7% better than plain LAP",
 		},
 	}
-	sums := make([]float64, len(pols))
-	mixes := workload.TableIII()
-	for _, mix := range mixes {
-		base := run(cfg, "noni", Noni(), mix, opt)
-		row := []string{mix.Name}
-		for i, p := range pols {
-			r := run(cfg, p.Name, p.New, mix, opt)
-			rel := ratio(r.EPI.Total(), base.EPI.Total())
-			sums[i] += rel
-			row = append(row, f2(rel))
-		}
-		t.Rows = append(t.Rows, row)
-	}
-	avg := []string{"Avg"}
-	for _, s := range sums {
-		avg = append(avg, f2(s/float64(len(mixes))))
-	}
-	t.Rows = append(t.Rows, avg)
+	t.Rows = append(t.Rows, policyMixRows(cfg, opt, pols)...)
 	return t
 }

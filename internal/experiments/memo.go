@@ -1,7 +1,9 @@
 package experiments
 
 import (
-	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -11,37 +13,143 @@ import (
 // non-inclusive baseline appears in every figure. A process-wide memo
 // avoids recomputing them when cmd/lapexp regenerates several artifacts in
 // one invocation. Keys include every knob that affects a run.
+//
+// Under the parallel scheduler (sched.go) the memo is also the
+// coordination point: it is a singleflight cache. The first request for a
+// key computes the run while concurrent duplicates block on a per-key
+// latch, so no simulation is ever executed twice no matter how many
+// workers race for it.
 
-var memo = map[string]sim.Result{}
+// memoKey identifies one simulation run. sim.Config is embedded by value,
+// so the compiler rejects this type as a map key the moment Config gains
+// a non-comparable (slice/map/func) field — the memo breaks loudly at
+// build time instead of silently keying every run differently, which the
+// old fmt.Sprintf("%+v") fingerprint could not guarantee.
+// TestMemoKeyConfigFields additionally rejects pointer fields, which
+// would compare by identity rather than by value.
+type memoKey struct {
+	Cfg        sim.Config
+	Policy     string
+	Mix        string
+	Threaded   bool
+	Accesses   uint64
+	Seed       uint64
+	DuelPeriod uint64
+}
 
-// runKey builds the memo key. Config is a plain value struct, so %+v is a
-// complete fingerprint.
-func runKey(cfg sim.Config, policy string, mix workload.Mix, opt Options) string {
-	return fmt.Sprintf("%+v|%s|%s%v|%d|%d|%d", cfg, policy, mix.Name, mix.Members, opt.Accesses, opt.Seed, opt.DuelPeriod)
+// runKey builds the memo key. Options contributes only the knobs that
+// change a run's outcome; scheduling knobs (Jobs) are deliberately
+// excluded so serial and parallel invocations share entries.
+func runKey(cfg sim.Config, policy string, mix workload.Mix, threaded bool, opt Options) memoKey {
+	return memoKey{
+		Cfg:        cfg,
+		Policy:     policy,
+		Mix:        mix.Name + "[" + strings.Join(mix.Members, ",") + "]",
+		Threaded:   threaded,
+		Accesses:   opt.Accesses,
+		Seed:       opt.Seed,
+		DuelPeriod: opt.DuelPeriod,
+	}
+}
+
+// memoEntry is one key's slot; done is closed once res is valid.
+type memoEntry struct {
+	done chan struct{}
+	res  sim.Result
+}
+
+// runMemo is the concurrency-safe singleflight run cache.
+type runMemo struct {
+	mu      sync.Mutex
+	entries map[memoKey]*memoEntry
+
+	computed atomic.Uint64
+	recalled atomic.Uint64
+}
+
+var memo = &runMemo{entries: map[memoKey]*memoEntry{}}
+
+// do returns the memoised result for key, computing it at most once per
+// cache generation: the first caller runs compute while concurrent
+// duplicates block on the entry's latch and share its result.
+func (m *runMemo) do(key memoKey, compute func() sim.Result) sim.Result {
+	m.mu.Lock()
+	if e, ok := m.entries[key]; ok {
+		m.mu.Unlock()
+		<-e.done
+		m.recalled.Add(1)
+		return e.res
+	}
+	e := &memoEntry{done: make(chan struct{})}
+	m.entries[key] = e
+	m.mu.Unlock()
+
+	completed := false
+	defer func() {
+		if !completed {
+			// compute panicked: drop the poisoned entry so a retry after a
+			// recover would recompute rather than observe a zero Result.
+			m.mu.Lock()
+			if m.entries[key] == e {
+				delete(m.entries, key)
+			}
+			m.mu.Unlock()
+		}
+		close(e.done)
+	}()
+	e.res = compute()
+	completed = true
+	m.computed.Add(1)
+	return e.res
+}
+
+// size reports the number of cached entries.
+func (m *runMemo) size() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
 }
 
 // run executes (or recalls) one simulation. policyName must uniquely
 // identify the controller the factory builds.
 func run(cfg sim.Config, policyName string, ctrl sim.Controller, mix workload.Mix, opt Options) sim.Result {
-	key := runKey(cfg, policyName, mix, opt)
-	if r, ok := memo[key]; ok {
-		return r
-	}
-	r := mustRun(cfg, ctrl, mix, opt)
-	memo[key] = r
-	return r
+	return memo.do(runKey(cfg, policyName, mix, false, opt), func() sim.Result {
+		return mustRun(cfg, ctrl, mix, opt)
+	})
 }
 
 // runThreaded executes (or recalls) one coherent multi-threaded run.
 func runThreaded(cfg sim.Config, policyName string, ctrl sim.Controller, b workload.Benchmark, opt Options) sim.Result {
-	key := runKey(cfg, policyName+"|mt", workload.Mix{Name: b.Name}, opt)
-	if r, ok := memo[key]; ok {
-		return r
-	}
-	r := sim.RunThreaded(cfg, ctrl, b, opt.Accesses, opt.Seed)
-	memo[key] = r
-	return r
+	return memo.do(runKey(cfg, policyName, workload.Mix{Name: b.Name}, true, opt), func() sim.Result {
+		return sim.RunThreaded(cfg, ctrl, b, opt.Accesses, opt.Seed)
+	})
 }
 
-// ResetMemo clears the run cache (tests use it to bound memory).
-func ResetMemo() { memo = map[string]sim.Result{} }
+// ResetMemo clears the run cache (tests and benchmarks use it to bound
+// memory and force recomputation). Contract under concurrency: the cache
+// is swapped under the memo lock, so it is safe to call with runs in
+// flight — those computations complete and deliver results to callers
+// already waiting on their latch, but become invisible to requests that
+// start after the reset, which recompute into the fresh cache. The
+// Stats counters are cumulative and survive a reset.
+func ResetMemo() {
+	memo.mu.Lock()
+	memo.entries = map[memoKey]*memoEntry{}
+	memo.mu.Unlock()
+}
+
+// MemoStats counts run-cache activity since process start: Computed is
+// the number of simulations actually executed, Recalled the number of
+// requests served from the cache (including requests that waited on an
+// in-flight computation). ResetMemo does not reset the counters, so
+// deltas around a code region meter its simulation cost (this is how
+// cmd/lapexp -timings derives per-artifact runs/sec).
+type MemoStats struct {
+	Computed uint64 `json:"computed"`
+	Recalled uint64 `json:"recalled"`
+}
+
+// Stats snapshots the memo counters.
+func Stats() MemoStats {
+	return MemoStats{Computed: memo.computed.Load(), Recalled: memo.recalled.Load()}
+}

@@ -10,6 +10,16 @@ import (
 // data-fills). All run four duplicate copies of each SPEC surrogate, as
 // the paper does.
 
+// duplicateMixes builds the per-benchmark duplicate mixes the motivation
+// figures run (four copies of each SPEC surrogate, as the paper does).
+func duplicateMixes(benches []workload.Benchmark, cores int) []workload.Mix {
+	mixes := make([]workload.Mix, len(benches))
+	for i, b := range benches {
+		mixes[i] = workload.Duplicate(b.Name, cores)
+	}
+	return mixes
+}
+
 // Fig2Row holds one benchmark's Figure 2 measurements.
 type Fig2Row struct {
 	Bench string
@@ -27,13 +37,17 @@ type Fig2Row struct {
 func Fig2Data(opt Options) []Fig2Row {
 	sttCfg := sim.DefaultConfig()
 	sramCfg := sttCfg.WithSRAML3()
+	mixes := duplicateMixes(workload.SPEC(), sttCfg.Cores)
+	warm(opt, append(
+		mixRunBatch(sttCfg, opt, mixes, noniPol(), exPol()),
+		mixRunBatch(sramCfg, opt, mixes, noniPol(), exPol())...))
 	var rows []Fig2Row
-	for _, b := range workload.SPEC() {
-		mix := workload.Duplicate(b.Name, sttCfg.Cores)
-		nSTT := mustRun(sttCfg, Noni(), mix, opt)
-		eSTT := mustRun(sttCfg, Ex(), mix, opt)
-		nSRAM := mustRun(sramCfg, Noni(), mix, opt)
-		eSRAM := mustRun(sramCfg, Ex(), mix, opt)
+	for i, b := range workload.SPEC() {
+		mix := mixes[i]
+		nSTT := run(sttCfg, "noni", Noni(), mix, opt)
+		eSTT := run(sttCfg, "ex", Ex(), mix, opt)
+		nSRAM := run(sramCfg, "noni", Noni(), mix, opt)
+		eSRAM := run(sramCfg, "ex", Ex(), mix, opt)
 		rows = append(rows, Fig2Row{
 			Bench:          b.Name,
 			SRAMExOverNoni: ratio(eSRAM.EPI.Total(), nSRAM.EPI.Total()),
@@ -77,10 +91,12 @@ func (r Fig4Row) Total() float64 { return r.CTC1 + r.CTCMid + r.CTCHigh }
 func Fig4Data(opt Options) []Fig4Row {
 	cfg := sim.DefaultConfig()
 	cfg.Profile = true
+	mixes := duplicateMixes(workload.SPEC(), cfg.Cores)
+	warmMixRuns(cfg, opt, mixes, noniPol())
 	var rows []Fig4Row
-	for _, b := range workload.SPEC() {
-		mix := workload.Duplicate(b.Name, cfg.Cores)
-		res := mustRun(cfg, Noni(), mix, opt)
+	for i, b := range workload.SPEC() {
+		mix := mixes[i]
+		res := run(cfg, "noni", Noni(), mix, opt)
 		c1, cm, ch := res.Prof.CTCBuckets()
 		rows = append(rows, Fig4Row{Bench: b.Name, CTC1: c1, CTCMid: cm, CTCHigh: ch})
 	}
@@ -115,10 +131,12 @@ type Fig6Row struct {
 func Fig6Data(opt Options) []Fig6Row {
 	cfg := sim.DefaultConfig()
 	cfg.Profile = true
+	mixes := duplicateMixes(workload.SPEC(), cfg.Cores)
+	warmMixRuns(cfg, opt, mixes, noniPol())
 	var rows []Fig6Row
-	for _, b := range workload.SPEC() {
-		mix := workload.Duplicate(b.Name, cfg.Cores)
-		res := mustRun(cfg, Noni(), mix, opt)
+	for i, b := range workload.SPEC() {
+		mix := mixes[i]
+		res := run(cfg, "noni", Noni(), mix, opt)
 		rows = append(rows, Fig6Row{Bench: b.Name, RedundantFillFrac: res.Prof.RedundantFillFrac()})
 	}
 	return rows

@@ -22,6 +22,7 @@ func Fig20(opt Options) *Table {
 	}
 	var sumE, sumP, sumS [4]float64
 	benches := workload.PARSEC()
+	warm(opt, threadedRunBatch(cfg, opt, benches, append([]namedPolicy{noniPol()}, pols...)...))
 	for _, b := range benches {
 		base := runThreaded(cfg, "noni", Noni(), b, opt)
 		eRow := []string{b.Name, "energy"}

@@ -24,10 +24,16 @@ func robustnessTable(id, title string, opt Options, configs []struct {
 			"avg over Table III mixes; the policy ordering must be stable across configurations",
 		},
 	}
+	mixes := workload.TableIII()
+	var batch []func()
+	for _, c := range configs {
+		pols := evaluatedPolicies(c.cfg, opt)
+		batch = append(batch, mixRunBatch(c.cfg, opt, mixes, append([]namedPolicy{noniPol()}, pols...)...)...)
+	}
+	warm(opt, batch)
 	for _, c := range configs {
 		pols := evaluatedPolicies(c.cfg, opt)
 		sums := make([]float64, len(pols))
-		mixes := workload.TableIII()
 		for _, mix := range mixes {
 			base := run(c.cfg, "noni", Noni(), mix, opt)
 			for i, p := range pols {

@@ -21,6 +21,7 @@ func avgEPIOverMixes(cfg sim.Config, opt Options, pols []namedPolicy) (wl, wh, a
 	// Empty groups stay empty maps so callers can skip them.
 	var nWL, nWH int
 	mixes := tableIIIMixesFor(cfg.Cores)
+	warmMixRuns(cfg, opt, mixes, append([]namedPolicy{noniPol(), exPol()}, pols...)...)
 	for _, mix := range mixes {
 		b := baselines(cfg, mix, opt)
 		isWL := b.Wrel() < 1
@@ -160,22 +161,35 @@ func Fig23(opt Options) *Table {
 			"paper shape: savings grow with the ratio; >=17% already at 2x; the ratio is the key predictor",
 		},
 	}
-	addRatio := func(ratioWR float64, label string) {
-		cfg := sim.DefaultConfig().WithSTTL3(energy.STTRAM().WithWriteReadRatio(ratioWR))
+	type point struct {
+		ratioWR float64
+		label   string
+	}
+	points := []point{}
+	for _, r := range []float64{2, 3.3, 5, 8, 12, 16, 20, 25} {
+		points = append(points, point{r, "scalability sweep"})
+	}
+	for _, pc := range energy.PublishedConfigs() {
+		points = append(points, point{pc.WriteReadRatio, pc.Ref + " " + pc.Description})
+	}
+	cfgFor := func(ratioWR float64) sim.Config {
+		return sim.DefaultConfig().WithSTTL3(energy.STTRAM().WithWriteReadRatio(ratioWR))
+	}
+	mixes := workload.TableIII()
+	var batch []func()
+	for _, p := range points {
+		batch = append(batch, mixRunBatch(cfgFor(p.ratioWR), opt, mixes, noniPol(), namedPolicy{"LAP", LAP(opt)})...)
+	}
+	warm(opt, batch)
+	for _, p := range points {
+		cfg := cfgFor(p.ratioWR)
 		var save float64
-		mixes := workload.TableIII()
 		for _, mix := range mixes {
 			base := run(cfg, "noni", Noni(), mix, opt)
 			lap := run(cfg, "LAP", LAP(opt), mix, opt)
 			save += 1 - ratio(lap.EPI.Total(), base.EPI.Total())
 		}
-		t.AddRow(fmt.Sprintf("%.1f", ratioWR), label, pct(save/float64(len(mixes))))
-	}
-	for _, r := range []float64{2, 3.3, 5, 8, 12, 16, 20, 25} {
-		addRatio(r, "scalability sweep")
-	}
-	for _, pc := range energy.PublishedConfigs() {
-		addRatio(pc.WriteReadRatio, pc.Ref+" "+pc.Description)
+		t.AddRow(fmt.Sprintf("%.1f", p.ratioWR), p.label, pct(save/float64(len(mixes))))
 	}
 	return t
 }

@@ -55,7 +55,9 @@ func Table3(opt Options) *Table {
 		Title:  "Selected SPEC CPU2006 workload mixes (WL/WH: fewer/more writes under exclusion)",
 		Header: []string{"mix", "benchmarks", "measured Wrel"},
 	}
-	for _, mix := range workload.TableIII() {
+	mixes := workload.TableIII()
+	warmMixRuns(cfg, opt, mixes, noniPol(), exPol())
+	for _, mix := range mixes {
 		b := baselines(cfg, mix, opt)
 		t.AddRow(mix.Name, strings.Join(mix.Members, ","), f2(b.Wrel()))
 	}
