@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench ci quick
+.PHONY: all build test race bench ci quick serve serve-smoke
 
 all: build
 
@@ -27,6 +27,17 @@ ci:
 	$(GO) build ./...
 	$(GO) test -race -timeout 30m ./...
 	$(GO) test -bench=BenchmarkFig14 -benchtime=1x -run '^$$' .
+	$(GO) run ./cmd/lapserved -smoke
+
+# Boot lapserved on an ephemeral port, hit /healthz and /v1/run, then
+# fire a coalesced duplicate pair and assert the recalled counter
+# advanced. Exits non-zero on any failure.
+serve-smoke:
+	$(GO) run ./cmd/lapserved -smoke
+
+# Run the simulation server on :8080 (see README "Serving simulations").
+serve:
+	$(GO) run ./cmd/lapserved
 
 # Regenerate every artifact at reduced scale (serial vs parallel timing:
 # add -jobs 1 / -jobs N and compare the -timings reports).

@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sort"
@@ -88,6 +89,31 @@ func main() {
 	if len(targets) == 0 {
 		targets = experiments.Order()
 	}
+	report, err := generate(opt, targets, *csvDir, os.Stdout, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lapexp: %v\n", err)
+		os.Exit(1)
+	}
+	if *timings != "" {
+		buf, err := encodeTimings(report)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lapexp: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*timings, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "lapexp: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[timings saved to %s]\n", *timings)
+	}
+}
+
+// generate runs the named artifacts under opt, printing each table to
+// stdout (and CSV into csvDir when non-empty), and returns the timing
+// report. Split from main so tests can drive the -timings path without
+// exec'ing the binary.
+func generate(opt experiments.Options, targets []string, csvDir string, stdout, stderr io.Writer) (timingReport, error) {
+	all := experiments.Registry(opt)
 	report := timingReport{
 		Jobs:        opt.Jobs,
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
@@ -99,26 +125,23 @@ func main() {
 	for _, name := range targets {
 		gen, ok := all[strings.ToLower(name)]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "lapexp: unknown artifact %q (try -list)\n", name)
-			os.Exit(1)
+			return report, fmt.Errorf("unknown artifact %q (try -list)", name)
 		}
 		before := experiments.Stats()
 		start := time.Now()
 		tab := gen()
 		elapsed := time.Since(start)
 		after := experiments.Stats()
-		tab.Fprint(os.Stdout)
-		if *csvDir != "" {
-			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-				fmt.Fprintf(os.Stderr, "lapexp: %v\n", err)
-				os.Exit(1)
+		tab.Fprint(stdout)
+		if csvDir != "" {
+			if err := os.MkdirAll(csvDir, 0o755); err != nil {
+				return report, err
 			}
-			path, err := tab.SaveCSV(*csvDir)
+			path, err := tab.SaveCSV(csvDir)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "lapexp: %v\n", err)
-				os.Exit(1)
+				return report, err
 			}
-			fmt.Fprintf(os.Stderr, "[saved %s]\n", path)
+			fmt.Fprintf(stderr, "[saved %s]\n", path)
 		}
 		runs := after.Computed - before.Computed
 		rate := 0.0
@@ -132,7 +155,7 @@ func main() {
 			Recalled:   after.Recalled - before.Recalled,
 			RunsPerSec: rate,
 		})
-		fmt.Fprintf(os.Stderr, "[%s done in %v: %d runs, %d recalled]\n",
+		fmt.Fprintf(stderr, "[%s done in %v: %d runs, %d recalled]\n",
 			name, elapsed.Round(time.Millisecond), runs, after.Recalled-before.Recalled)
 	}
 	report.TotalSeconds = time.Since(allStart).Seconds()
@@ -142,16 +165,14 @@ func main() {
 	if report.TotalSeconds > 0 {
 		report.RunsPerSec = float64(report.TotalRuns) / report.TotalSeconds
 	}
-	if *timings != "" {
-		buf, err := json.MarshalIndent(report, "", "  ")
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "lapexp: %v\n", err)
-			os.Exit(1)
-		}
-		if err := os.WriteFile(*timings, append(buf, '\n'), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "lapexp: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "[timings saved to %s]\n", *timings)
+	return report, nil
+}
+
+// encodeTimings renders the -timings document exactly as written to disk.
+func encodeTimings(report timingReport) ([]byte, error) {
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return nil, err
 	}
+	return append(buf, '\n'), nil
 }

@@ -1,0 +1,241 @@
+// Command lapserved serves simulations over HTTP: POST /v1/run for one
+// simulation, POST /v1/sweep for a (mix × policy) grid fanned out on a
+// worker pool, POST /v1/traces to upload binary traces, plus /healthz
+// and /v1/stats. Identical concurrent requests coalesce onto a single
+// simulation and completed results are recalled from an LRU-bounded
+// cache, so a fleet of clients hammering the same grid costs one pass.
+//
+// Examples:
+//
+//	lapserved -addr :8080
+//	curl -s localhost:8080/v1/run -d '{"mix":"WH1","policy":"LAP"}'
+//	curl -s localhost:8080/v1/sweep -d '{"jobs":8}'
+//	gzip -c trace.bin | curl -s --data-binary @- 'localhost:8080/v1/traces?name=loop'
+//	curl -s localhost:8080/v1/stats
+//
+// SIGINT/SIGTERM drain gracefully: /healthz flips to 503, new work is
+// refused, and in-flight requests get -drain-timeout to finish.
+//
+// -smoke starts the server on a loopback port, exercises /healthz, one
+// /v1/run, and a coalesced duplicate pair, then verifies via /v1/stats
+// that the duplicate was recalled rather than recomputed. It exits
+// non-zero on any failure, making it a one-command integration check
+// (`make serve-smoke`).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "max concurrently executing simulations")
+	queueDepth := flag.Int("queue-depth", 256, "max admitted-but-unfinished jobs before 429")
+	timeout := flag.Duration("request-timeout", 2*time.Minute, "per-request queue+run deadline")
+	memoEntries := flag.Int("memo-entries", 4096, "result cache bound (LRU; negative = unbounded)")
+	maxAccesses := flag.Uint64("max-accesses", 4_000_000, "per-core trace length cap for one run")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "shutdown grace for in-flight requests")
+	smoke := flag.Bool("smoke", false, "self-test against a loopback instance and exit")
+	flag.Parse()
+
+	cfg := server.Config{
+		Jobs:           *jobs,
+		QueueDepth:     *queueDepth,
+		RequestTimeout: *timeout,
+		MemoEntries:    *memoEntries,
+		MaxAccesses:    *maxAccesses,
+	}
+
+	if *smoke {
+		if err := runSmoke(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "lapserved: smoke: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("lapserved: smoke OK")
+		return
+	}
+
+	if err := serve(*addr, cfg, *drainTimeout); err != nil {
+		fmt.Fprintf(os.Stderr, "lapserved: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// serve listens on addr and blocks until SIGINT/SIGTERM, then drains.
+func serve(addr string, cfg server.Config, drainTimeout time.Duration) error {
+	s := server.New(cfg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Printf("lapserved: listening on %s (jobs=%d queue=%d)\n",
+		ln.Addr(), cfg.Jobs, cfg.QueueDepth)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Drain: advertise unhealthy first so balancers stop routing here,
+	// then let in-flight requests finish.
+	fmt.Println("lapserved: draining")
+	s.SetDraining(true)
+	sctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	fmt.Println("lapserved: stopped")
+	return nil
+}
+
+// runSmoke boots a loopback instance and walks the coalescing contract
+// end to end.
+func runSmoke(cfg server.Config) error {
+	s := server.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("lapserved: smoke instance on %s\n", base)
+
+	client := &http.Client{Timeout: time.Minute}
+
+	// 1. Liveness.
+	if err := expectStatus(client, http.MethodGet, base+"/healthz", nil, http.StatusOK); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+
+	// 2. One real simulation.
+	run := []byte(`{"mix":"WH1","policy":"LAP","accesses":20000}`)
+	body, err := postJSON(client, base+"/v1/run", run)
+	if err != nil {
+		return fmt.Errorf("run: %w", err)
+	}
+	var res struct {
+		Workload string  `json:"workload"`
+		MPKI     float64 `json:"mpki"`
+		Cycles   uint64  `json:"cycles"`
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		return fmt.Errorf("run result: %w", err)
+	}
+	if res.Cycles == 0 {
+		return fmt.Errorf("run produced no cycles: %s", body)
+	}
+	fmt.Printf("lapserved: smoke run %s: MPKI %.3f in %d cycles\n", res.Workload, res.MPKI, res.Cycles)
+
+	stats, err := getStats(client, base)
+	if err != nil {
+		return err
+	}
+	recalledBefore := stats.Recalled
+
+	// 3. A concurrent duplicate pair must coalesce: fire two identical
+	// requests and require the recalled counter to advance while the
+	// computed counter shows exactly one simulation for this key. The
+	// first run above already cached the key, so both duplicates recall.
+	errs := make(chan error, 2)
+	resp := make(chan []byte, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			b, err := postJSON(client, base+"/v1/run", run)
+			errs <- err
+			resp <- b
+		}()
+	}
+	var pair [][]byte
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			return fmt.Errorf("duplicate run: %w", err)
+		}
+		pair = append(pair, <-resp)
+	}
+	if !bytes.Equal(pair[0], pair[1]) || !bytes.Equal(pair[0], body) {
+		return fmt.Errorf("duplicate responses diverged")
+	}
+
+	stats, err = getStats(client, base)
+	if err != nil {
+		return err
+	}
+	if stats.Recalled < recalledBefore+2 {
+		return fmt.Errorf("coalescing failed: recalled %d -> %d (want +2)", recalledBefore, stats.Recalled)
+	}
+	if stats.Computed != 1 {
+		return fmt.Errorf("duplicate requests recomputed: computed=%d, want 1", stats.Computed)
+	}
+	fmt.Printf("lapserved: smoke coalescing OK (computed=%d recalled=%d)\n", stats.Computed, stats.Recalled)
+	return nil
+}
+
+func postJSON(c *http.Client, url string, body []byte) ([]byte, error) {
+	resp, err := c.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, out)
+	}
+	return out, nil
+}
+
+func getStats(c *http.Client, base string) (server.StatsResponse, error) {
+	var st server.StatsResponse
+	resp, err := c.Get(base + "/v1/stats")
+	if err != nil {
+		return st, fmt.Errorf("stats: %w", err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, fmt.Errorf("decoding stats: %w", err)
+	}
+	return st, nil
+}
+
+func expectStatus(c *http.Client, method, url string, body io.Reader, want int) error {
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != want {
+		return fmt.Errorf("got %d, want %d", resp.StatusCode, want)
+	}
+	return nil
+}

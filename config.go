@@ -28,13 +28,27 @@ func LoadConfig(path string) (Config, error) {
 	if err != nil {
 		return Config{}, fmt.Errorf("lap: reading config: %w", err)
 	}
+	cfg, err := ParseConfig(data)
+	if err != nil {
+		return Config{}, fmt.Errorf("lap: config %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// ParseConfig decodes a (possibly partial) JSON machine configuration
+// overlaid on DefaultConfig, and validates it. Empty input yields the
+// defaults. This is the byte-level core of LoadConfig, shared with the
+// lapserved request decoder.
+func ParseConfig(data []byte) (Config, error) {
 	// Start from the defaults so omitted fields stay sane.
 	cfg := DefaultConfig()
-	if err := json.Unmarshal(data, &cfg); err != nil {
-		return Config{}, fmt.Errorf("lap: decoding config %s: %w", path, err)
+	if len(data) > 0 {
+		if err := json.Unmarshal(data, &cfg); err != nil {
+			return Config{}, fmt.Errorf("decoding config: %w", err)
+		}
 	}
 	if err := ValidateConfig(cfg); err != nil {
-		return Config{}, fmt.Errorf("lap: config %s: %w", path, err)
+		return Config{}, err
 	}
 	return cfg, nil
 }

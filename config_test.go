@@ -97,3 +97,26 @@ func TestValidateConfig(t *testing.T) {
 func writeFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)
 }
+
+func TestParseConfig(t *testing.T) {
+	// Empty input yields the validated defaults.
+	cfg, err := ParseConfig(nil)
+	if err != nil || cfg != DefaultConfig() {
+		t.Fatalf("ParseConfig(nil) = %+v, %v", cfg, err)
+	}
+	// Partial overlays keep unmentioned defaults.
+	cfg, err = ParseConfig([]byte(`{"Cores": 2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Cores != 2 || cfg.L3SizeBytes != DefaultConfig().L3SizeBytes {
+		t.Fatalf("partial overlay: %+v", cfg)
+	}
+	// Invalid JSON and invalid machines both error.
+	if _, err := ParseConfig([]byte(`{`)); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	if _, err := ParseConfig([]byte(`{"Cores": -1}`)); err == nil {
+		t.Fatal("invalid machine accepted")
+	}
+}

@@ -229,10 +229,10 @@ func TestMemoReuses(t *testing.T) {
 	cfg := sim.DefaultConfig()
 	mix := workload.TableIII()[0]
 	a := run(cfg, "noni", Noni(), mix, opt)
-	before := memo.size()
+	before := memo.Len()
 	recalled := Stats().Recalled
 	b := run(cfg, "noni", Noni(), mix, opt)
-	if memo.size() != before {
+	if memo.Len() != before {
 		t.Fatal("second identical run was not memoised")
 	}
 	if Stats().Recalled != recalled+1 {
@@ -243,11 +243,11 @@ func TestMemoReuses(t *testing.T) {
 	}
 	// A different config must not hit the same entry.
 	run(cfg.WithSRAML3(), "noni", Noni(), mix, opt)
-	if memo.size() == before {
+	if memo.Len() == before {
 		t.Fatal("different config shared a memo entry")
 	}
 	ResetMemo()
-	if memo.size() != 0 {
+	if memo.Len() != 0 {
 		t.Fatal("ResetMemo did not clear")
 	}
 }

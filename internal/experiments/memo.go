@@ -2,9 +2,8 @@ package experiments
 
 import (
 	"strings"
-	"sync"
-	"sync/atomic"
 
+	memocache "repro/internal/memo"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -18,7 +17,10 @@ import (
 // coordination point: it is a singleflight cache. The first request for a
 // key computes the run while concurrent duplicates block on a per-key
 // latch, so no simulation is ever executed twice no matter how many
-// workers race for it.
+// workers race for it. The machinery lives in internal/memo (promoted
+// there so lapserved can share it); this file keeps the experiment-shaped
+// key and the package-level wrappers so artifact generators and their
+// determinism tests are unaffected by the extraction.
 
 // memoKey identifies one simulation run. sim.Config is embedded by value,
 // so the compiler rejects this type as a map key the moment Config gains
@@ -52,91 +54,30 @@ func runKey(cfg sim.Config, policy string, mix workload.Mix, threaded bool, opt 
 	}
 }
 
-// memoEntry is one key's slot; done is closed once res is valid.
-type memoEntry struct {
-	done chan struct{}
-	res  sim.Result
-}
-
-// runMemo is the concurrency-safe singleflight run cache.
-type runMemo struct {
-	mu      sync.Mutex
-	entries map[memoKey]*memoEntry
-
-	computed atomic.Uint64
-	recalled atomic.Uint64
-}
-
-var memo = &runMemo{entries: map[memoKey]*memoEntry{}}
-
-// do returns the memoised result for key, computing it at most once per
-// cache generation: the first caller runs compute while concurrent
-// duplicates block on the entry's latch and share its result.
-func (m *runMemo) do(key memoKey, compute func() sim.Result) sim.Result {
-	m.mu.Lock()
-	if e, ok := m.entries[key]; ok {
-		m.mu.Unlock()
-		<-e.done
-		m.recalled.Add(1)
-		return e.res
-	}
-	e := &memoEntry{done: make(chan struct{})}
-	m.entries[key] = e
-	m.mu.Unlock()
-
-	completed := false
-	defer func() {
-		if !completed {
-			// compute panicked: drop the poisoned entry so a retry after a
-			// recover would recompute rather than observe a zero Result.
-			m.mu.Lock()
-			if m.entries[key] == e {
-				delete(m.entries, key)
-			}
-			m.mu.Unlock()
-		}
-		close(e.done)
-	}()
-	e.res = compute()
-	completed = true
-	m.computed.Add(1)
-	return e.res
-}
-
-// size reports the number of cached entries.
-func (m *runMemo) size() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.entries)
-}
+// memo is the process-wide singleflight run cache. Artifact sweeps are
+// finite (one lapexp invocation touches a bounded set of runs), so the
+// cache is unbounded here; lapserved builds its own bounded instance.
+var memo = memocache.New[memoKey, sim.Result](0)
 
 // run executes (or recalls) one simulation. policyName must uniquely
 // identify the controller the factory builds.
 func run(cfg sim.Config, policyName string, ctrl sim.Controller, mix workload.Mix, opt Options) sim.Result {
-	return memo.do(runKey(cfg, policyName, mix, false, opt), func() sim.Result {
+	return memo.Do(runKey(cfg, policyName, mix, false, opt), func() sim.Result {
 		return mustRun(cfg, ctrl, mix, opt)
 	})
 }
 
 // runThreaded executes (or recalls) one coherent multi-threaded run.
 func runThreaded(cfg sim.Config, policyName string, ctrl sim.Controller, b workload.Benchmark, opt Options) sim.Result {
-	return memo.do(runKey(cfg, policyName, workload.Mix{Name: b.Name}, true, opt), func() sim.Result {
+	return memo.Do(runKey(cfg, policyName, workload.Mix{Name: b.Name}, true, opt), func() sim.Result {
 		return sim.RunThreaded(cfg, ctrl, b, opt.Accesses, opt.Seed)
 	})
 }
 
 // ResetMemo clears the run cache (tests and benchmarks use it to bound
-// memory and force recomputation). Contract under concurrency: the cache
-// is swapped under the memo lock, so it is safe to call with runs in
-// flight — those computations complete and deliver results to callers
-// already waiting on their latch, but become invisible to requests that
-// start after the reset, which recompute into the fresh cache. The
-// Stats counters are cumulative and survive a reset.
-func ResetMemo() {
-	memo.mu.Lock()
-	memo.entries = map[memoKey]*memoEntry{}
-	memo.mu.Unlock()
-}
+// memory and force recomputation). See memo.Cache.Reset for the contract
+// under concurrency; the Stats counters survive a reset.
+func ResetMemo() { memo.Reset() }
 
 // MemoStats counts run-cache activity since process start: Computed is
 // the number of simulations actually executed, Recalled the number of
@@ -151,5 +92,6 @@ type MemoStats struct {
 
 // Stats snapshots the memo counters.
 func Stats() MemoStats {
-	return MemoStats{Computed: memo.computed.Load(), Recalled: memo.recalled.Load()}
+	s := memo.Stats()
+	return MemoStats{Computed: s.Computed, Recalled: s.Recalled}
 }

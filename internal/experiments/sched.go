@@ -2,9 +2,8 @@ package experiments
 
 import (
 	"runtime"
-	"sync"
-	"sync/atomic"
 
+	"repro/internal/pool"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -19,43 +18,28 @@ import (
 // pass that follows observes finished results in its own order. Every
 // emitted table is therefore byte-identical for any worker count.
 
-// workers resolves the effective worker count: Jobs when positive,
-// otherwise one worker per schedulable CPU.
+// workers resolves the effective worker count: Jobs when positive, one
+// worker per schedulable CPU when zero. Negative Jobs is a caller bug
+// (no sensible meaning exists); clamp it to the serial path rather than
+// silently falling through to GOMAXPROCS, which would make an invalid
+// value behave like the most parallel one.
 func (o Options) workers() int {
 	if o.Jobs > 0 {
 		return o.Jobs
+	}
+	if o.Jobs < 0 {
+		return 1
 	}
 	return runtime.GOMAXPROCS(0)
 }
 
 // warm executes the batch on up to opt.workers() goroutines and waits
-// for all of them. With a single worker it is a no-op: the serial
-// collection path that follows computes each run itself, exactly as the
-// pre-scheduler code did, so Jobs=1 is the old serial execution.
+// for all of them (see pool.Warm). With a single worker it is a no-op:
+// the serial collection path that follows computes each run itself,
+// exactly as the pre-scheduler code did, so Jobs=1 is the old serial
+// execution.
 func warm(opt Options, batch []func()) {
-	w := opt.workers()
-	if w > len(batch) {
-		w = len(batch)
-	}
-	if w <= 1 {
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for i := 0; i < w; i++ {
-		go func() {
-			defer wg.Done()
-			for {
-				j := int(next.Add(1)) - 1
-				if j >= len(batch) {
-					return
-				}
-				batch[j]()
-			}
-		}()
-	}
-	wg.Wait()
+	pool.Warm(opt.workers(), batch)
 }
 
 // mixRunBatch builds the warm batch for one run per (mix, policy) pair

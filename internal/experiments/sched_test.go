@@ -14,11 +14,19 @@ import (
 )
 
 func TestOptionsWorkers(t *testing.T) {
-	if got := (Options{Jobs: 3}).workers(); got != 3 {
-		t.Errorf("Jobs=3 workers = %d", got)
+	cases := []struct {
+		jobs, want int
+	}{
+		{jobs: -1, want: 1}, // negative is a caller bug: clamp to serial
+		{jobs: 0, want: runtime.GOMAXPROCS(0)},
+		{jobs: 1, want: 1},
+		{jobs: 3, want: 3},
+		{jobs: 8, want: 8},
 	}
-	if got := (Options{}).workers(); got != runtime.GOMAXPROCS(0) {
-		t.Errorf("Jobs=0 workers = %d, want GOMAXPROCS=%d", got, runtime.GOMAXPROCS(0))
+	for _, c := range cases {
+		if got := (Options{Jobs: c.jobs}).workers(); got != c.want {
+			t.Errorf("Jobs=%d workers = %d, want %d", c.jobs, got, c.want)
+		}
 	}
 }
 
@@ -88,7 +96,7 @@ func TestSingleflightSharesComputation(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			results[i] = memo.do(key, func() sim.Result {
+			results[i] = memo.Do(key, func() sim.Result {
 				<-release // hold the latch so duplicates must wait
 				computes.Add(1)
 				return sim.Result{Policy: "only-once"}
@@ -105,8 +113,8 @@ func TestSingleflightSharesComputation(t *testing.T) {
 			t.Fatalf("caller %d observed %+v", i, r)
 		}
 	}
-	if memo.size() != 1 {
-		t.Fatalf("memo size = %d, want 1", memo.size())
+	if memo.Len() != 1 {
+		t.Fatalf("memo size = %d, want 1", memo.Len())
 	}
 }
 
@@ -128,7 +136,7 @@ func TestMemoHammer(t *testing.T) {
 			for i := 0; i < iterations; i++ {
 				k := memoKey{Policy: "hammer", Seed: uint64(i % keys)}
 				want := fmt.Sprintf("hammer-%d", i%keys)
-				res := memo.do(k, func() sim.Result {
+				res := memo.Do(k, func() sim.Result {
 					return sim.Result{Policy: want}
 				})
 				if res.Policy != want {
@@ -155,12 +163,12 @@ func TestMemoPanicDoesNotPoison(t *testing.T) {
 				t.Fatal("expected panic to propagate")
 			}
 		}()
-		memo.do(key, func() sim.Result { panic("boom") })
+		memo.Do(key, func() sim.Result { panic("boom") })
 	}()
-	if memo.size() != 0 {
-		t.Fatalf("poisoned entry survived: memo size = %d", memo.size())
+	if memo.Len() != 0 {
+		t.Fatalf("poisoned entry survived: memo size = %d", memo.Len())
 	}
-	res := memo.do(key, func() sim.Result { return sim.Result{Policy: "retry"} })
+	res := memo.Do(key, func() sim.Result { return sim.Result{Policy: "retry"} })
 	if res.Policy != "retry" {
 		t.Fatalf("retry after panic returned %+v", res)
 	}
@@ -174,7 +182,7 @@ func TestWarmPopulatesMemo(t *testing.T) {
 	cfg := sim.DefaultConfig()
 	mixes := workload.TableIII()[:2]
 	warmMixRuns(cfg, opt, mixes, noniPol(), exPol())
-	if got, want := memo.size(), len(mixes)*2; got != want {
+	if got, want := memo.Len(), len(mixes)*2; got != want {
 		t.Fatalf("memo size after warm = %d, want %d", got, want)
 	}
 	before := Stats()

@@ -1,0 +1,183 @@
+// Package memo provides a concurrency-safe singleflight result cache
+// with an optional size-bounded LRU eviction layer.
+//
+// The cache was born as the run memo of internal/experiments (PR 1),
+// where it coordinates the parallel artifact scheduler: the first
+// request for a key computes the value while concurrent duplicates
+// block on a per-key latch and share the result, so no computation is
+// ever executed twice no matter how many workers race for it. Promoted
+// here, the same machinery backs long-lived consumers — most notably
+// the lapserved result cache — which additionally need a bound on
+// resident entries; New's maxEntries enables least-recently-used
+// eviction of *completed* entries (in-flight computations are never
+// evicted, so the singleflight guarantee survives any bound).
+package memo
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is a singleflight memo from comparable keys to values. The zero
+// value is not ready to use; construct with New.
+type Cache[K comparable, V any] struct {
+	mu      sync.Mutex
+	max     int                // 0 = unbounded
+	entries map[K]*entry[K, V] // all entries, including in-flight
+	order   *list.List         // completed entries, most recent at front
+
+	computed atomic.Uint64
+	recalled atomic.Uint64
+	evicted  atomic.Uint64
+}
+
+// entry is one key's slot; done is closed once res is valid. elem is the
+// entry's node in the LRU order list, nil while the computation is in
+// flight (in-flight entries are exempt from eviction).
+type entry[K comparable, V any] struct {
+	key  K
+	done chan struct{}
+	res  V
+	elem *list.Element
+}
+
+// New returns an empty cache. maxEntries bounds the number of resident
+// completed entries, evicting least-recently-used ones past the bound;
+// 0 (or negative) means unbounded.
+func New[K comparable, V any](maxEntries int) *Cache[K, V] {
+	if maxEntries < 0 {
+		maxEntries = 0
+	}
+	return &Cache[K, V]{
+		max:     maxEntries,
+		entries: map[K]*entry[K, V]{},
+		order:   list.New(),
+	}
+}
+
+// Do returns the memoised value for key, computing it at most once per
+// cache generation: the first caller runs compute while concurrent
+// duplicates block on the entry's latch and share its result.
+func (c *Cache[K, V]) Do(key K, compute func() V) V {
+	v, _ := c.do(context.Background(), key, compute)
+	return v
+}
+
+// DoCtx is Do with a bounded wait: a caller that would block on another
+// goroutine's in-flight computation gives up when ctx is done, returning
+// the zero value and ctx's error. The computation itself is never
+// cancelled — the caller that owns it runs compute to completion
+// regardless of its own ctx, so waiters that stay see a valid result.
+func (c *Cache[K, V]) DoCtx(ctx context.Context, key K, compute func() V) (V, error) {
+	return c.do(ctx, key, compute)
+}
+
+func (c *Cache[K, V]) do(ctx context.Context, key K, compute func() V) (V, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		if e.elem != nil {
+			c.order.MoveToFront(e.elem)
+		}
+		c.mu.Unlock()
+		select {
+		case <-e.done:
+			c.recalled.Add(1)
+			return e.res, nil
+		case <-ctx.Done():
+			var zero V
+			return zero, ctx.Err()
+		}
+	}
+	e := &entry[K, V]{key: key, done: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	completed := false
+	defer func() {
+		if !completed {
+			// compute panicked: drop the poisoned entry so a retry after a
+			// recover would recompute rather than observe a zero value.
+			c.mu.Lock()
+			if c.entries[key] == e {
+				delete(c.entries, key)
+			}
+			c.mu.Unlock()
+		}
+		close(e.done)
+	}()
+	e.res = compute()
+	completed = true
+	c.computed.Add(1)
+
+	c.mu.Lock()
+	// A concurrent Reset may have replaced the map; only entries still
+	// resident join the LRU order (and become evictable).
+	if c.entries[key] == e {
+		e.elem = c.order.PushFront(e)
+		c.evictLocked()
+	}
+	c.mu.Unlock()
+	return e.res, nil
+}
+
+// evictLocked drops least-recently-used completed entries until the
+// bound holds. In-flight entries are not in the order list, so a burst
+// of concurrent distinct computations can transiently exceed the bound
+// by the in-flight count; they become evictable on completion.
+func (c *Cache[K, V]) evictLocked() {
+	if c.max <= 0 {
+		return
+	}
+	for c.order.Len() > c.max {
+		back := c.order.Back()
+		e := back.Value.(*entry[K, V])
+		c.order.Remove(back)
+		if c.entries[e.key] == e {
+			delete(c.entries, e.key)
+		}
+		c.evicted.Add(1)
+	}
+}
+
+// Len reports the number of resident entries, including in-flight ones.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Reset clears the cache. Contract under concurrency: the entry map is
+// swapped under the lock, so it is safe to call with computations in
+// flight — those complete and deliver results to callers already
+// waiting on their latch, but become invisible to requests that start
+// after the reset, which recompute into the fresh cache. The Stats
+// counters are cumulative and survive a reset.
+func (c *Cache[K, V]) Reset() {
+	c.mu.Lock()
+	c.entries = map[K]*entry[K, V]{}
+	c.order = list.New()
+	c.mu.Unlock()
+}
+
+// Stats counts cache activity since construction. Computed is the
+// number of computations actually executed, Recalled the number of
+// requests served from the cache (including requests that waited on an
+// in-flight computation), Evicted the number of completed entries
+// dropped by the LRU bound. Reset does not touch the counters, so
+// deltas around a code region meter its computation cost.
+type Stats struct {
+	Computed uint64 `json:"computed"`
+	Recalled uint64 `json:"recalled"`
+	Evicted  uint64 `json:"evicted"`
+}
+
+// Stats snapshots the counters.
+func (c *Cache[K, V]) Stats() Stats {
+	return Stats{
+		Computed: c.computed.Load(),
+		Recalled: c.recalled.Load(),
+		Evicted:  c.evicted.Load(),
+	}
+}

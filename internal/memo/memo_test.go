@@ -1,0 +1,216 @@
+package memo
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDoComputesOnceAndRecalls(t *testing.T) {
+	c := New[string, int](0)
+	calls := 0
+	compute := func() int { calls++; return 42 }
+	if got := c.Do("k", compute); got != 42 {
+		t.Fatalf("first Do = %d", got)
+	}
+	if got := c.Do("k", compute); got != 42 {
+		t.Fatalf("second Do = %d", got)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	s := c.Stats()
+	if s.Computed != 1 || s.Recalled != 1 || s.Evicted != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestSingleflight races many goroutines on one fresh key and requires
+// exactly one compute, with every caller observing its result.
+func TestSingleflight(t *testing.T) {
+	c := New[string, string](0)
+	var computes atomic.Int64
+	release := make(chan struct{})
+	const callers = 32
+	results := make([]string, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i] = c.Do("key", func() string {
+				<-release // hold the latch so duplicates must wait
+				computes.Add(1)
+				return "only-once"
+			})
+		}()
+	}
+	close(release)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+	for i, r := range results {
+		if r != "only-once" {
+			t.Fatalf("caller %d observed %q", i, r)
+		}
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache size = %d, want 1", c.Len())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New[int, int](2)
+	c.Do(1, func() int { return 1 })
+	c.Do(2, func() int { return 2 })
+	// Touch 1 so it is most recent; inserting 3 must evict 2.
+	c.Do(1, func() int { t.Fatal("1 recomputed"); return 0 })
+	c.Do(3, func() int { return 3 })
+	if c.Len() != 2 {
+		t.Fatalf("cache size = %d, want 2", c.Len())
+	}
+	recomputed := false
+	c.Do(2, func() int { recomputed = true; return 2 })
+	if !recomputed {
+		t.Fatal("evicted key 2 was still cached")
+	}
+	// Re-inserting 2 evicted the then-LRU key 1; 3 must still be cached.
+	c.Do(3, func() int { t.Fatal("retained key 3 recomputed"); return 0 })
+	if got := c.Stats().Evicted; got != 2 {
+		t.Fatalf("evicted = %d, want 2", got)
+	}
+}
+
+func TestUnboundedNeverEvicts(t *testing.T) {
+	c := New[int, int](0)
+	for i := 0; i < 1000; i++ {
+		c.Do(i, func() int { return i })
+	}
+	if c.Len() != 1000 {
+		t.Fatalf("cache size = %d, want 1000", c.Len())
+	}
+	if s := c.Stats(); s.Evicted != 0 {
+		t.Fatalf("evicted = %d, want 0", s.Evicted)
+	}
+}
+
+// TestInFlightExemptFromEviction overflows a size-1 cache with entries
+// while another key's computation is still in flight; the in-flight
+// entry must survive and deliver its result to a waiter.
+func TestInFlightExemptFromEviction(t *testing.T) {
+	c := New[string, int](1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var slow int
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		c.Do("slow", func() int { close(started); <-release; return 7 })
+	}()
+	<-started
+	go func() {
+		defer wg.Done()
+		slow = c.Do("slow", func() int { t.Error("duplicate compute"); return 0 })
+	}()
+	for i := 0; i < 10; i++ {
+		c.Do(fmt.Sprintf("filler-%d", i), func() int { return i })
+	}
+	close(release)
+	wg.Wait()
+	if slow != 7 {
+		t.Fatalf("waiter observed %d, want 7", slow)
+	}
+}
+
+func TestPanicDoesNotPoison(t *testing.T) {
+	c := New[string, int](0)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic to propagate")
+			}
+		}()
+		c.Do("k", func() int { panic("boom") })
+	}()
+	if c.Len() != 0 {
+		t.Fatalf("poisoned entry survived: size = %d", c.Len())
+	}
+	if got := c.Do("k", func() int { return 9 }); got != 9 {
+		t.Fatalf("retry after panic = %d", got)
+	}
+}
+
+func TestResetForcesRecompute(t *testing.T) {
+	c := New[string, int](0)
+	c.Do("k", func() int { return 1 })
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatalf("size after reset = %d", c.Len())
+	}
+	recomputed := false
+	c.Do("k", func() int { recomputed = true; return 2 })
+	if !recomputed {
+		t.Fatal("entry survived reset")
+	}
+	if s := c.Stats(); s.Computed != 2 {
+		t.Fatalf("computed = %d, want 2 (counters survive reset)", s.Computed)
+	}
+}
+
+func TestDoCtxTimesOutWaiters(t *testing.T) {
+	c := New[string, int](0)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go c.Do("k", func() int { close(started); <-release; return 1 })
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, err := c.DoCtx(ctx, "k", func() int { t.Error("duplicate compute"); return 0 })
+	if err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	close(release)
+	// A post-completion caller still recalls the computed value.
+	v, err := c.DoCtx(context.Background(), "k", func() int { t.Error("recompute"); return 0 })
+	if err != nil || v != 1 {
+		t.Fatalf("post-completion DoCtx = %d, %v", v, err)
+	}
+}
+
+// TestHammer drives duplicate keys, concurrent resets, and a tight LRU
+// bound through the cache; it exists chiefly for go test -race.
+func TestHammer(t *testing.T) {
+	c := New[int, string](5)
+	const (
+		goroutines = 16
+		iterations = 300
+		keys       = 11
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				k := i % keys
+				want := fmt.Sprintf("v-%d", k)
+				if got := c.Do(k, func() string { return want }); got != want {
+					t.Errorf("key %d returned %q", k, got)
+					return
+				}
+				if i%50 == 0 && g == 0 {
+					c.Reset()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := c.Len(); n > 5+goroutines {
+		t.Fatalf("cache size %d exceeds bound plus in-flight slack", n)
+	}
+}

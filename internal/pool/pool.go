@@ -1,0 +1,42 @@
+// Package pool provides the bounded fan-out worker pool introduced with
+// the PR 1 experiment scheduler, promoted so other subsystems (the
+// lapserved sweep endpoint) can fan batches of independent work onto a
+// capped number of goroutines.
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Warm executes the batch on up to workers goroutines and waits for all
+// of them. With one worker (or fewer) it is a no-op: Warm's contract is
+// that of a pure performance hint for a serial collection pass that
+// follows — any unit of work the warm pass skips is simply computed on
+// first use by the collector, so workers<=1 is exactly the serial path.
+// Callers that need every thunk to run regardless of worker count must
+// run the batch themselves when Warm declines it.
+func Warm(workers int, batch []func()) {
+	if workers > len(batch) {
+		workers = len(batch)
+	}
+	if workers <= 1 {
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				j := int(next.Add(1)) - 1
+				if j >= len(batch) {
+					return
+				}
+				batch[j]()
+			}
+		}()
+	}
+	wg.Wait()
+}

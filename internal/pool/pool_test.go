@@ -1,0 +1,68 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestWarmRunsEveryThunk(t *testing.T) {
+	const n = 100
+	var ran [n]atomic.Int32
+	batch := make([]func(), n)
+	for i := 0; i < n; i++ {
+		batch[i] = func() { ran[i].Add(1) }
+	}
+	Warm(8, batch)
+	for i := range ran {
+		if got := ran[i].Load(); got != 1 {
+			t.Fatalf("thunk %d ran %d times, want 1", i, got)
+		}
+	}
+}
+
+func TestWarmSerialIsNoop(t *testing.T) {
+	for _, workers := range []int{1, 0, -3} {
+		ran := false
+		Warm(workers, []func(){func() { ran = true }})
+		if ran {
+			t.Fatalf("Warm(workers=%d) executed its batch", workers)
+		}
+	}
+}
+
+func TestWarmClampsToBatchSize(t *testing.T) {
+	// More workers than thunks must not deadlock or double-run.
+	var count atomic.Int32
+	Warm(64, []func(){func() { count.Add(1) }, func() { count.Add(1) }})
+	if got := count.Load(); got != 2 {
+		t.Fatalf("ran %d thunks, want 2", got)
+	}
+}
+
+func TestWarmEmptyBatch(t *testing.T) {
+	Warm(4, nil) // must not panic or hang
+}
+
+// TestWarmBoundsConcurrency checks that at most `workers` thunks are in
+// flight simultaneously.
+func TestWarmBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int32
+	batch := make([]func(), 50)
+	for i := range batch {
+		batch[i] = func() {
+			cur := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			inFlight.Add(-1)
+		}
+	}
+	Warm(workers, batch)
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}

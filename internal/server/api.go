@@ -1,0 +1,327 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	lap "repro"
+	"repro/internal/trace"
+)
+
+// The wire types of lapserved's JSON API. Response structs contain only
+// deterministic, order-stable fields: a sweep's body must be
+// byte-identical regardless of worker count, so nothing scheduling-
+// dependent (timings, cache hit flags, jobs) ever appears in a result.
+
+// RunRequest asks for one simulation. Exactly one of Mix, Bench, or
+// Trace selects the workload; Config is a partial machine configuration
+// overlaid on the paper's defaults (same semantics as `lapsim -config`).
+type RunRequest struct {
+	// Config is a partial sim.Config JSON object (omitted fields keep the
+	// paper's Table II defaults).
+	Config json.RawMessage `json:"config,omitempty"`
+	// Policy is an inclusion policy name (lap.Policies, optionally with
+	// the "+DWB" suffix). Default "LAP".
+	Policy string `json:"policy,omitempty"`
+	// Mix is a Table III mix name (WL1..WH5) or comma-separated benchmark
+	// names, one per core.
+	Mix string `json:"mix,omitempty"`
+	// Bench is a single benchmark duplicated per core, or run threaded
+	// with coherence when Threads > 0.
+	Bench   string `json:"bench,omitempty"`
+	Threads int    `json:"threads,omitempty"`
+	// Trace names a previously uploaded trace (POST /v1/traces), replayed
+	// on every core.
+	Trace string `json:"trace,omitempty"`
+	// Accesses is the per-core trace length (default 400000; for Trace
+	// workloads, default the full trace).
+	Accesses uint64 `json:"accesses,omitempty"`
+	// Seed makes the synthetic workloads deterministic (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// RunResult is one simulation's outcome.
+type RunResult struct {
+	Policy       string    `json:"policy"`
+	Workload     string    `json:"workload"`
+	Accesses     uint64    `json:"accesses"`
+	Seed         uint64    `json:"seed"`
+	MPKI         float64   `json:"mpki"`
+	Throughput   float64   `json:"throughput"`
+	Cycles       uint64    `json:"cycles"`
+	EPIStaticNJ  float64   `json:"epi_static_nj"`
+	EPIDynamicNJ float64   `json:"epi_dynamic_nj"`
+	EPITotalNJ   float64   `json:"epi_total_nj"`
+	TotalNJ      float64   `json:"total_nj"`
+	IPCs         []float64 `json:"ipcs"`
+}
+
+// SweepRequest fans one run per (mix, policy) grid cell onto the worker
+// pool. Results come back mix-major in request order, byte-identical for
+// any Jobs value.
+type SweepRequest struct {
+	Config json.RawMessage `json:"config,omitempty"`
+	// Policies defaults to every implemented policy (Table IV order).
+	Policies []string `json:"policies,omitempty"`
+	// Mixes defaults to the ten Table III mixes. Each entry is a mix name
+	// or comma-separated benchmark names.
+	Mixes    []string `json:"mixes,omitempty"`
+	Accesses uint64   `json:"accesses,omitempty"`
+	Seed     uint64   `json:"seed,omitempty"`
+	// Jobs caps the sweep's fan-out; clamped to the server's worker cap.
+	// 0 uses the server cap, 1 is fully serial.
+	Jobs int `json:"jobs,omitempty"`
+}
+
+// SweepResponse carries the grid's results, mix-major in request order.
+type SweepResponse struct {
+	Results []RunResult `json:"results"`
+}
+
+// TraceUploadResponse acknowledges a stored trace.
+type TraceUploadResponse struct {
+	Name    string `json:"name"`
+	Records uint64 `json:"records"`
+	Digest  string `json:"digest"`
+}
+
+// StatsResponse is the /v1/stats payload.
+type StatsResponse struct {
+	// Computed/Recalled/Evicted are the cumulative result-cache counters:
+	// simulations executed, requests served by coalescing or recall, and
+	// entries dropped by the LRU bound.
+	Computed uint64 `json:"computed"`
+	Recalled uint64 `json:"recalled"`
+	Evicted  uint64 `json:"evicted"`
+	// MemoEntries is the current resident entry count.
+	MemoEntries int `json:"memo_entries"`
+	// Queued counts admitted-but-unfinished jobs (the bounded queue's
+	// occupancy); InFlight the simulations executing right now.
+	Queued   int64 `json:"queued"`
+	InFlight int64 `json:"in_flight"`
+	// Traces is the number of stored uploaded traces.
+	Traces int `json:"traces"`
+	// Run latency quantiles over the most recent computed simulations
+	// (seconds); zero until the first simulation completes.
+	RunLatencyP50Sec  float64 `json:"run_latency_p50_sec"`
+	RunLatencyP95Sec  float64 `json:"run_latency_p95_sec"`
+	RunLatencySamples int     `json:"run_latency_samples"`
+}
+
+// errorResponse is every non-2xx body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// runKey identifies one simulation run in the result cache. lap.Config
+// is embedded by value (comparable — see sim's TestMemoKeyConfigFields),
+// so identical (config, workload) pairs coalesce onto one computation.
+type runKey struct {
+	Cfg      lap.Config
+	Policy   string
+	Workload string
+	Accesses uint64
+	Seed     uint64
+}
+
+// outcome is a cached run result. Err is a deterministic failure (same
+// request, same error), so caching it is sound.
+type outcome struct {
+	Res lap.Result
+	Err string
+}
+
+// runKind discriminates the workload shapes a runSpec can execute.
+type runKind int
+
+const (
+	kindMix runKind = iota
+	kindThreaded
+	kindTrace
+)
+
+// runSpec is a fully resolved, validated run: everything needed to
+// execute without further lookups (the trace snapshot is taken at
+// resolve time, so a concurrent re-upload cannot tear a run).
+type runSpec struct {
+	key      runKey
+	cfg      lap.Config
+	policy   lap.Policy
+	kind     runKind
+	mix      lap.Mix
+	bench    lap.Benchmark
+	traceAcc []lap.Access
+	accesses uint64
+	seed     uint64
+}
+
+// badRequestError marks resolution failures the client caused (400, as
+// opposed to internal execution failures).
+type badRequestError struct{ msg string }
+
+func (e badRequestError) Error() string { return e.msg }
+
+func badReqf(format string, args ...any) error {
+	return badRequestError{msg: fmt.Sprintf(format, args...)}
+}
+
+// resolveRun validates a RunRequest into an executable spec.
+func (s *Server) resolveRun(req RunRequest) (*runSpec, error) {
+	cfg, err := lap.ParseConfig(req.Config)
+	if err != nil {
+		return nil, badReqf("%v", err)
+	}
+
+	policy := lap.Policy(req.Policy)
+	if policy == "" {
+		policy = lap.PolicyLAP
+	}
+	if _, err := lap.NewController(policy, cfg); err != nil {
+		return nil, badReqf("%v", err)
+	}
+
+	accesses := req.Accesses
+	if accesses == 0 {
+		accesses = defaultAccesses
+	}
+	if accesses > s.cfg.MaxAccesses {
+		return nil, badReqf("accesses %d exceeds the server cap %d", accesses, s.cfg.MaxAccesses)
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	selected := 0
+	for _, set := range []bool{req.Mix != "", req.Bench != "", req.Trace != ""} {
+		if set {
+			selected++
+		}
+	}
+	if selected != 1 {
+		return nil, badReqf("exactly one of mix, bench, or trace must be set")
+	}
+
+	sp := &runSpec{cfg: cfg, policy: policy, accesses: accesses, seed: seed}
+	var workload string
+	switch {
+	case req.Trace != "":
+		st, ok := s.store.get(req.Trace)
+		if !ok {
+			return nil, badReqf("unknown trace %q (upload it via POST /v1/traces?name=%s)", req.Trace, req.Trace)
+		}
+		sp.kind = kindTrace
+		sp.traceAcc = st.accs
+		if req.Accesses == 0 {
+			sp.accesses = st.records
+		}
+		// The digest keys the cache to the trace's content, so
+		// re-uploading a different trace under the same name cannot
+		// recall stale results.
+		workload = fmt.Sprintf("trace:%s@%016x", req.Trace, st.digest)
+	case req.Bench != "" && req.Threads > 0:
+		b, err := lap.BenchmarkByName(req.Bench)
+		if err != nil {
+			return nil, badReqf("%v", err)
+		}
+		sp.kind = kindThreaded
+		sp.bench = b
+		sp.cfg.Cores = req.Threads
+		workload = fmt.Sprintf("bench:%s/threads=%d", b.Name, req.Threads)
+	case req.Bench != "":
+		b, err := lap.BenchmarkByName(req.Bench)
+		if err != nil {
+			return nil, badReqf("%v", err)
+		}
+		sp.kind = kindMix
+		sp.mix = lap.DuplicateMix(b.Name, cfg.Cores)
+		workload = "mix:" + sp.mix.Name + "[" + strings.Join(sp.mix.Members, ",") + "]"
+	default:
+		mix, err := resolveMix(req.Mix, cfg.Cores)
+		if err != nil {
+			return nil, badReqf("%v", err)
+		}
+		sp.kind = kindMix
+		sp.mix = mix
+		workload = "mix:" + mix.Name + "[" + strings.Join(mix.Members, ",") + "]"
+	}
+
+	sp.key = runKey{
+		Cfg:      sp.cfg,
+		Policy:   string(policy),
+		Workload: workload,
+		Accesses: sp.accesses,
+		Seed:     seed,
+	}
+	return sp, nil
+}
+
+// resolveMix accepts a Table III mix name (case-insensitive) or
+// comma-separated benchmark names, one per core.
+func resolveMix(arg string, cores int) (lap.Mix, error) {
+	for _, m := range lap.TableIII() {
+		if strings.EqualFold(m.Name, arg) {
+			return m, nil
+		}
+	}
+	members := strings.Split(arg, ",")
+	if len(members) != cores {
+		return lap.Mix{}, fmt.Errorf("mix %q has %d members for %d cores", arg, len(members), cores)
+	}
+	for i, m := range members {
+		members[i] = strings.TrimSpace(m)
+		if _, err := lap.BenchmarkByName(members[i]); err != nil {
+			return lap.Mix{}, err
+		}
+	}
+	return lap.Mix{Name: "custom", Members: members}, nil
+}
+
+// execute runs the simulation. Panics (bad geometry the validator missed,
+// zero-instruction traces) are converted to error outcomes so a worker
+// goroutine can never take the process down.
+func (sp *runSpec) execute() (out outcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = outcome{Err: fmt.Sprintf("simulation panic: %v", r)}
+		}
+	}()
+	var res lap.Result
+	var err error
+	switch sp.kind {
+	case kindThreaded:
+		res, err = lap.RunThreaded(sp.cfg, sp.policy, sp.bench, sp.accesses, sp.seed)
+	case kindTrace:
+		srcs := make([]lap.Source, sp.cfg.Cores)
+		for i := range srcs {
+			srcs[i] = trace.Limit(trace.NewSliceSource(sp.traceAcc), sp.accesses)
+		}
+		res, err = lap.RunTraces(sp.cfg, sp.policy, srcs)
+	default:
+		res, err = lap.Run(sp.cfg, sp.policy, sp.mix, sp.accesses, sp.seed)
+	}
+	if err != nil {
+		return outcome{Err: err.Error()}
+	}
+	return outcome{Res: res}
+}
+
+// result shapes an outcome for the wire.
+func (sp *runSpec) result(out outcome) RunResult {
+	r := out.Res
+	return RunResult{
+		Policy:       string(sp.policy),
+		Workload:     sp.key.Workload,
+		Accesses:     sp.accesses,
+		Seed:         sp.seed,
+		MPKI:         r.MPKI(),
+		Throughput:   r.Throughput,
+		Cycles:       r.Cycles,
+		EPIStaticNJ:  r.EPI.StaticNJPerInstr,
+		EPIDynamicNJ: r.EPI.DynamicNJPerInstr,
+		EPITotalNJ:   r.EPI.Total(),
+		TotalNJ:      r.TotalNJ,
+		IPCs:         r.IPCs,
+	}
+}

@@ -1,0 +1,445 @@
+// Package server implements lapserved, the simulation-as-a-service HTTP
+// subsystem: a JSON API over the lap simulator with a bounded job queue,
+// request coalescing, and a size-bounded result cache.
+//
+// Design:
+//
+//   - Coalescing: run results live in an internal/memo singleflight
+//     cache keyed by (config, policy, workload, accesses, seed).
+//     Concurrent identical requests share one simulation; later
+//     identical requests recall the cached result. The LRU bound keeps
+//     the cache from growing without bound on a long-lived server.
+//   - Backpressure: a bounded queue admits at most QueueDepth unfinished
+//     jobs; requests past the bound get 429 immediately rather than
+//     piling up. Admitted jobs wait for one of Jobs worker slots, so at
+//     most Jobs simulations execute concurrently.
+//   - Determinism: sweeps warm the grid on the PR 1 worker pool
+//     (internal/pool) and then collect serially in request order — the
+//     response is byte-identical for any jobs value, exactly like
+//     lapexp's tables.
+//   - Timeouts and drain: every request runs under a RequestTimeout
+//     context that bounds queue and coalescing waits (a simulation that
+//     already started runs to completion — its result is still useful to
+//     cache). SetDraining flips /healthz to 503 and rejects new work so
+//     a load balancer can pull the instance before http.Server.Shutdown
+//     drains in-flight requests.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	lap "repro"
+	"repro/internal/memo"
+	"repro/internal/pool"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Config tunes a Server. The zero value selects production defaults.
+type Config struct {
+	// Jobs caps concurrently executing simulations (0 = GOMAXPROCS).
+	Jobs int
+	// QueueDepth bounds admitted-but-unfinished jobs; requests beyond it
+	// receive 429 (0 = 256).
+	QueueDepth int
+	// RequestTimeout bounds each request's queue and coalescing waits
+	// (0 = 2 minutes).
+	RequestTimeout time.Duration
+	// MemoEntries bounds the result cache, LRU-evicting past it
+	// (0 = 4096; negative = unbounded).
+	MemoEntries int
+	// MaxTraceBytes caps one trace upload's body (0 = 64 MiB).
+	MaxTraceBytes int64
+	// MaxAccesses caps a run's per-core trace length (0 = 4,000,000).
+	MaxAccesses uint64
+}
+
+const (
+	defaultQueueDepth    = 256
+	defaultTimeout       = 2 * time.Minute
+	defaultMemoEntries   = 4096
+	defaultMaxTraceBytes = 64 << 20
+	defaultMaxAccesses   = 4_000_000
+	defaultAccesses      = 400_000
+	latencyWindow        = 512
+)
+
+// Server is the lapserved HTTP core. Construct with New; serve
+// Handler() with net/http.
+type Server struct {
+	cfg   Config
+	memo  *memo.Cache[runKey, outcome]
+	store *traceStore
+	sem   chan struct{}
+
+	queued   atomic.Int64
+	inflight atomic.Int64
+	draining atomic.Bool
+
+	lat latRing
+	mux *http.ServeMux
+}
+
+// New returns a Server with cfg's zero fields defaulted.
+func New(cfg Config) *Server {
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = defaultQueueDepth
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = defaultTimeout
+	}
+	if cfg.MemoEntries == 0 {
+		cfg.MemoEntries = defaultMemoEntries
+	}
+	if cfg.MemoEntries < 0 {
+		cfg.MemoEntries = 0 // unbounded
+	}
+	if cfg.MaxTraceBytes <= 0 {
+		cfg.MaxTraceBytes = defaultMaxTraceBytes
+	}
+	if cfg.MaxAccesses == 0 {
+		cfg.MaxAccesses = defaultMaxAccesses
+	}
+	s := &Server{
+		cfg:   cfg,
+		memo:  memo.New[runKey, outcome](cfg.MemoEntries),
+		store: newTraceStore(),
+		sem:   make(chan struct{}, cfg.Jobs),
+		lat:   latRing{buf: make([]float64, 0, latencyWindow)},
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/traces", s.handleTraceUpload)
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// SetDraining flips the server into (or out of) drain mode: /healthz
+// answers 503 so load balancers stop routing here, and new simulation
+// work is refused while in-flight requests finish.
+func (s *Server) SetDraining(d bool) { s.draining.Store(d) }
+
+// admit reserves n slots in the bounded job queue, reporting false when
+// the queue cannot take them (the caller answers 429).
+func (s *Server) admit(n int) bool {
+	for {
+		cur := s.queued.Load()
+		if cur+int64(n) > int64(s.cfg.QueueDepth) {
+			return false
+		}
+		if s.queued.CompareAndSwap(cur, cur+int64(n)) {
+			return true
+		}
+	}
+}
+
+// release returns n queue slots.
+func (s *Server) release(n int) { s.queued.Add(int64(-n)) }
+
+// runCell executes (or recalls) one resolved run under the worker cap.
+// It blocks for a worker slot until ctx expires; identical concurrent
+// cells coalesce inside the memo, and the latch wait is also bounded by
+// ctx.
+func (s *Server) runCell(ctx context.Context, sp *runSpec) (outcome, error) {
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return outcome{}, ctx.Err()
+	}
+	defer func() { <-s.sem }()
+	return s.memo.DoCtx(ctx, sp.key, func() outcome {
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		start := time.Now()
+		out := sp.execute()
+		s.lat.add(time.Since(start).Seconds())
+		return out
+	})
+}
+
+// handleHealthz reports liveness; 503 while draining so balancers pull
+// the instance before shutdown.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleStats reports the memo counters, queue occupancy, and run
+// latency quantiles.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	ms := s.memo.Stats()
+	sample := s.lat.snapshot()
+	sum := stats.Summarize(sample)
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Computed:          ms.Computed,
+		Recalled:          ms.Recalled,
+		Evicted:           ms.Evicted,
+		MemoEntries:       s.memo.Len(),
+		Queued:            s.queued.Load(),
+		InFlight:          s.inflight.Load(),
+		Traces:            s.store.count(),
+		RunLatencyP50Sec:  sum.Median(),
+		RunLatencyP95Sec:  sum.Quantile(0.95),
+		RunLatencySamples: len(sample),
+	})
+}
+
+// handleRun serves one simulation, coalescing identical requests.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if s.refuseDraining(w) {
+		return
+	}
+	var req RunRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		return
+	}
+	sp, err := s.resolveRun(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if !s.admit(1) {
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "job queue full; retry later"})
+		return
+	}
+	defer s.release(1)
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	out, err := s.runCell(ctx, sp)
+	if err != nil {
+		writeTimeout(w, err)
+		return
+	}
+	if out.Err != "" {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: out.Err})
+		return
+	}
+	writeJSON(w, http.StatusOK, sp.result(out))
+}
+
+// handleSweep serves a (mix × policy) grid: resolve every cell up front,
+// admit the whole batch against the queue bound, warm the grid on the
+// worker pool, then collect serially in request order so the response
+// bytes are independent of the fan-out.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if s.refuseDraining(w) {
+		return
+	}
+	var req SweepRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		return
+	}
+	if len(req.Policies) == 0 {
+		for _, p := range lap.Policies() {
+			req.Policies = append(req.Policies, string(p))
+		}
+	}
+	if len(req.Mixes) == 0 {
+		for _, m := range lap.TableIII() {
+			req.Mixes = append(req.Mixes, m.Name)
+		}
+	}
+
+	specs := make([]*runSpec, 0, len(req.Mixes)*len(req.Policies))
+	for _, mix := range req.Mixes {
+		for _, pol := range req.Policies {
+			sp, err := s.resolveRun(RunRequest{
+				Config:   req.Config,
+				Policy:   pol,
+				Mix:      mix,
+				Accesses: req.Accesses,
+				Seed:     req.Seed,
+			})
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			specs = append(specs, sp)
+		}
+	}
+	if len(specs) == 0 {
+		writeJSON(w, http.StatusOK, SweepResponse{Results: []RunResult{}})
+		return
+	}
+	if !s.admit(len(specs)) {
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{
+			Error: fmt.Sprintf("job queue cannot take %d sweep cells; retry later", len(specs)),
+		})
+		return
+	}
+	defer s.release(len(specs))
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	// Warm pass: fan the grid onto the pool. Duplicate cells coalesce in
+	// the memo, failures surface during collection, and jobs=1 skips the
+	// pass entirely (the serial collection below computes everything),
+	// mirroring the lapexp scheduler.
+	jobs := req.Jobs
+	if jobs <= 0 || jobs > s.cfg.Jobs {
+		jobs = s.cfg.Jobs
+	}
+	batch := make([]func(), len(specs))
+	for i, sp := range specs {
+		batch[i] = func() { s.runCell(ctx, sp) }
+	}
+	pool.Warm(jobs, batch)
+
+	resp := SweepResponse{Results: make([]RunResult, 0, len(specs))}
+	for _, sp := range specs {
+		out, err := s.runCell(ctx, sp)
+		if err != nil {
+			writeTimeout(w, err)
+			return
+		}
+		if out.Err != "" {
+			writeJSON(w, http.StatusInternalServerError, errorResponse{
+				Error: fmt.Sprintf("%s under %s: %s", sp.key.Workload, sp.policy, out.Err),
+			})
+			return
+		}
+		resp.Results = append(resp.Results, sp.result(out))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleTraceUpload stores a binary trace (plain or gzipped; the reader
+// sniffs) under ?name=, decoded through internal/trace's codec.
+func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
+	if s.refuseDraining(w) {
+		return
+	}
+	name := r.URL.Query().Get("name")
+	if !traceNameRE.MatchString(name) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: "trace name must match " + traceNameRE.String() + " (pass ?name=...)",
+		})
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxTraceBytes)
+	tr, err := trace.NewAutoReader(body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	accs := trace.Drain(tr)
+	if err := tr.Err(); err != nil {
+		status := http.StatusBadRequest
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	if len(accs) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "trace has no records"})
+		return
+	}
+	st := s.store.put(name, accs)
+	writeJSON(w, http.StatusOK, TraceUploadResponse{
+		Name:    name,
+		Records: st.records,
+		Digest:  fmt.Sprintf("%016x", st.digest),
+	})
+}
+
+// refuseDraining answers 503 for new work while draining.
+func (s *Server) refuseDraining(w http.ResponseWriter) bool {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server is draining"})
+		return true
+	}
+	return false
+}
+
+// decodeJSON reads a bounded JSON body, answering 400 itself on failure.
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "decoding request: " + err.Error()})
+		return err
+	}
+	return nil
+}
+
+// writeError maps resolution errors to status codes.
+func writeError(w http.ResponseWriter, err error) {
+	var bad badRequestError
+	if errors.As(err, &bad) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: bad.msg})
+		return
+	}
+	writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+}
+
+// writeTimeout maps context errors: deadline → 504, client cancel → 499
+// (nginx's convention; net/http has no name for it).
+func writeTimeout(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "request timed out in queue"})
+		return
+	}
+	writeJSON(w, 499, errorResponse{Error: "request cancelled"})
+}
+
+// writeJSON renders one response. Marshal of our wire types cannot fail;
+// a failure here is a programming error worth a 500 over a panic.
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}
+
+// latRing keeps the most recent computed-run latencies for the stats
+// quantiles.
+type latRing struct {
+	mu  sync.Mutex
+	buf []float64
+	pos int
+}
+
+func (l *latRing) add(sec float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, sec)
+		return
+	}
+	l.buf[l.pos] = sec
+	l.pos = (l.pos + 1) % len(l.buf)
+}
+
+func (l *latRing) snapshot() []float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]float64(nil), l.buf...)
+}

@@ -1,0 +1,76 @@
+package server
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"regexp"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// traceStore holds uploaded traces decoded to access slices, keyed by
+// name. Traces are immutable once stored (re-uploading a name replaces
+// the whole entry), and run specs snapshot the slice at resolve time, so
+// readers never observe a torn trace.
+type traceStore struct {
+	mu     sync.Mutex
+	traces map[string]storedTrace
+}
+
+// storedTrace is one named upload.
+type storedTrace struct {
+	accs    []trace.Access
+	records uint64
+	// digest fingerprints the content; it joins the run cache key so a
+	// re-upload under the same name invalidates cached results.
+	digest uint64
+}
+
+func newTraceStore() *traceStore {
+	return &traceStore{traces: map[string]storedTrace{}}
+}
+
+// traceNameRE bounds names to something path- and log-safe.
+var traceNameRE = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
+
+// put stores (or replaces) a named trace.
+func (ts *traceStore) put(name string, accs []trace.Access) storedTrace {
+	st := storedTrace{accs: accs, records: uint64(len(accs)), digest: digest(accs)}
+	ts.mu.Lock()
+	ts.traces[name] = st
+	ts.mu.Unlock()
+	return st
+}
+
+// get returns the named trace.
+func (ts *traceStore) get(name string) (storedTrace, bool) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	st, ok := ts.traces[name]
+	return st, ok
+}
+
+// count reports the number of stored traces.
+func (ts *traceStore) count() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.traces)
+}
+
+// digest fingerprints an access stream (FNV-1a over the records' binary
+// form).
+func digest(accs []trace.Access) uint64 {
+	h := fnv.New64a()
+	var rec [11]byte
+	for _, a := range accs {
+		binary.LittleEndian.PutUint64(rec[0:8], a.Addr)
+		rec[8] = 0
+		if a.Write {
+			rec[8] = 1
+		}
+		binary.LittleEndian.PutUint16(rec[9:11], a.Instrs)
+		h.Write(rec[:])
+	}
+	return h.Sum64()
+}

@@ -8,6 +8,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Stream accumulates moments online via Welford's algorithm; the zero
@@ -65,16 +66,53 @@ type Summary struct {
 	Mean, Std  float64
 	Min, Max   float64
 	CI95Radius float64
+
+	// sorted retains the sample (ascending) when the summary was built by
+	// Summarize, enabling Quantile/Median. Stream.Summary leaves it nil —
+	// a Welford stream keeps only moments, so its summaries have no
+	// quantiles.
+	sorted []float64
 }
 
-// Summarize computes the summary of a sample.
+// Summarize computes the summary of a sample, retaining a sorted copy so
+// Quantile and Median are available.
 func Summarize(xs []float64) Summary {
 	var s Stream
 	for _, x := range xs {
 		s.Add(x)
 	}
-	return s.Summary()
+	sum := s.Summary()
+	sum.sorted = append([]float64(nil), xs...)
+	sort.Float64s(sum.sorted)
+	return sum
 }
+
+// Quantile returns the p-quantile (0 <= p <= 1) of the retained sample
+// by linear interpolation between order statistics, or 0 when the
+// summary retains no sample (empty input, or a Stream-built summary —
+// streams keep only moments). p outside [0,1] is clamped.
+func (s Summary) Quantile(p float64) float64 {
+	if len(s.sorted) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	pos := p * float64(len(s.sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return s.sorted[lo]*(1-frac) + s.sorted[hi]*frac
+}
+
+// Median returns the 0.5-quantile of the retained sample.
+func (s Summary) Median() float64 { return s.Quantile(0.5) }
 
 // Summary freezes the stream.
 func (s *Stream) Summary() Summary {

@@ -111,3 +111,64 @@ func TestPropertyCIShrinks(t *testing.T) {
 		t.Fatalf("CI did not shrink: %v -> %v", prev, s.CI95Radius())
 	}
 }
+
+func TestQuantile(t *testing.T) {
+	sum := Summarize([]float64{4, 1, 3, 2}) // unsorted input: Summarize sorts
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75}, {0.75, 3.25},
+		{-0.5, 1}, {1.5, 4}, // out-of-range p clamps
+	}
+	for _, c := range cases {
+		if got := sum.Quantile(c.p); !almost(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := sum.Median(); !almost(got, 2.5, 1e-12) {
+		t.Errorf("Median = %v, want 2.5", got)
+	}
+}
+
+func TestQuantileSingleAndEmpty(t *testing.T) {
+	if got := Summarize([]float64{7}).Quantile(0.95); got != 7 {
+		t.Errorf("single-sample quantile = %v, want 7", got)
+	}
+	if got := Summarize(nil).Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+	// Stream-built summaries retain no sample: quantiles are unavailable.
+	var s Stream
+	s.Add(1)
+	s.Add(2)
+	if got := s.Summary().Median(); got != 0 {
+		t.Errorf("stream summary median = %v, want 0", got)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Summarize reordered its input: %v", xs)
+	}
+}
+
+// Property: Quantile is monotone in p and bounded by [Min, Max].
+func TestPropertyQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 7))
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 10
+	}
+	sum := Summarize(xs)
+	prev := math.Inf(-1)
+	for p := 0.0; p <= 1.0; p += 0.01 {
+		q := sum.Quantile(p)
+		if q < prev {
+			t.Fatalf("Quantile not monotone at p=%v: %v < %v", p, q, prev)
+		}
+		if q < sum.Min || q > sum.Max {
+			t.Fatalf("Quantile(%v)=%v outside [%v,%v]", p, q, sum.Min, sum.Max)
+		}
+		prev = q
+	}
+}
