@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench ci quick serve serve-smoke
+.PHONY: all build test race bench chaos ci quick serve serve-smoke
 
 all: build
 
@@ -22,10 +22,16 @@ race:
 bench:
 	$(GO) test -bench=BenchmarkFig14 -benchtime=1x -run '^$$' .
 
+# Race-enabled failure-domain suite: fault injection, panic isolation,
+# typed corruption errors, retry/breaker/drain chaos scenarios.
+chaos:
+	$(GO) test -race -timeout 10m -run 'Chaos|Fault|Corrupt' ./...
+
 ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race -timeout 30m ./...
+	$(GO) test -race -timeout 10m -run 'Chaos|Fault|Corrupt' ./...
 	$(GO) test -bench=BenchmarkFig14 -benchtime=1x -run '^$$' .
 	$(GO) run ./cmd/lapserved -smoke
 

@@ -6,6 +6,12 @@
 // pool (-jobs, default one worker per CPU); tables are byte-identical
 // for any -jobs value, including the fully serial -jobs 1.
 //
+// Each artifact is its own failure domain: a generator that panics (a
+// corrupt run, an injected fault) is reported and skipped, the remaining
+// artifacts still generate, and the process exits non-zero. The
+// LAP_FAULTS environment variable arms internal/fault injection points
+// for chaos runs.
+//
 // Usage:
 //
 //	lapexp [-quick] [-accesses N] [-seed S] [-jobs N] [-timings out.json] [artifact ...]
@@ -23,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/fault"
 )
 
 // artifactTiming is one artifact's perf record in the -timings report.
@@ -38,21 +45,36 @@ type artifactTiming struct {
 	RunsPerSec float64 `json:"runs_per_sec"`
 }
 
+// artifactFailure records one artifact that could not be generated.
+type artifactFailure struct {
+	Artifact string `json:"artifact"`
+	Error    string `json:"error"`
+}
+
 // timingReport is the -timings JSON document: enough context to compare
-// run rates across machines, scales, and future PRs.
+// run rates across machines, scales, and future PRs. Failures is empty
+// on a clean run, so clean reports are byte-identical to pre-failure-
+// domain ones.
 type timingReport struct {
-	Jobs         int              `json:"jobs"`
-	GOMAXPROCS   int              `json:"gomaxprocs"`
-	Accesses     uint64           `json:"accesses"`
-	Seed         uint64           `json:"seed"`
-	RandomMixes  int              `json:"random_mixes"`
-	TotalSeconds float64          `json:"total_seconds"`
-	TotalRuns    uint64           `json:"total_runs"`
-	RunsPerSec   float64          `json:"runs_per_sec"`
-	Artifacts    []artifactTiming `json:"artifacts"`
+	Jobs         int               `json:"jobs"`
+	GOMAXPROCS   int               `json:"gomaxprocs"`
+	Accesses     uint64            `json:"accesses"`
+	Seed         uint64            `json:"seed"`
+	RandomMixes  int               `json:"random_mixes"`
+	TotalSeconds float64           `json:"total_seconds"`
+	TotalRuns    uint64            `json:"total_runs"`
+	RunsPerSec   float64           `json:"runs_per_sec"`
+	Artifacts    []artifactTiming  `json:"artifacts"`
+	Failures     []artifactFailure `json:"failures,omitempty"`
 }
 
 func main() {
+	if n, err := fault.ArmFromEnv(); err != nil {
+		fmt.Fprintf(os.Stderr, "lapexp: %s: %v\n", fault.EnvVar, err)
+		os.Exit(1)
+	} else if n > 0 {
+		fmt.Fprintf(os.Stderr, "[%d fault spec(s) armed from %s]\n", n, fault.EnvVar)
+	}
 	quick := flag.Bool("quick", false, "reduced scale for a fast smoke run")
 	accesses := flag.Uint64("accesses", 0, "override per-core trace length")
 	seed := flag.Uint64("seed", 0, "override workload seed")
@@ -106,6 +128,11 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "[timings saved to %s]\n", *timings)
 	}
+	if len(report.Failures) > 0 {
+		fmt.Fprintf(os.Stderr, "lapexp: %d of %d artifact(s) failed\n",
+			len(report.Failures), len(report.Failures)+len(report.Artifacts))
+		os.Exit(1)
+	}
 }
 
 // generate runs the named artifacts under opt, printing each table to
@@ -129,9 +156,19 @@ func generate(opt experiments.Options, targets []string, csvDir string, stdout, 
 		}
 		before := experiments.Stats()
 		start := time.Now()
-		tab := gen()
+		tab, genErr := runArtifact(gen)
 		elapsed := time.Since(start)
 		after := experiments.Stats()
+		if genErr != nil {
+			// The artifact is its own failure domain: report, skip, and
+			// keep generating the rest.
+			report.Failures = append(report.Failures, artifactFailure{
+				Artifact: strings.ToLower(name),
+				Error:    genErr.Error(),
+			})
+			fmt.Fprintf(stderr, "[%s FAILED after %v: %v]\n", name, elapsed.Round(time.Millisecond), genErr)
+			continue
+		}
 		tab.Fprint(stdout)
 		if csvDir != "" {
 			if err := os.MkdirAll(csvDir, 0o755); err != nil {
@@ -166,6 +203,18 @@ func generate(opt experiments.Options, targets []string, csvDir string, stdout, 
 		report.RunsPerSec = float64(report.TotalRuns) / report.TotalSeconds
 	}
 	return report, nil
+}
+
+// runArtifact executes one generator with panic isolation: a simulation
+// that dies (experiments.run panics with the failing cell's label) costs
+// its own artifact, never the whole invocation.
+func runArtifact(gen experiments.Generator) (tab *experiments.Table, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	return gen(), nil
 }
 
 // encodeTimings renders the -timings document exactly as written to disk.

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/fault"
 )
 
 // tinyOptions keeps the test's simulations cheap.
@@ -86,6 +87,52 @@ func TestGenerateUnknownArtifact(t *testing.T) {
 	_, err := generate(tinyOptions(), []string{"fig999"}, "", io.Discard, io.Discard)
 	if err == nil || !strings.Contains(err.Error(), "fig999") {
 		t.Fatalf("want an unknown-artifact error naming fig999, got %v", err)
+	}
+}
+
+// TestChaosGeneratePartialResults pins the per-artifact failure domain:
+// a panic injected into the first artifact's first simulation costs that
+// artifact alone. It lands in report.Failures with the failing cell's
+// label, and the remaining artifact still generates and prints.
+func TestChaosGeneratePartialResults(t *testing.T) {
+	experiments.ResetMemo()
+	fault.Reset()
+	t.Cleanup(fault.Reset)
+	if err := fault.Arm(fault.Spec{Point: fault.PointExpRun, Mode: fault.ModePanic, Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	opt := tinyOptions()
+	opt.Jobs = 1 // serial: the Count:1 panic deterministically hits fig2's first cell
+	var tables strings.Builder
+	report, err := generate(opt, []string{"fig2", "fig4"}, "", &tables, io.Discard)
+	if err != nil {
+		t.Fatalf("generate returned a hard error; want partial results: %v", err)
+	}
+
+	if len(report.Failures) != 1 {
+		t.Fatalf("failures = %+v, want exactly 1", report.Failures)
+	}
+	f := report.Failures[0]
+	if f.Artifact != "fig2" {
+		t.Errorf("failed artifact = %q, want fig2", f.Artifact)
+	}
+	if !strings.Contains(f.Error, "experiments: run") {
+		t.Errorf("failure error %q does not name the failing cell", f.Error)
+	}
+	if len(report.Artifacts) != 1 || report.Artifacts[0].Artifact != "fig4" {
+		t.Fatalf("artifacts = %+v, want fig4 alone", report.Artifacts)
+	}
+	if tables.Len() == 0 {
+		t.Error("surviving artifact printed no table")
+	}
+
+	// The failed run was never memoised: disarmed, the same artifact
+	// regenerates cleanly on the same process-wide memo.
+	fault.Reset()
+	healed, err := generate(opt, []string{"fig2"}, "", io.Discard, io.Discard)
+	if err != nil || len(healed.Failures) != 0 {
+		t.Fatalf("healed generate: err=%v failures=%+v", err, healed.Failures)
 	}
 }
 

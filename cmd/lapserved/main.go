@@ -16,6 +16,13 @@
 // SIGINT/SIGTERM drain gracefully: /healthz flips to 503, new work is
 // refused, and in-flight requests get -drain-timeout to finish.
 //
+// Failed runs are never cached; conclusive failures are retried with
+// exponential backoff (-retry-max, -retry-backoff), and a streak of
+// -breaker-threshold consecutive failures opens a circuit breaker that
+// sheds simulation requests with 503 + Retry-After until
+// -breaker-cooldown passes. The LAP_FAULTS environment variable arms
+// internal/fault injection points for chaos runs.
+//
 // -smoke starts the server on a loopback port, exercises /healthz, one
 // /v1/run, and a coalesced duplicate pair, then verifies via /v1/stats
 // that the duplicate was recalled rather than recomputed. It exits
@@ -38,10 +45,17 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/server"
 )
 
 func main() {
+	if n, err := fault.ArmFromEnv(); err != nil {
+		fmt.Fprintf(os.Stderr, "lapserved: %s: %v\n", fault.EnvVar, err)
+		os.Exit(1)
+	} else if n > 0 {
+		fmt.Fprintf(os.Stderr, "lapserved: [%d fault spec(s) armed from %s]\n", n, fault.EnvVar)
+	}
 	addr := flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
 	jobs := flag.Int("jobs", runtime.NumCPU(), "max concurrently executing simulations")
 	queueDepth := flag.Int("queue-depth", 256, "max admitted-but-unfinished jobs before 429")
@@ -49,15 +63,23 @@ func main() {
 	memoEntries := flag.Int("memo-entries", 4096, "result cache bound (LRU; negative = unbounded)")
 	maxAccesses := flag.Uint64("max-accesses", 4_000_000, "per-core trace length cap for one run")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "shutdown grace for in-flight requests")
+	retryMax := flag.Int("retry-max", 2, "retries per failed run (negative = none)")
+	retryBackoff := flag.Duration("retry-backoff", 50*time.Millisecond, "base retry backoff (doubles per attempt, plus jitter)")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive failures that open the circuit breaker (negative = disabled)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "open-breaker shed window before a half-open probe")
 	smoke := flag.Bool("smoke", false, "self-test against a loopback instance and exit")
 	flag.Parse()
 
 	cfg := server.Config{
-		Jobs:           *jobs,
-		QueueDepth:     *queueDepth,
-		RequestTimeout: *timeout,
-		MemoEntries:    *memoEntries,
-		MaxAccesses:    *maxAccesses,
+		Jobs:             *jobs,
+		QueueDepth:       *queueDepth,
+		RequestTimeout:   *timeout,
+		MemoEntries:      *memoEntries,
+		MaxAccesses:      *maxAccesses,
+		RetryMax:         *retryMax,
+		RetryBackoff:     *retryBackoff,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
 	}
 
 	if *smoke {

@@ -22,9 +22,9 @@ import (
 	"os"
 	"runtime"
 	"strings"
-	"sync"
 
 	lap "repro"
+	"repro/internal/pool"
 	"repro/internal/trace"
 )
 
@@ -121,27 +121,20 @@ func main() {
 		}
 	}
 
-	// Policies are independent simulations: fan them out on a bounded
-	// worker pool and report in the deterministic order given.
+	// Policies are independent simulations: fan them out on the shared
+	// worker pool and report in the deterministic order given. A policy
+	// whose simulation panics surfaces as a typed per-task error instead
+	// of killing its siblings.
 	results := make([]lap.Result, len(policies))
-	errs := make([]error, len(policies))
-	w := *jobs
-	if w < 1 {
-		w = 1
-	}
-	sem := make(chan struct{}, w)
-	var wg sync.WaitGroup
+	tasks := make([]pool.Task, len(policies))
 	for i, p := range policies {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i], errs[i] = runOne(p)
-		}()
+		tasks[i] = pool.Task{Key: string(p), Do: func() error {
+			var err error
+			results[i], err = runOne(p)
+			return err
+		}}
 	}
-	wg.Wait()
-	for i, err := range errs {
+	for i, err := range pool.Run(pool.Workers(*jobs), tasks) {
 		if err != nil {
 			fatal("%s: %v", policies[i], err)
 		}

@@ -54,47 +54,8 @@ func ParseConfig(data []byte) (Config, error) {
 }
 
 // ValidateConfig checks a configuration for the mistakes the simulator
-// would otherwise panic on, returning a descriptive error.
+// would otherwise panic on. Failures are *FieldError values naming the
+// offending Config field.
 func ValidateConfig(cfg Config) error {
-	switch {
-	case cfg.Cores <= 0:
-		return fmt.Errorf("cores must be positive (got %d)", cfg.Cores)
-	case cfg.BlockBytes <= 0:
-		return fmt.Errorf("block size must be positive (got %d)", cfg.BlockBytes)
-	case cfg.L1SizeBytes <= 0 || cfg.L1Ways <= 0:
-		return fmt.Errorf("invalid L1 geometry %d/%d-way", cfg.L1SizeBytes, cfg.L1Ways)
-	case cfg.L2SizeBytes <= 0 || cfg.L2Ways <= 0:
-		return fmt.Errorf("invalid L2 geometry %d/%d-way", cfg.L2SizeBytes, cfg.L2Ways)
-	case cfg.L3SizeBytes <= 0 || cfg.L3Ways <= 0:
-		return fmt.Errorf("invalid L3 geometry %d/%d-way", cfg.L3SizeBytes, cfg.L3Ways)
-	case cfg.L3SRAMWays < 0 || cfg.L3SRAMWays > cfg.L3Ways:
-		return fmt.Errorf("hybrid SRAM ways %d out of range 0..%d", cfg.L3SRAMWays, cfg.L3Ways)
-	case cfg.L3Banks <= 0 || cfg.L3Banks&(cfg.L3Banks-1) != 0:
-		return fmt.Errorf("LLC banks must be a positive power of two (got %d)", cfg.L3Banks)
-	case cfg.ClockHz <= 0:
-		return fmt.Errorf("clock must be positive (got %g)", cfg.ClockHz)
-	case cfg.BaseCPI <= 0 || cfg.MLP <= 0:
-		return fmt.Errorf("timing parameters must be positive (BaseCPI %g, MLP %g)", cfg.BaseCPI, cfg.MLP)
-	case cfg.PrefetchDegree < 0:
-		return fmt.Errorf("prefetch degree must be non-negative (got %d)", cfg.PrefetchDegree)
-	}
-	for _, geom := range []struct {
-		name        string
-		size, ways  int
-		sramBounded bool
-	}{
-		{"L1", cfg.L1SizeBytes, cfg.L1Ways, false},
-		{"L2", cfg.L2SizeBytes, cfg.L2Ways, false},
-		{"L3", cfg.L3SizeBytes, cfg.L3Ways, false},
-	} {
-		blocks := geom.size / cfg.BlockBytes
-		if blocks%geom.ways != 0 {
-			return fmt.Errorf("%s capacity not divisible into %d ways", geom.name, geom.ways)
-		}
-		sets := blocks / geom.ways
-		if sets <= 0 || sets&(sets-1) != 0 {
-			return fmt.Errorf("%s set count %d is not a power of two", geom.name, sets)
-		}
-	}
-	return nil
+	return cfg.Validate()
 }

@@ -1,6 +1,7 @@
 package lap
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -60,8 +61,13 @@ func TestLoadConfigErrors(t *testing.T) {
 	if err := writeFile(invalid, `{"Cores": 0}`); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadConfig(invalid); err == nil || !strings.Contains(err.Error(), "cores") {
+	_, err := LoadConfig(invalid)
+	if err == nil || !strings.Contains(err.Error(), "Cores") {
 		t.Fatalf("invalid config error = %v", err)
+	}
+	var fe *FieldError
+	if !errors.As(err, &fe) || fe.Field != "Cores" {
+		t.Fatalf("invalid config error is not a *FieldError naming Cores: %v", err)
 	}
 }
 
@@ -70,26 +76,32 @@ func TestValidateConfig(t *testing.T) {
 		t.Fatalf("default config invalid: %v", err)
 	}
 	cases := []struct {
-		name   string
+		field  string
 		mutate func(*Config)
 	}{
-		{"cores", func(c *Config) { c.Cores = -1 }},
-		{"block", func(c *Config) { c.BlockBytes = 0 }},
-		{"l1", func(c *Config) { c.L1Ways = 0 }},
-		{"l2", func(c *Config) { c.L2SizeBytes = -4 }},
-		{"l3", func(c *Config) { c.L3Ways = 0 }},
-		{"sramways", func(c *Config) { c.L3SRAMWays = 99 }},
-		{"banks", func(c *Config) { c.L3Banks = 3 }},
-		{"clock", func(c *Config) { c.ClockHz = 0 }},
-		{"timing", func(c *Config) { c.MLP = 0 }},
-		{"prefetch", func(c *Config) { c.PrefetchDegree = -1 }},
-		{"sets", func(c *Config) { c.L3SizeBytes = 3 << 20 }}, // 3MB/16w -> non-pow2 sets
+		{"Cores", func(c *Config) { c.Cores = -1 }},
+		{"BlockBytes", func(c *Config) { c.BlockBytes = 0 }},
+		{"L1SizeBytes", func(c *Config) { c.L1Ways = 0 }},
+		{"L2SizeBytes", func(c *Config) { c.L2SizeBytes = -4 }},
+		{"L3SizeBytes", func(c *Config) { c.L3Ways = 0 }},
+		{"L3SRAMWays", func(c *Config) { c.L3SRAMWays = 99 }},
+		{"L3Banks", func(c *Config) { c.L3Banks = 3 }},
+		{"ClockHz", func(c *Config) { c.ClockHz = 0 }},
+		{"MLP", func(c *Config) { c.MLP = 0 }},
+		{"PrefetchDegree", func(c *Config) { c.PrefetchDegree = -1 }},
+		{"L3SizeBytes", func(c *Config) { c.L3SizeBytes = 3 << 20 }}, // 3MB/16w -> non-pow2 sets
 	}
 	for _, tc := range cases {
 		cfg := DefaultConfig()
 		tc.mutate(&cfg)
-		if err := ValidateConfig(cfg); err == nil {
-			t.Errorf("%s: invalid config accepted", tc.name)
+		err := ValidateConfig(cfg)
+		if err == nil {
+			t.Errorf("%s: invalid config accepted", tc.field)
+			continue
+		}
+		var fe *FieldError
+		if !errors.As(err, &fe) || fe.Field != tc.field {
+			t.Errorf("%s: error %v does not name the field", tc.field, err)
 		}
 	}
 }

@@ -15,7 +15,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/sim"
-	"repro/internal/workload"
 )
 
 // Options tunes experiment scale. The defaults trade absolute magnitude
@@ -186,16 +185,6 @@ func HybridStage(opt Options, winv, loopSTT, nloopSRAM bool) sim.Controller {
 	return func() core.Controller {
 		return withPeriod(core.NewHybridStage(winv, loopSTT, nloopSRAM), opt.DuelPeriod)
 	}
-}
-
-// mustRun runs a mix, panicking on configuration errors (experiment
-// definitions are static, so errors are bugs).
-func mustRun(cfg sim.Config, ctrl sim.Controller, mix workload.Mix, opt Options) sim.Result {
-	res, err := sim.RunMix(cfg, ctrl, mix, opt.Accesses, opt.Seed)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: %v", err))
-	}
-	return res
 }
 
 // ratio guards against zero denominators.

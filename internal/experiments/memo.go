@@ -1,9 +1,13 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
 	"strings"
 
+	"repro/internal/fault"
 	memocache "repro/internal/memo"
+	"repro/internal/pool"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -59,19 +63,64 @@ func runKey(cfg sim.Config, policy string, mix workload.Mix, threaded bool, opt 
 // cache is unbounded here; lapserved builds its own bounded instance.
 var memo = memocache.New[memoKey, sim.Result](0)
 
-// run executes (or recalls) one simulation. policyName must uniquely
-// identify the controller the factory builds.
-func run(cfg sim.Config, policyName string, ctrl sim.Controller, mix workload.Mix, opt Options) sim.Result {
-	return memo.Do(runKey(cfg, policyName, mix, false, opt), func() sim.Result {
-		return mustRun(cfg, ctrl, mix, opt)
+// runE executes (or recalls) one simulation, with the run's failure
+// domain contained to its own memo cell: a panicking simulation becomes
+// a typed *pool.RunError, a configuration error propagates as-is, and
+// either way nothing is cached (a retry recomputes). policyName must
+// uniquely identify the controller the factory builds.
+func runE(cfg sim.Config, policyName string, ctrl sim.Controller, mix workload.Mix, opt Options) (sim.Result, error) {
+	key := runKey(cfg, policyName, mix, false, opt)
+	cell := key.Mix + "|" + policyName
+	return memo.DoErr(context.Background(), key, func() (res sim.Result, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = pool.Recovered(cell, r)
+			}
+		}()
+		if err := fault.Inject(fault.PointExpRun, cell); err != nil {
+			return sim.Result{}, err
+		}
+		return sim.RunMix(cfg, ctrl, mix, opt.Accesses, opt.Seed)
 	})
 }
 
-// runThreaded executes (or recalls) one coherent multi-threaded run.
-func runThreaded(cfg sim.Config, policyName string, ctrl sim.Controller, b workload.Benchmark, opt Options) sim.Result {
-	return memo.Do(runKey(cfg, policyName, workload.Mix{Name: b.Name}, true, opt), func() sim.Result {
-		return sim.RunThreaded(cfg, ctrl, b, opt.Accesses, opt.Seed)
+// run is runE for the static experiment definitions of this package,
+// where a failing run is a bug: it panics with the cell label so the
+// per-artifact containment in cmd/lapexp can report which run died.
+func run(cfg sim.Config, policyName string, ctrl sim.Controller, mix workload.Mix, opt Options) sim.Result {
+	res, err := runE(cfg, policyName, ctrl, mix, opt)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: run %s[%s]|%s: %v",
+			mix.Name, strings.Join(mix.Members, ","), policyName, err))
+	}
+	return res
+}
+
+// runThreadedE executes (or recalls) one coherent multi-threaded run,
+// with the same failure containment as runE.
+func runThreadedE(cfg sim.Config, policyName string, ctrl sim.Controller, b workload.Benchmark, opt Options) (sim.Result, error) {
+	key := runKey(cfg, policyName, workload.Mix{Name: b.Name}, true, opt)
+	cell := key.Mix + "|" + policyName
+	return memo.DoErr(context.Background(), key, func() (res sim.Result, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = pool.Recovered(cell, r)
+			}
+		}()
+		if err := fault.Inject(fault.PointExpRun, cell); err != nil {
+			return sim.Result{}, err
+		}
+		return sim.RunThreaded(cfg, ctrl, b, opt.Accesses, opt.Seed), nil
 	})
+}
+
+// runThreaded is run's panicking counterpart for threaded runs.
+func runThreaded(cfg sim.Config, policyName string, ctrl sim.Controller, b workload.Benchmark, opt Options) sim.Result {
+	res, err := runThreadedE(cfg, policyName, ctrl, b, opt)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: threaded run %s|%s: %v", b.Name, policyName, err))
+	}
+	return res
 }
 
 // ResetMemo clears the run cache (tests and benchmarks use it to bound
@@ -82,16 +131,18 @@ func ResetMemo() { memo.Reset() }
 // MemoStats counts run-cache activity since process start: Computed is
 // the number of simulations actually executed, Recalled the number of
 // requests served from the cache (including requests that waited on an
-// in-flight computation). ResetMemo does not reset the counters, so
-// deltas around a code region meter its simulation cost (this is how
+// in-flight computation), Failed the number of runs that errored or
+// panicked (and were not cached). ResetMemo does not reset the counters,
+// so deltas around a code region meter its simulation cost (this is how
 // cmd/lapexp -timings derives per-artifact runs/sec).
 type MemoStats struct {
 	Computed uint64 `json:"computed"`
 	Recalled uint64 `json:"recalled"`
+	Failed   uint64 `json:"failed,omitempty"`
 }
 
 // Stats snapshots the memo counters.
 func Stats() MemoStats {
 	s := memo.Stats()
-	return MemoStats{Computed: s.Computed, Recalled: s.Recalled}
+	return MemoStats{Computed: s.Computed, Recalled: s.Recalled, Failed: s.Failed}
 }

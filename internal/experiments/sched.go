@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"runtime"
-
 	"repro/internal/pool"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -18,19 +16,12 @@ import (
 // pass that follows observes finished results in its own order. Every
 // emitted table is therefore byte-identical for any worker count.
 
-// workers resolves the effective worker count: Jobs when positive, one
-// worker per schedulable CPU when zero. Negative Jobs is a caller bug
-// (no sensible meaning exists); clamp it to the serial path rather than
-// silently falling through to GOMAXPROCS, which would make an invalid
-// value behave like the most parallel one.
+// workers resolves the effective worker count via the clamp shared with
+// every other fan-out in the tree (pool.Workers): Jobs when positive,
+// one worker per schedulable CPU when zero, and the serial path for
+// negative values.
 func (o Options) workers() int {
-	if o.Jobs > 0 {
-		return o.Jobs
-	}
-	if o.Jobs < 0 {
-		return 1
-	}
-	return runtime.GOMAXPROCS(0)
+	return pool.Workers(o.Jobs)
 }
 
 // warm executes the batch on up to opt.workers() goroutines and waits

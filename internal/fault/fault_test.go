@@ -1,0 +1,221 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// arm is a test helper that resets the registry after the test.
+func arm(t *testing.T, specs ...Spec) {
+	t.Helper()
+	Reset()
+	t.Cleanup(Reset)
+	for _, s := range specs {
+		if err := Arm(s); err != nil {
+			t.Fatalf("Arm(%+v): %v", s, err)
+		}
+	}
+}
+
+func TestFaultDisabledIsNil(t *testing.T) {
+	Reset()
+	if Active() {
+		t.Fatal("empty registry reports active")
+	}
+	if err := Inject("anything", "key"); err != nil {
+		t.Fatalf("disabled Inject returned %v", err)
+	}
+}
+
+func TestFaultErrorModeWindows(t *testing.T) {
+	arm(t, Spec{Point: "p", Mode: ModeError, After: 2, Count: 2})
+	var fired int
+	for i := 0; i < 6; i++ {
+		if err := Inject("p", "k"); err != nil {
+			fired++
+			var inj *InjectedError
+			if !errors.As(err, &inj) {
+				t.Fatalf("hit %d: error type %T", i, err)
+			}
+			if inj.Point != "p" || inj.Key != "k" {
+				t.Fatalf("hit %d: wrong identity %+v", i, inj)
+			}
+		}
+	}
+	// After=2 skips hits 0,1; Count=2 fires on hits 2,3 only.
+	if fired != 2 {
+		t.Fatalf("fired %d times, want 2", fired)
+	}
+	if Hits("p") != 6 || Fired("p") != 2 {
+		t.Fatalf("counters: hits=%d fired=%d, want 6/2", Hits("p"), Fired("p"))
+	}
+}
+
+func TestFaultMatchTargetsKeys(t *testing.T) {
+	arm(t, Spec{Point: "p", Match: "WH1", Mode: ModeError})
+	if err := Inject("p", "mix:WL1[a,b]|LAP"); err != nil {
+		t.Fatalf("non-matching key fired: %v", err)
+	}
+	if err := Inject("p", "mix:WH1[a,b]|LAP"); err == nil {
+		t.Fatal("matching key did not fire")
+	}
+	// Other points are untouched.
+	if err := Inject("q", "mix:WH1[a,b]|LAP"); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+}
+
+func TestFaultPanicMode(t *testing.T) {
+	arm(t, Spec{Point: "p", Mode: ModePanic})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic point did not panic")
+		}
+		ip, ok := r.(*InjectedPanic)
+		if !ok {
+			t.Fatalf("panic value %T, want *InjectedPanic", r)
+		}
+		if ip.Point != "p" || ip.Key != "k" {
+			t.Fatalf("panic identity: %+v", ip)
+		}
+	}()
+	Inject("p", "k")
+}
+
+func TestFaultDelayMode(t *testing.T) {
+	arm(t, Spec{Point: "p", Mode: ModeDelay, Delay: 30 * time.Millisecond, Count: 1})
+	start := time.Now()
+	if err := Inject("p", "k"); err != nil {
+		t.Fatalf("delay point returned error: %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("delay point slept only %v", d)
+	}
+	// Count exhausted: the next hit is instant and clean.
+	start = time.Now()
+	if err := Inject("p", "k"); err != nil || time.Since(start) > 20*time.Millisecond {
+		t.Fatalf("spent delay point still active: err=%v", err)
+	}
+}
+
+// TestFaultProbabilityDeterministic checks the seeded probabilistic
+// decision is a pure function of (seed, hit): two identical passes fire
+// on exactly the same hit indices.
+func TestFaultProbabilityDeterministic(t *testing.T) {
+	pattern := func(seed uint64) []bool {
+		arm(t, Spec{Point: "p", Mode: ModeError, P: 0.5, Seed: seed})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = Inject("p", "k") != nil
+		}
+		return out
+	}
+	a, b := pattern(7), pattern(7)
+	fires := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d differs between identical passes", i)
+		}
+		if a[i] {
+			fires++
+		}
+	}
+	// p=0.5 over 64 hits: both extremes would mean the roll is broken.
+	if fires == 0 || fires == len(a) {
+		t.Fatalf("p=0.5 fired %d/%d times", fires, len(a))
+	}
+	c := pattern(8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical fire patterns")
+	}
+}
+
+func TestFaultParse(t *testing.T) {
+	specs, err := Parse("server.execute@WH1:panic; trace.decode:error:count=1,after=2 ;p:delay:delay=50ms,p=0.25,seed=9")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	want := []Spec{
+		{Point: "server.execute", Match: "WH1", Mode: ModePanic},
+		{Point: "trace.decode", Mode: ModeError, Count: 1, After: 2},
+		{Point: "p", Mode: ModeDelay, Delay: 50 * time.Millisecond, P: 0.25, Seed: 9},
+	}
+	if len(specs) != len(want) {
+		t.Fatalf("parsed %d specs, want %d", len(specs), len(want))
+	}
+	for i := range want {
+		if specs[i] != want[i] {
+			t.Errorf("spec %d: got %+v, want %+v", i, specs[i], want[i])
+		}
+	}
+	if out, err := Parse(""); err != nil || len(out) != 0 {
+		t.Errorf("empty input: %v, %v", out, err)
+	}
+	for _, bad := range []string{
+		"justapoint",
+		"p:explode",
+		"p:error:count",
+		"p:error:count=x",
+		":error",
+		"p:error:p=2",
+		"p:error:bogus=1",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFaultArmFromEnv(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	t.Setenv(EnvVar, "p:error:count=1")
+	n, err := ArmFromEnv()
+	if err != nil || n != 1 {
+		t.Fatalf("ArmFromEnv = %d, %v", n, err)
+	}
+	if err := Inject("p", ""); err == nil {
+		t.Fatal("env-armed point did not fire")
+	}
+	t.Setenv(EnvVar, "p:nope")
+	if _, err := ArmFromEnv(); err == nil {
+		t.Fatal("malformed env accepted")
+	}
+}
+
+// TestFaultConcurrentInject hammers one point from many goroutines: the
+// registry must stay race-free and fire exactly Count times in total.
+func TestFaultConcurrentInject(t *testing.T) {
+	arm(t, Spec{Point: "p", Mode: ModeError, Count: 10})
+	var wg sync.WaitGroup
+	fired := make(chan struct{}, 1024)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if Inject("p", "k") != nil {
+					fired <- struct{}{}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(fired)
+	n := 0
+	for range fired {
+		n++
+	}
+	if n != 10 {
+		t.Fatalf("fired %d times across goroutines, want 10", n)
+	}
+}

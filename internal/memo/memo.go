@@ -11,14 +11,30 @@
 // resident entries; New's maxEntries enables least-recently-used
 // eviction of *completed* entries (in-flight computations are never
 // evicted, so the singleflight guarantee survives any bound).
+//
+// Failure domain (PR 3): DoErr computes values that can fail. A failed
+// computation is never cached — the entry is dropped so a later request
+// (a retry after backoff, say) recomputes instead of recalling the
+// failure — but callers already blocked on the in-flight latch receive
+// the same error, so one failing compute costs one execution, exactly
+// like one succeeding compute. A compute that panics propagates to the
+// goroutine that owns it (after the poisoned entry is dropped); its
+// waiters receive ErrComputeFailed rather than silently observing a
+// zero value.
 package memo
 
 import (
 	"container/list"
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 )
+
+// ErrComputeFailed is delivered to callers that were waiting on an
+// in-flight computation that panicked. (Callers waiting on a compute
+// that returned an error receive that error itself.)
+var ErrComputeFailed = errors.New("memo: in-flight computation panicked")
 
 // Cache is a singleflight memo from comparable keys to values. The zero
 // value is not ready to use; construct with New.
@@ -31,15 +47,17 @@ type Cache[K comparable, V any] struct {
 	computed atomic.Uint64
 	recalled atomic.Uint64
 	evicted  atomic.Uint64
+	failed   atomic.Uint64
 }
 
-// entry is one key's slot; done is closed once res is valid. elem is the
-// entry's node in the LRU order list, nil while the computation is in
-// flight (in-flight entries are exempt from eviction).
+// entry is one key's slot; done is closed once res/err are valid. elem
+// is the entry's node in the LRU order list, nil while the computation
+// is in flight (in-flight entries are exempt from eviction).
 type entry[K comparable, V any] struct {
 	key  K
 	done chan struct{}
 	res  V
+	err  error
 	elem *list.Element
 }
 
@@ -61,7 +79,7 @@ func New[K comparable, V any](maxEntries int) *Cache[K, V] {
 // cache generation: the first caller runs compute while concurrent
 // duplicates block on the entry's latch and share its result.
 func (c *Cache[K, V]) Do(key K, compute func() V) V {
-	v, _ := c.do(context.Background(), key, compute)
+	v, _ := c.do(context.Background(), key, func() (V, error) { return compute(), nil })
 	return v
 }
 
@@ -71,10 +89,21 @@ func (c *Cache[K, V]) Do(key K, compute func() V) V {
 // cancelled — the caller that owns it runs compute to completion
 // regardless of its own ctx, so waiters that stay see a valid result.
 func (c *Cache[K, V]) DoCtx(ctx context.Context, key K, compute func() V) (V, error) {
+	return c.do(ctx, key, func() (V, error) { return compute(), nil })
+}
+
+// DoErr is the failure-aware variant: compute may return an error, in
+// which case nothing is cached — the entry is dropped so a later request
+// for the same key recomputes (this is what makes bounded retry with
+// backoff meaningful upstream) — while concurrent callers already
+// waiting on the in-flight latch receive the same error. Successful
+// values cache exactly as with Do. The wait is bounded by ctx like
+// DoCtx.
+func (c *Cache[K, V]) DoErr(ctx context.Context, key K, compute func() (V, error)) (V, error) {
 	return c.do(ctx, key, compute)
 }
 
-func (c *Cache[K, V]) do(ctx context.Context, key K, compute func() V) (V, error) {
+func (c *Cache[K, V]) do(ctx context.Context, key K, compute func() (V, error)) (V, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		if e.elem != nil {
@@ -83,6 +112,10 @@ func (c *Cache[K, V]) do(ctx context.Context, key K, compute func() V) (V, error
 		c.mu.Unlock()
 		select {
 		case <-e.done:
+			if e.err != nil {
+				var zero V
+				return zero, e.err
+			}
 			c.recalled.Add(1)
 			return e.res, nil
 		case <-ctx.Done():
@@ -96,9 +129,17 @@ func (c *Cache[K, V]) do(ctx context.Context, key K, compute func() V) (V, error
 
 	completed := false
 	defer func() {
-		if !completed {
-			// compute panicked: drop the poisoned entry so a retry after a
-			// recover would recompute rather than observe a zero value.
+		if !completed && e.err == nil {
+			// compute panicked: the panic propagates to this caller, but
+			// waiters on the latch must not observe a zero value as if it
+			// were a result.
+			e.err = ErrComputeFailed
+		}
+		if e.err != nil {
+			// Failed entries are poisoned: drop them so a retry (or the
+			// serial pass after a panicking warm pass) recomputes rather
+			// than recalling the failure.
+			c.failed.Add(1)
 			c.mu.Lock()
 			if c.entries[key] == e {
 				delete(c.entries, key)
@@ -107,8 +148,12 @@ func (c *Cache[K, V]) do(ctx context.Context, key K, compute func() V) (V, error
 		}
 		close(e.done)
 	}()
-	e.res = compute()
+	e.res, e.err = compute()
 	completed = true
+	if e.err != nil {
+		var zero V
+		return zero, e.err
+	}
 	c.computed.Add(1)
 
 	c.mu.Lock()
@@ -162,15 +207,18 @@ func (c *Cache[K, V]) Reset() {
 }
 
 // Stats counts cache activity since construction. Computed is the
-// number of computations actually executed, Recalled the number of
-// requests served from the cache (including requests that waited on an
-// in-flight computation), Evicted the number of completed entries
-// dropped by the LRU bound. Reset does not touch the counters, so
-// deltas around a code region meter its computation cost.
+// number of computations that executed successfully, Recalled the number
+// of requests served from the cache (including requests that waited on
+// an in-flight computation), Evicted the number of completed entries
+// dropped by the LRU bound, and Failed the number of computations that
+// returned an error or panicked (none of which were cached). Reset does
+// not touch the counters, so deltas around a code region meter its
+// computation cost.
 type Stats struct {
 	Computed uint64 `json:"computed"`
 	Recalled uint64 `json:"recalled"`
 	Evicted  uint64 `json:"evicted"`
+	Failed   uint64 `json:"failed"`
 }
 
 // Stats snapshots the counters.
@@ -179,5 +227,6 @@ func (c *Cache[K, V]) Stats() Stats {
 		Computed: c.computed.Load(),
 		Recalled: c.recalled.Load(),
 		Evicted:  c.evicted.Load(),
+		Failed:   c.failed.Load(),
 	}
 }

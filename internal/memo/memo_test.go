@@ -2,6 +2,7 @@ package memo
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -142,6 +143,127 @@ func TestPanicDoesNotPoison(t *testing.T) {
 	}
 	if got := c.Do("k", func() int { return 9 }); got != 9 {
 		t.Fatalf("retry after panic = %d", got)
+	}
+}
+
+// TestDoErrFailureNotCached: a compute error reaches the caller, is
+// counted in Stats.Failed, and leaves no entry behind — the retry
+// recomputes and its success caches normally.
+func TestDoErrFailureNotCached(t *testing.T) {
+	c := New[string, int](0)
+	boom := errors.New("boom")
+	calls := 0
+	_, err := c.DoErr(context.Background(), "k", func() (int, error) { calls++; return 0, boom })
+	if err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("failed entry cached: size = %d", c.Len())
+	}
+	v, err := c.DoErr(context.Background(), "k", func() (int, error) { calls++; return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("retry = %d, %v", v, err)
+	}
+	if calls != 2 {
+		t.Fatalf("compute ran %d times, want 2", calls)
+	}
+	// The success is now cached like any Do value.
+	v, err = c.DoErr(context.Background(), "k", func() (int, error) { t.Error("recompute"); return 0, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("recall = %d, %v", v, err)
+	}
+	s := c.Stats()
+	if s.Failed != 1 || s.Computed != 1 || s.Recalled != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestDoErrWaitersShareFailure: duplicates blocked on a failing in-flight
+// compute all receive the error without triggering extra computes, and a
+// later caller recomputes fresh.
+func TestDoErrWaitersShareFailure(t *testing.T) {
+	c := New[string, int](0)
+	boom := errors.New("boom")
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var computes atomic.Int64
+	go func() {
+		c.DoErr(context.Background(), "k", func() (int, error) {
+			close(started)
+			<-release
+			computes.Add(1)
+			return 0, boom
+		})
+	}()
+	<-started
+	const waiters = 8
+	errs := make([]error, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, errs[i] = c.DoErr(context.Background(), "k", func() (int, error) {
+				t.Error("waiter recomputed while in flight")
+				return 0, nil
+			})
+		}()
+	}
+	// Waiters attach to the in-flight latch before we release it. There
+	// is no handle to observe "blocked", so give them a moment; a late
+	// attacher would still see the dropped entry and recompute, which the
+	// t.Error in their compute would catch.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		if err != boom {
+			t.Fatalf("waiter %d err = %v, want boom", i, err)
+		}
+	}
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("failed entry cached: size = %d", c.Len())
+	}
+}
+
+// TestDoErrPanicWaitersGetError: a panicking compute still propagates to
+// its owner, but latched waiters receive ErrComputeFailed instead of a
+// silent zero value.
+func TestDoErrPanicWaitersGetError(t *testing.T) {
+	c := New[string, int](0)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate to computing caller")
+			}
+		}()
+		c.DoErr(context.Background(), "k", func() (int, error) {
+			close(started)
+			<-release
+			panic("boom")
+		})
+	}()
+	<-started
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.DoErr(context.Background(), "k", func() (int, error) {
+			t.Error("waiter recomputed while in flight")
+			return 0, nil
+		})
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	if err := <-done; !errors.Is(err, ErrComputeFailed) {
+		t.Fatalf("waiter err = %v, want ErrComputeFailed", err)
+	}
+	if got := c.Stats().Failed; got != 1 {
+		t.Fatalf("failed = %d, want 1", got)
 	}
 }
 

@@ -1,13 +1,120 @@
 // Package pool provides the bounded fan-out worker pool introduced with
 // the PR 1 experiment scheduler, promoted so other subsystems (the
-// lapserved sweep endpoint) can fan batches of independent work onto a
-// capped number of goroutines.
+// lapserved sweep endpoint, lapsim's multi-policy runner) can fan batches
+// of independent work onto a capped number of goroutines.
+//
+// Failure domain: a unit of work that panics is contained to its own
+// slot. Run recovers panics into typed *RunError values carrying the
+// unit's key and stack; Warm silently contains them (see Warm's
+// contract). The process never dies because one simulation did.
 package pool
 
 import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/fault"
 )
+
+// Workers resolves an effective worker count from a jobs knob. The clamp
+// is shared by every fan-out in the tree (the experiment scheduler,
+// lapserved, lapsim), so negative/zero handling cannot drift between
+// them: positive jobs are taken as-is, zero means one worker per
+// schedulable CPU, and negative values — a caller bug with no sensible
+// meaning — clamp to the serial path rather than silently behaving like
+// the most parallel one.
+func Workers(jobs int) int {
+	if jobs > 0 {
+		return jobs
+	}
+	if jobs < 0 {
+		return 1
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunError is one work unit's recovered panic: the unit's key, the panic
+// value, and the goroutine stack captured at recovery, so the failure
+// stays debuggable after the process has survived it.
+type RunError struct {
+	// Key identifies the failed unit (run key, sweep cell label).
+	Key string
+	// Panic is the recovered panic value.
+	Panic any
+	// Stack is the failing goroutine's stack at recovery.
+	Stack []byte
+}
+
+func (e *RunError) Error() string {
+	return fmt.Sprintf("pool: run %q panicked: %v", e.Key, e.Panic)
+}
+
+// Recovered converts a recovered panic value into a *RunError. Callers
+// that isolate panics themselves (memoised computes, request handlers)
+// share this constructor so every failure domain produces the same typed
+// value.
+func Recovered(key string, v any) *RunError {
+	return &RunError{Key: key, Panic: v, Stack: debug.Stack()}
+}
+
+// Task is one unit of work for Run.
+type Task struct {
+	// Key identifies the unit in failures.
+	Key string
+	// Do executes the unit.
+	Do func() error
+}
+
+// Run executes every task — serially when workers <= 1 — and returns one
+// error slot per task (nil on success). Unlike Warm, Run always executes
+// the whole batch. A task that panics is recovered into a *RunError; the
+// other tasks and the process are unaffected. The pool.task fault point
+// can inject failures ahead of each task for chaos tests.
+func Run(workers int, tasks []Task) []error {
+	errs := make([]error, len(tasks))
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		for i := range tasks {
+			errs[i] = runTask(tasks[i])
+		}
+		return errs
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				j := int(next.Add(1)) - 1
+				if j >= len(tasks) {
+					return
+				}
+				errs[j] = runTask(tasks[j])
+			}
+		}()
+	}
+	wg.Wait()
+	return errs
+}
+
+// runTask executes one task with panic isolation.
+func runTask(t Task) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = Recovered(t.Key, r)
+		}
+	}()
+	if err := fault.Inject(fault.PointPoolTask, t.Key); err != nil {
+		return err
+	}
+	return t.Do()
+}
 
 // Warm executes the batch on up to workers goroutines and waits for all
 // of them. With one worker (or fewer) it is a no-op: Warm's contract is
@@ -15,7 +122,13 @@ import (
 // follows — any unit of work the warm pass skips is simply computed on
 // first use by the collector, so workers<=1 is exactly the serial path.
 // Callers that need every thunk to run regardless of worker count must
-// run the batch themselves when Warm declines it.
+// use Run instead.
+//
+// Each thunk runs panic-isolated: a panicking unit is contained here
+// (its memo entry is dropped as poisoned, see internal/memo) and the
+// failure surfaces on the serial collection pass, which re-executes the
+// unit in the caller's goroutine — one corrupt run can no longer take a
+// whole warm pass, or the process, down with it.
 func Warm(workers int, batch []func()) {
 	if workers > len(batch) {
 		workers = len(batch)
@@ -34,7 +147,10 @@ func Warm(workers int, batch []func()) {
 				if j >= len(batch) {
 					return
 				}
-				batch[j]()
+				func() {
+					defer func() { _ = recover() }()
+					batch[j]()
+				}()
 			}
 		}()
 	}

@@ -1,8 +1,14 @@
 package pool
 
 import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/fault"
 )
 
 func TestWarmRunsEveryThunk(t *testing.T) {
@@ -41,6 +47,109 @@ func TestWarmClampsToBatchSize(t *testing.T) {
 
 func TestWarmEmptyBatch(t *testing.T) {
 	Warm(4, nil) // must not panic or hang
+}
+
+func TestWorkersClamp(t *testing.T) {
+	cases := []struct{ jobs, want int }{
+		{jobs: -1, want: 1}, // negative is a caller bug: clamp to serial
+		{jobs: 0, want: runtime.GOMAXPROCS(0)},
+		{jobs: 1, want: 1},
+		{jobs: 8, want: 8},
+	}
+	for _, c := range cases {
+		if got := Workers(c.jobs); got != c.want {
+			t.Errorf("Workers(%d) = %d, want %d", c.jobs, got, c.want)
+		}
+	}
+}
+
+// TestWarmContainsPanics is the pool's core failure-domain contract: a
+// panicking thunk must not take down the process (pre-PR 3, one corrupt
+// run crashed the whole warm pass), and the rest of the batch still runs.
+func TestWarmContainsPanics(t *testing.T) {
+	var ran atomic.Int32
+	batch := make([]func(), 20)
+	for i := range batch {
+		if i%3 == 0 {
+			batch[i] = func() { panic("corrupt trace") }
+		} else {
+			batch[i] = func() { ran.Add(1) }
+		}
+	}
+	Warm(4, batch) // must return normally
+	if got := ran.Load(); got != 13 {
+		t.Fatalf("%d healthy thunks ran, want 13", got)
+	}
+}
+
+func TestRunExecutesAllAndIsolatesPanics(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		tasks := make([]Task, 10)
+		for i := range tasks {
+			i := i
+			switch {
+			case i == 3:
+				tasks[i] = Task{Key: fmt.Sprintf("cell-%d", i), Do: func() error { panic("boom") }}
+			case i == 7:
+				tasks[i] = Task{Key: fmt.Sprintf("cell-%d", i), Do: func() error { return errors.New("plain failure") }}
+			default:
+				tasks[i] = Task{Key: fmt.Sprintf("cell-%d", i), Do: func() error { ran.Add(1); return nil }}
+			}
+		}
+		errs := Run(workers, tasks)
+		if got := ran.Load(); got != 8 {
+			t.Fatalf("workers=%d: %d healthy tasks ran, want 8", workers, got)
+		}
+		var re *RunError
+		if !errors.As(errs[3], &re) {
+			t.Fatalf("workers=%d: panicking task error = %T %v, want *RunError", workers, errs[3], errs[3])
+		}
+		if re.Key != "cell-3" || re.Panic != "boom" || !strings.Contains(string(re.Stack), "pool") {
+			t.Fatalf("workers=%d: RunError lost context: key=%q panic=%v stack=%d bytes",
+				workers, re.Key, re.Panic, len(re.Stack))
+		}
+		if errs[7] == nil || errors.As(errs[7], &re) && errs[7].Error() == "" {
+			t.Fatalf("workers=%d: plain error lost: %v", workers, errs[7])
+		}
+		for _, i := range []int{0, 1, 2, 4, 5, 6, 8, 9} {
+			if errs[i] != nil {
+				t.Fatalf("workers=%d: healthy task %d errored: %v", workers, i, errs[i])
+			}
+		}
+	}
+}
+
+// TestFaultPointPoolTask drives the pool.task injection point: armed
+// faults surface in the error slots of exactly the matching tasks.
+func TestFaultPointPoolTask(t *testing.T) {
+	fault.Reset()
+	t.Cleanup(fault.Reset)
+	if err := fault.Arm(fault.Spec{Point: fault.PointPoolTask, Match: "victim", Mode: fault.ModeError}); err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Int32
+	errs := Run(2, []Task{
+		{Key: "healthy-0", Do: func() error { ran.Add(1); return nil }},
+		{Key: "victim-1", Do: func() error { ran.Add(1); return nil }},
+		{Key: "healthy-2", Do: func() error { ran.Add(1); return nil }},
+	})
+	var inj *fault.InjectedError
+	if !errors.As(errs[1], &inj) {
+		t.Fatalf("victim error = %T %v, want *fault.InjectedError", errs[1], errs[1])
+	}
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("healthy tasks errored: %v / %v", errs[0], errs[2])
+	}
+	if ran.Load() != 2 {
+		t.Fatalf("injected fault did not pre-empt its task: ran=%d", ran.Load())
+	}
+}
+
+func TestRunEmptyBatch(t *testing.T) {
+	if errs := Run(4, nil); len(errs) != 0 {
+		t.Fatalf("Run(4, nil) = %v", errs)
+	}
 }
 
 // TestWarmBoundsConcurrency checks that at most `workers` thunks are in

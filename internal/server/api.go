@@ -2,10 +2,13 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"strings"
 
 	lap "repro"
+	"repro/internal/fault"
+	"repro/internal/pool"
 	"repro/internal/trace"
 )
 
@@ -41,20 +44,33 @@ type RunRequest struct {
 	Seed uint64 `json:"seed,omitempty"`
 }
 
-// RunResult is one simulation's outcome.
+// RunResult is one simulation's outcome. Error is set — and the metric
+// fields zero — when the cell failed; it is omitted entirely on success,
+// so successful cells serialize byte-identically whether or not other
+// cells of their sweep failed.
 type RunResult struct {
-	Policy       string    `json:"policy"`
-	Workload     string    `json:"workload"`
-	Accesses     uint64    `json:"accesses"`
-	Seed         uint64    `json:"seed"`
-	MPKI         float64   `json:"mpki"`
-	Throughput   float64   `json:"throughput"`
-	Cycles       uint64    `json:"cycles"`
-	EPIStaticNJ  float64   `json:"epi_static_nj"`
-	EPIDynamicNJ float64   `json:"epi_dynamic_nj"`
-	EPITotalNJ   float64   `json:"epi_total_nj"`
-	TotalNJ      float64   `json:"total_nj"`
-	IPCs         []float64 `json:"ipcs"`
+	Policy       string     `json:"policy"`
+	Workload     string     `json:"workload"`
+	Accesses     uint64     `json:"accesses"`
+	Seed         uint64     `json:"seed"`
+	MPKI         float64    `json:"mpki"`
+	Throughput   float64    `json:"throughput"`
+	Cycles       uint64     `json:"cycles"`
+	EPIStaticNJ  float64    `json:"epi_static_nj"`
+	EPIDynamicNJ float64    `json:"epi_dynamic_nj"`
+	EPITotalNJ   float64    `json:"epi_total_nj"`
+	TotalNJ      float64    `json:"total_nj"`
+	IPCs         []float64  `json:"ipcs"`
+	Error        *CellError `json:"error,omitempty"`
+}
+
+// CellError is one failed cell's error on the wire. Kind is the failure
+// taxonomy: "fault" (injected), "panic" (recovered simulation panic),
+// "cancelled" (drain or client cancel), "timeout" (request deadline),
+// "error" (anything else).
+type CellError struct {
+	Kind    string `json:"kind"`
+	Message string `json:"message"`
 }
 
 // SweepRequest fans one run per (mix, policy) grid cell onto the worker
@@ -75,8 +91,14 @@ type SweepRequest struct {
 }
 
 // SweepResponse carries the grid's results, mix-major in request order.
+// A sweep is a partial-result API: failed cells stay in Results (with
+// Error set) so the grid keeps its shape, and Failed/Cancelled count
+// them. Both counters are zero — and omitted — on a fully clean sweep,
+// keeping clean responses byte-identical to pre-failure-domain ones.
 type SweepResponse struct {
-	Results []RunResult `json:"results"`
+	Results   []RunResult `json:"results"`
+	Failed    int         `json:"failed,omitempty"`
+	Cancelled int         `json:"cancelled,omitempty"`
 }
 
 // TraceUploadResponse acknowledges a stored trace.
@@ -107,11 +129,26 @@ type StatsResponse struct {
 	RunLatencyP50Sec  float64 `json:"run_latency_p50_sec"`
 	RunLatencyP95Sec  float64 `json:"run_latency_p95_sec"`
 	RunLatencySamples int     `json:"run_latency_samples"`
+	// MemoFailed counts computations that errored or panicked (never
+	// cached); Failures counts runs that stayed failed after retries,
+	// Retries the retry attempts made.
+	MemoFailed uint64 `json:"memo_failed"`
+	Failures   uint64 `json:"failures"`
+	Retries    uint64 `json:"retries"`
+	// Breaker state: "closed", "open", "half-open", or "disabled";
+	// BreakerOpens counts trips, BreakerShed requests refused with 503.
+	BreakerState string `json:"breaker_state"`
+	BreakerOpens uint64 `json:"breaker_opens"`
+	BreakerShed  uint64 `json:"breaker_shed"`
 }
 
-// errorResponse is every non-2xx body.
+// errorResponse is every non-2xx body. Kind carries the failure taxonomy
+// (see CellError); Field names the offending Config field on validation
+// failures.
 type errorResponse struct {
 	Error string `json:"error"`
+	Kind  string `json:"kind,omitempty"`
+	Field string `json:"field,omitempty"`
 }
 
 // runKey identifies one simulation run in the result cache. lap.Config
@@ -123,13 +160,6 @@ type runKey struct {
 	Workload string
 	Accesses uint64
 	Seed     uint64
-}
-
-// outcome is a cached run result. Err is a deterministic failure (same
-// request, same error), so caching it is sound.
-type outcome struct {
-	Res lap.Result
-	Err string
 }
 
 // runKind discriminates the workload shapes a runSpec can execute.
@@ -157,8 +187,12 @@ type runSpec struct {
 }
 
 // badRequestError marks resolution failures the client caused (400, as
-// opposed to internal execution failures).
-type badRequestError struct{ msg string }
+// opposed to internal execution failures). field names the offending
+// Config field when the failure was a validation error.
+type badRequestError struct {
+	msg   string
+	field string
+}
 
 func (e badRequestError) Error() string { return e.msg }
 
@@ -170,6 +204,10 @@ func badReqf(format string, args ...any) error {
 func (s *Server) resolveRun(req RunRequest) (*runSpec, error) {
 	cfg, err := lap.ParseConfig(req.Config)
 	if err != nil {
+		var fe *lap.FieldError
+		if errors.As(err, &fe) {
+			return nil, badRequestError{msg: err.Error(), field: fe.Field}
+		}
 		return nil, badReqf("%v", err)
 	}
 
@@ -278,38 +316,42 @@ func resolveMix(arg string, cores int) (lap.Mix, error) {
 	return lap.Mix{Name: "custom", Members: members}, nil
 }
 
-// execute runs the simulation. Panics (bad geometry the validator missed,
-// zero-instruction traces) are converted to error outcomes so a worker
-// goroutine can never take the process down.
-func (sp *runSpec) execute() (out outcome) {
+// cellKey labels the cell in failures and fault-point matches:
+// "workload|policy", e.g. "mix:WH1[...]|LAP".
+func (sp *runSpec) cellKey() string {
+	return sp.key.Workload + "|" + sp.key.Policy
+}
+
+// execute runs the simulation. Panics (bad geometry the validator
+// missed, zero-instruction traces) are recovered into typed
+// *pool.RunError values — the cell's failure domain is itself; a worker
+// goroutine can never take the process down. The server.execute fault
+// point fires first, so chaos tests can target one cell by key.
+func (sp *runSpec) execute() (res lap.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			out = outcome{Err: fmt.Sprintf("simulation panic: %v", r)}
+			res, err = lap.Result{}, pool.Recovered(sp.cellKey(), r)
 		}
 	}()
-	var res lap.Result
-	var err error
+	if err := fault.Inject(fault.PointServerRun, sp.cellKey()); err != nil {
+		return lap.Result{}, err
+	}
 	switch sp.kind {
 	case kindThreaded:
-		res, err = lap.RunThreaded(sp.cfg, sp.policy, sp.bench, sp.accesses, sp.seed)
+		return lap.RunThreaded(sp.cfg, sp.policy, sp.bench, sp.accesses, sp.seed)
 	case kindTrace:
 		srcs := make([]lap.Source, sp.cfg.Cores)
 		for i := range srcs {
 			srcs[i] = trace.Limit(trace.NewSliceSource(sp.traceAcc), sp.accesses)
 		}
-		res, err = lap.RunTraces(sp.cfg, sp.policy, srcs)
+		return lap.RunTraces(sp.cfg, sp.policy, srcs)
 	default:
-		res, err = lap.Run(sp.cfg, sp.policy, sp.mix, sp.accesses, sp.seed)
+		return lap.Run(sp.cfg, sp.policy, sp.mix, sp.accesses, sp.seed)
 	}
-	if err != nil {
-		return outcome{Err: err.Error()}
-	}
-	return outcome{Res: res}
 }
 
-// result shapes an outcome for the wire.
-func (sp *runSpec) result(out outcome) RunResult {
-	r := out.Res
+// result shapes a successful run for the wire.
+func (sp *runSpec) result(r lap.Result) RunResult {
 	return RunResult{
 		Policy:       string(sp.policy),
 		Workload:     sp.key.Workload,
@@ -323,5 +365,17 @@ func (sp *runSpec) result(out outcome) RunResult {
 		EPITotalNJ:   r.EPI.Total(),
 		TotalNJ:      r.TotalNJ,
 		IPCs:         r.IPCs,
+	}
+}
+
+// errorResult shapes a failed sweep cell for the wire: identity fields
+// only, metrics zero, Error set.
+func (sp *runSpec) errorResult(kind string, err error) RunResult {
+	return RunResult{
+		Policy:   string(sp.policy),
+		Workload: sp.key.Workload,
+		Accesses: sp.accesses,
+		Seed:     sp.seed,
+		Error:    &CellError{Kind: kind, Message: err.Error()},
 	}
 }

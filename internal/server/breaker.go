@@ -1,0 +1,151 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the circuit breaker's position.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (st breakerState) String() string {
+	switch st {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// breaker is a consecutive-failure circuit breaker over the server's
+// simulation path. Closed, it counts consecutive run failures; at
+// threshold it opens and the server sheds new simulation requests with
+// 503 + Retry-After for cooldown. After the cooldown one probe request
+// is admitted (half-open): its success closes the breaker, its failure
+// re-opens it. A threshold <= 0 disables the breaker entirely.
+//
+// Cancellations, drain refusals, and queue timeouts are inconclusive —
+// they say nothing about whether the simulator is healthy — so they
+// release the half-open probe slot (probeDone) without moving the state.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    breakerState
+	fails    int  // consecutive failures while closed
+	probing  bool // a half-open probe is in flight
+	openedAt time.Time
+	opens    uint64 // times the breaker tripped open
+	shed     uint64 // requests refused while open/half-open
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a new simulation request may proceed. When it
+// may not, the remaining cooldown is returned for a Retry-After header.
+func (b *breaker) allow() (bool, time.Duration) {
+	if b.threshold <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		if rem := b.cooldown - time.Since(b.openedAt); rem > 0 {
+			b.shed++
+			return false, rem
+		}
+		// Cooldown over: admit exactly one probe.
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true, 0
+	case breakerHalfOpen:
+		if b.probing {
+			b.shed++
+			return false, b.cooldown
+		}
+		b.probing = true
+		return true, 0
+	}
+	return true, 0
+}
+
+// success records a healthy run: the breaker closes and the failure
+// streak resets.
+func (b *breaker) success() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.fails = 0
+	b.probing = false
+}
+
+// failure records a run failure, tripping the breaker at threshold (or
+// immediately when a half-open probe fails).
+func (b *breaker) failure() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.trip()
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.trip()
+		}
+	}
+	// Already open: the failure belongs to a request admitted before the
+	// trip; it changes nothing.
+}
+
+// probeDone releases the half-open probe slot after an inconclusive
+// outcome (cancel, drain, queue timeout) without moving the state.
+func (b *breaker) probeDone() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+}
+
+// trip opens the breaker; the caller holds b.mu.
+func (b *breaker) trip() {
+	b.state = breakerOpen
+	b.fails = 0
+	b.probing = false
+	b.openedAt = time.Now()
+	b.opens++
+}
+
+// breakerStats is the /v1/stats snapshot of the breaker.
+type breakerStats struct {
+	state string
+	opens uint64
+	shed  uint64
+}
+
+func (b *breaker) snapshot() breakerStats {
+	if b.threshold <= 0 {
+		return breakerStats{state: "disabled"}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return breakerStats{state: b.state.String(), opens: b.opens, shed: b.shed}
+}

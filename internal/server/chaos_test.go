@@ -1,0 +1,269 @@
+package server
+
+// Chaos suite: drives the internal/fault injection points through the
+// full httptest stack and asserts the failure-domain contract — the
+// process survives, healthy cells are byte-identical to a clean run,
+// failed cells carry typed errors, and the stats counters tell the
+// truth. Run with `make chaos` (race-enabled) or the ordinary test run.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// chaosSweep is the 3-cell grid the chaos tests target: one policy so a
+// Match on the mix name selects exactly one cell.
+func chaosSweep() SweepRequest {
+	return SweepRequest{
+		Mixes:    []string{"WL1", "WH1", "WL2"},
+		Policies: []string{"LAP"},
+		Accesses: smallAccesses,
+		Jobs:     2,
+	}
+}
+
+func doSweep(t *testing.T, base string, req SweepRequest) SweepResponse {
+	t.Helper()
+	status, body := post(t, base+"/v1/sweep", req)
+	if status != http.StatusOK {
+		t.Fatalf("sweep: %d %s", status, body)
+	}
+	var resp SweepResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("decoding sweep: %v", err)
+	}
+	return resp
+}
+
+func cellJSON(t *testing.T, r RunResult) string {
+	t.Helper()
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestChaosSweepPanicCellIsolated is the acceptance scenario: a panic
+// point armed in one of three sweep cells. The server stays up, the
+// response carries the two healthy cells byte-identically to a clean
+// sweep plus one typed per-cell error, the counters advance, and after
+// disarming the same server heals completely.
+func TestChaosSweepPanicCellIsolated(t *testing.T) {
+	fault.Reset()
+	t.Cleanup(fault.Reset)
+
+	cfg := Config{Jobs: 2, RetryMax: 1, RetryBackoff: time.Millisecond}
+	_, clean := testServer(t, cfg)
+	baseline := doSweep(t, clean.URL, chaosSweep())
+	if len(baseline.Results) != 3 || baseline.Failed != 0 || baseline.Cancelled != 0 {
+		t.Fatalf("baseline sweep not clean: %+v", baseline)
+	}
+
+	if err := fault.Arm(fault.Spec{Point: fault.PointServerRun, Match: "WH1", Mode: fault.ModePanic}); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := testServer(t, cfg)
+	resp := doSweep(t, ts.URL, chaosSweep())
+	if len(resp.Results) != 3 {
+		t.Fatalf("faulted sweep returned %d cells, want 3", len(resp.Results))
+	}
+	if resp.Failed != 1 || resp.Cancelled != 0 {
+		t.Fatalf("failed/cancelled = %d/%d, want 1/0", resp.Failed, resp.Cancelled)
+	}
+	for i, cell := range resp.Results {
+		if i == 1 { // the WH1 victim
+			if cell.Error == nil || cell.Error.Kind != "panic" {
+				t.Fatalf("victim cell error = %+v, want kind panic", cell.Error)
+			}
+			if cell.Workload != baseline.Results[1].Workload || cell.Cycles != 0 {
+				t.Fatalf("victim cell lost identity or kept metrics: %+v", cell)
+			}
+			continue
+		}
+		if got, want := cellJSON(t, cell), cellJSON(t, baseline.Results[i]); got != want {
+			t.Fatalf("healthy cell %d diverged from clean sweep:\n got %s\nwant %s", i, got, want)
+		}
+	}
+
+	// The process is fine: liveness holds and the counters advanced.
+	if status, _ := get(t, ts.URL+"/healthz"); status != http.StatusOK {
+		t.Fatalf("healthz after panic cell: %d, want 200", status)
+	}
+	st := getStats(t, ts.URL)
+	if st.Failures != 1 || st.Retries != 1 {
+		t.Fatalf("failures/retries = %d/%d, want 1/1", st.Failures, st.Retries)
+	}
+	if st.MemoFailed == 0 {
+		t.Fatalf("memo_failed = 0, want > 0")
+	}
+
+	// Disarm: the same server recovers — the failed cell was never
+	// cached, so it recomputes cleanly; the whole grid now matches the
+	// baseline byte for byte.
+	fault.Reset()
+	healed := doSweep(t, ts.URL, chaosSweep())
+	if healed.Failed != 0 || healed.Cancelled != 0 {
+		t.Fatalf("healed sweep still failing: %+v", healed)
+	}
+	for i := range healed.Results {
+		if got, want := cellJSON(t, healed.Results[i]), cellJSON(t, baseline.Results[i]); got != want {
+			t.Fatalf("healed cell %d diverged:\n got %s\nwant %s", i, got, want)
+		}
+	}
+}
+
+// TestChaosRunRetryRecoversTransientFault: a fault that fires once is
+// absorbed by the retry layer — the client sees a clean 200.
+func TestChaosRunRetryRecoversTransientFault(t *testing.T) {
+	fault.Reset()
+	t.Cleanup(fault.Reset)
+	if err := fault.Arm(fault.Spec{Point: fault.PointServerRun, Mode: fault.ModeError, Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := testServer(t, Config{RetryMax: 2, RetryBackoff: time.Millisecond})
+	status, body := post(t, ts.URL+"/v1/run", RunRequest{Mix: "WL1", Accesses: smallAccesses})
+	if status != http.StatusOK {
+		t.Fatalf("run with transient fault: %d %s", status, body)
+	}
+	st := getStats(t, ts.URL)
+	if st.Retries < 1 {
+		t.Fatalf("retries = %d, want >= 1", st.Retries)
+	}
+	if st.Failures != 0 {
+		t.Fatalf("failures = %d, want 0 (the retry recovered)", st.Failures)
+	}
+	if st.Computed != 1 {
+		t.Fatalf("computed = %d, want 1", st.Computed)
+	}
+}
+
+// TestChaosBreakerShedsLoad: persistent failures trip the breaker, which
+// sheds subsequent requests with 503 + Retry-After; after the fault is
+// gone and the cooldown passes, a probe closes it again.
+func TestChaosBreakerShedsLoad(t *testing.T) {
+	fault.Reset()
+	t.Cleanup(fault.Reset)
+	if err := fault.Arm(fault.Spec{Point: fault.PointServerRun, Mode: fault.ModeError}); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := testServer(t, Config{
+		RetryMax:         -1, // no retries: each request is one failure
+		BreakerThreshold: 2,
+		BreakerCooldown:  100 * time.Millisecond,
+	})
+	req := RunRequest{Mix: "WL1", Accesses: smallAccesses}
+	for i := 0; i < 2; i++ {
+		status, body := post(t, ts.URL+"/v1/run", req)
+		if status != http.StatusInternalServerError {
+			t.Fatalf("failing run %d: %d %s", i, status, body)
+		}
+		var er errorResponse
+		if err := json.Unmarshal(body, &er); err != nil || er.Kind != "fault" {
+			t.Fatalf("failing run %d kind = %q (%v)", i, er.Kind, err)
+		}
+	}
+
+	// Threshold reached: the breaker sheds before any simulation runs.
+	data, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("shed request: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response lacks Retry-After")
+	}
+	st := getStats(t, ts.URL)
+	if st.BreakerState != "open" || st.BreakerOpens != 1 || st.BreakerShed != 1 {
+		t.Fatalf("breaker stats = %q opens=%d shed=%d, want open/1/1",
+			st.BreakerState, st.BreakerOpens, st.BreakerShed)
+	}
+	if st.Failures != 2 {
+		t.Fatalf("failures = %d, want 2", st.Failures)
+	}
+
+	// Fault gone + cooldown over: the half-open probe succeeds and the
+	// breaker closes.
+	fault.Reset()
+	time.Sleep(150 * time.Millisecond)
+	if status, body := post(t, ts.URL+"/v1/run", req); status != http.StatusOK {
+		t.Fatalf("probe after cooldown: %d %s", status, body)
+	}
+	if st := getStats(t, ts.URL); st.BreakerState != "closed" {
+		t.Fatalf("breaker state after probe = %q, want closed", st.BreakerState)
+	}
+}
+
+// TestChaosDrainMidSweepCancelsUndoneCells: drain flips mid-sweep. The
+// cell already executing finishes and delivers its result; cells that
+// have not started are reported cancelled — not failed — and /healthz
+// goes 503 immediately.
+func TestChaosDrainMidSweepCancelsUndoneCells(t *testing.T) {
+	fault.Reset()
+	t.Cleanup(fault.Reset)
+	// Delay only the first cell, long enough to flip drain under it.
+	if err := fault.Arm(fault.Spec{
+		Point: fault.PointServerRun, Mode: fault.ModeDelay,
+		Delay: 300 * time.Millisecond, Count: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s, ts := testServer(t, Config{Jobs: 1, RetryMax: -1})
+
+	req := chaosSweep()
+	req.Jobs = 1 // serial: cell 0 runs first, cells 1-2 have not started
+	type sweepOut struct {
+		resp SweepResponse
+	}
+	done := make(chan sweepOut, 1)
+	go func() {
+		var out sweepOut
+		out.resp = doSweep(t, ts.URL, req)
+		done <- out
+	}()
+
+	// Wait until cell 0's simulation is committed (in flight), then drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.inflight.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first cell never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.SetDraining(true)
+	t.Cleanup(func() { s.SetDraining(false) })
+	if status, _ := get(t, ts.URL+"/healthz"); status != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: %d, want 503", status)
+	}
+
+	out := <-done
+	resp := out.resp
+	if len(resp.Results) != 3 {
+		t.Fatalf("drained sweep returned %d cells, want 3", len(resp.Results))
+	}
+	if resp.Results[0].Error != nil || resp.Results[0].Cycles == 0 {
+		t.Fatalf("started cell did not finish: %+v", resp.Results[0])
+	}
+	for i := 1; i < 3; i++ {
+		cell := resp.Results[i]
+		if cell.Error == nil || cell.Error.Kind != "cancelled" {
+			t.Fatalf("undone cell %d error = %+v, want kind cancelled", i, cell.Error)
+		}
+	}
+	if resp.Cancelled != 2 || resp.Failed != 0 {
+		t.Fatalf("cancelled/failed = %d/%d, want 2/0 (drain is not failure)", resp.Cancelled, resp.Failed)
+	}
+	// Drain is inconclusive for the breaker and not a failure.
+	if st := getStats(t, ts.URL); st.Failures != 0 {
+		t.Fatalf("failures = %d, want 0", st.Failures)
+	}
+}

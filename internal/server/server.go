@@ -22,7 +22,17 @@
 //     already started runs to completion — its result is still useful to
 //     cache). SetDraining flips /healthz to 503 and rejects new work so
 //     a load balancer can pull the instance before http.Server.Shutdown
-//     drains in-flight requests.
+//     drains in-flight requests. Mid-sweep, drain lets started cells
+//     finish and reports undone cells as cancelled.
+//   - Failure domains: a run that panics is recovered into a typed
+//     *pool.RunError — one corrupt simulation cannot take the process
+//     (or its sweep) down. Failed runs are never cached; they are
+//     retried with exponential backoff and deterministic jitter, and a
+//     consecutive-failure circuit breaker sheds load (503 + Retry-After)
+//     while the simulator is unhealthy. Sweeps are a partial-result API:
+//     failed cells carry a typed error in place, healthy cells are
+//     byte-identical to a clean sweep. The internal/fault registry
+//     (LAP_FAULTS) drives all of this in chaos tests.
 package server
 
 import (
@@ -30,14 +40,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
-	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	lap "repro"
+	"repro/internal/fault"
 	"repro/internal/memo"
 	"repro/internal/pool"
 	"repro/internal/stats"
@@ -61,29 +73,48 @@ type Config struct {
 	MaxTraceBytes int64
 	// MaxAccesses caps a run's per-core trace length (0 = 4,000,000).
 	MaxAccesses uint64
+	// RetryMax caps per-run retry attempts after the first execution
+	// fails retryably (0 = 2; negative = no retries).
+	RetryMax int
+	// RetryBackoff is the backoff before the first retry, doubling per
+	// attempt with deterministic per-key jitter (0 = 50ms).
+	RetryBackoff time.Duration
+	// BreakerThreshold opens the circuit breaker after this many
+	// consecutive run failures (0 = 5; negative = disabled).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker sheds load before
+	// admitting a probe (0 = 5s).
+	BreakerCooldown time.Duration
 }
 
 const (
-	defaultQueueDepth    = 256
-	defaultTimeout       = 2 * time.Minute
-	defaultMemoEntries   = 4096
-	defaultMaxTraceBytes = 64 << 20
-	defaultMaxAccesses   = 4_000_000
-	defaultAccesses      = 400_000
-	latencyWindow        = 512
+	defaultQueueDepth       = 256
+	defaultTimeout          = 2 * time.Minute
+	defaultMemoEntries      = 4096
+	defaultMaxTraceBytes    = 64 << 20
+	defaultMaxAccesses      = 4_000_000
+	defaultAccesses         = 400_000
+	latencyWindow           = 512
+	defaultRetryMax         = 2
+	defaultRetryBackoff     = 50 * time.Millisecond
+	defaultBreakerThreshold = 5
+	defaultBreakerCooldown  = 5 * time.Second
 )
 
 // Server is the lapserved HTTP core. Construct with New; serve
 // Handler() with net/http.
 type Server struct {
-	cfg   Config
-	memo  *memo.Cache[runKey, outcome]
-	store *traceStore
-	sem   chan struct{}
+	cfg     Config
+	memo    *memo.Cache[runKey, lap.Result]
+	store   *traceStore
+	sem     chan struct{}
+	breaker *breaker
 
 	queued   atomic.Int64
 	inflight atomic.Int64
 	draining atomic.Bool
+	failures atomic.Uint64 // runs still failed after retries
+	retries  atomic.Uint64 // retry attempts made
 
 	lat latRing
 	mux *http.ServeMux
@@ -91,9 +122,7 @@ type Server struct {
 
 // New returns a Server with cfg's zero fields defaulted.
 func New(cfg Config) *Server {
-	if cfg.Jobs <= 0 {
-		cfg.Jobs = runtime.GOMAXPROCS(0)
-	}
+	cfg.Jobs = pool.Workers(cfg.Jobs)
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = defaultQueueDepth
 	}
@@ -112,12 +141,28 @@ func New(cfg Config) *Server {
 	if cfg.MaxAccesses == 0 {
 		cfg.MaxAccesses = defaultMaxAccesses
 	}
+	if cfg.RetryMax == 0 {
+		cfg.RetryMax = defaultRetryMax
+	}
+	if cfg.RetryMax < 0 {
+		cfg.RetryMax = 0
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = defaultRetryBackoff
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = defaultBreakerThreshold
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = defaultBreakerCooldown
+	}
 	s := &Server{
-		cfg:   cfg,
-		memo:  memo.New[runKey, outcome](cfg.MemoEntries),
-		store: newTraceStore(),
-		sem:   make(chan struct{}, cfg.Jobs),
-		lat:   latRing{buf: make([]float64, 0, latencyWindow)},
+		cfg:     cfg,
+		memo:    memo.New[runKey, lap.Result](cfg.MemoEntries),
+		store:   newTraceStore(),
+		sem:     make(chan struct{}, cfg.Jobs),
+		breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		lat:     latRing{buf: make([]float64, 0, latencyWindow)},
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -153,25 +198,110 @@ func (s *Server) admit(n int) bool {
 // release returns n queue slots.
 func (s *Server) release(n int) { s.queued.Add(int64(-n)) }
 
+// errDraining marks a run that would have *started* during drain. Cells
+// already executing (or cached) still deliver — drain means "finish what
+// you started, start nothing new".
+var errDraining = errors.New("server: draining; run not started")
+
 // runCell executes (or recalls) one resolved run under the worker cap.
 // It blocks for a worker slot until ctx expires; identical concurrent
 // cells coalesce inside the memo, and the latch wait is also bounded by
-// ctx.
-func (s *Server) runCell(ctx context.Context, sp *runSpec) (outcome, error) {
+// ctx. Failed runs are never cached (memo.DoErr), so a retry recomputes.
+func (s *Server) runCell(ctx context.Context, sp *runSpec) (lap.Result, error) {
 	select {
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():
-		return outcome{}, ctx.Err()
+		return lap.Result{}, ctx.Err()
 	}
 	defer func() { <-s.sem }()
-	return s.memo.DoCtx(ctx, sp.key, func() outcome {
+	return s.memo.DoErr(ctx, sp.key, func() (lap.Result, error) {
+		if s.draining.Load() {
+			return lap.Result{}, errDraining
+		}
 		s.inflight.Add(1)
 		defer s.inflight.Add(-1)
 		start := time.Now()
-		out := sp.execute()
+		res, err := sp.execute()
+		if err != nil {
+			return lap.Result{}, err
+		}
 		s.lat.add(time.Since(start).Seconds())
-		return out
+		return res, nil
 	})
+}
+
+// runCellRetry is runCell under the resilience policy: retryable
+// failures are re-executed up to RetryMax times with exponential backoff
+// and deterministic jitter, the breaker hears about conclusive outcomes,
+// and the failure counters advance when a run stays failed.
+func (s *Server) runCellRetry(ctx context.Context, sp *runSpec) (lap.Result, error) {
+	var res lap.Result
+	var err error
+	for attempt := 0; ; attempt++ {
+		res, err = s.runCell(ctx, sp)
+		if err == nil {
+			s.breaker.success()
+			return res, nil
+		}
+		if !retryable(err) || attempt >= s.cfg.RetryMax {
+			break
+		}
+		s.retries.Add(1)
+		select {
+		case <-time.After(backoffDelay(s.cfg.RetryBackoff, attempt, sp.cellKey())):
+		case <-ctx.Done():
+			s.breaker.probeDone()
+			return lap.Result{}, ctx.Err()
+		}
+	}
+	if retryable(err) {
+		// A conclusive failure (fault, panic, simulation error) — not a
+		// cancellation, which says nothing about the simulator's health.
+		s.failures.Add(1)
+		s.breaker.failure()
+	} else {
+		s.breaker.probeDone()
+	}
+	return lap.Result{}, err
+}
+
+// retryable reports whether re-executing could help: cancellation,
+// deadline, and drain refusals are terminal for this request.
+func retryable(err error) bool {
+	return !errors.Is(err, errDraining) &&
+		!errors.Is(err, context.Canceled) &&
+		!errors.Is(err, context.DeadlineExceeded)
+}
+
+// backoffDelay grows exponentially from base per attempt and adds up to
+// 50% jitter derived deterministically from the cell key, spreading
+// concurrent retries without nondeterministic randomness.
+func backoffDelay(base time.Duration, attempt int, key string) time.Duration {
+	if attempt > 6 {
+		attempt = 6 // cap the exponent; RetryMax bounds attempts anyway
+	}
+	d := base << uint(attempt)
+	h := fnv.New64a()
+	io.WriteString(h, key)
+	io.WriteString(h, strconv.Itoa(attempt))
+	return d + time.Duration(h.Sum64()%uint64(d/2+1))
+}
+
+// errKind maps a run failure onto the wire taxonomy (see CellError).
+func errKind(err error) string {
+	var inj *fault.InjectedError
+	var re *pool.RunError
+	switch {
+	case errors.Is(err, errDraining), errors.Is(err, context.Canceled):
+		return "cancelled"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.As(err, &inj):
+		return "fault"
+	case errors.As(err, &re):
+		return "panic"
+	}
+	return "error"
 }
 
 // handleHealthz reports liveness; 503 while draining so balancers pull
@@ -190,6 +320,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	ms := s.memo.Stats()
 	sample := s.lat.snapshot()
 	sum := stats.Summarize(sample)
+	bs := s.breaker.snapshot()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Computed:          ms.Computed,
 		Recalled:          ms.Recalled,
@@ -201,6 +332,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		RunLatencyP50Sec:  sum.Median(),
 		RunLatencyP95Sec:  sum.Quantile(0.95),
 		RunLatencySamples: len(sample),
+		MemoFailed:        ms.Failed,
+		Failures:          s.failures.Load(),
+		Retries:           s.retries.Load(),
+		BreakerState:      bs.state,
+		BreakerOpens:      bs.opens,
+		BreakerShed:       bs.shed,
 	})
 }
 
@@ -223,19 +360,18 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.release(1)
+	if s.refuseBreaker(w) {
+		return
+	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	out, err := s.runCell(ctx, sp)
+	res, err := s.runCellRetry(ctx, sp)
 	if err != nil {
-		writeTimeout(w, err)
+		writeRunError(w, err)
 		return
 	}
-	if out.Err != "" {
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: out.Err})
-		return
-	}
-	writeJSON(w, http.StatusOK, sp.result(out))
+	writeJSON(w, http.StatusOK, sp.result(res))
 }
 
 // handleSweep serves a (mix × policy) grid: resolve every cell up front,
@@ -289,38 +425,52 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.release(len(specs))
+	if s.refuseBreaker(w) {
+		return
+	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 
 	// Warm pass: fan the grid onto the pool. Duplicate cells coalesce in
-	// the memo, failures surface during collection, and jobs=1 skips the
-	// pass entirely (the serial collection below computes everything),
-	// mirroring the lapexp scheduler.
+	// the memo, failures surface during collection (a failed warm run is
+	// never cached, so the collection pass recomputes and retries it),
+	// and jobs=1 skips the pass entirely (the serial collection below
+	// computes everything), mirroring the lapexp scheduler.
 	jobs := req.Jobs
 	if jobs <= 0 || jobs > s.cfg.Jobs {
 		jobs = s.cfg.Jobs
 	}
-	batch := make([]func(), len(specs))
-	for i, sp := range specs {
-		batch[i] = func() { s.runCell(ctx, sp) }
+	if jobs > 1 {
+		tasks := make([]pool.Task, len(specs))
+		for i, sp := range specs {
+			sp := sp
+			tasks[i] = pool.Task{Key: sp.cellKey(), Do: func() error {
+				_, err := s.runCell(ctx, sp)
+				return err
+			}}
+		}
+		pool.Run(jobs, tasks)
 	}
-	pool.Warm(jobs, batch)
 
+	// Collection: a sweep is a partial-result API after admission. A cell
+	// that stays failed after retries is reported in place with a typed
+	// error; the surviving cells carry their results byte-identically to
+	// a clean sweep.
 	resp := SweepResponse{Results: make([]RunResult, 0, len(specs))}
 	for _, sp := range specs {
-		out, err := s.runCell(ctx, sp)
+		res, err := s.runCellRetry(ctx, sp)
 		if err != nil {
-			writeTimeout(w, err)
-			return
+			kind := errKind(err)
+			if kind == "cancelled" || kind == "timeout" {
+				resp.Cancelled++
+			} else {
+				resp.Failed++
+			}
+			resp.Results = append(resp.Results, sp.errorResult(kind, err))
+			continue
 		}
-		if out.Err != "" {
-			writeJSON(w, http.StatusInternalServerError, errorResponse{
-				Error: fmt.Sprintf("%s under %s: %s", sp.key.Workload, sp.policy, out.Err),
-			})
-			return
-		}
-		resp.Results = append(resp.Results, sp.result(out))
+		resp.Results = append(resp.Results, sp.result(res))
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -375,6 +525,21 @@ func (s *Server) refuseDraining(w http.ResponseWriter) bool {
 	return false
 }
 
+// refuseBreaker answers 503 + Retry-After while the circuit breaker
+// sheds load.
+func (s *Server) refuseBreaker(w http.ResponseWriter) bool {
+	ok, retryAfter := s.breaker.allow()
+	if ok {
+		return false
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(int(retryAfter/time.Second)+1))
+	writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+		Error: "circuit breaker open; simulations are failing, retry later",
+		Kind:  "breaker",
+	})
+	return true
+}
+
 // decodeJSON reads a bounded JSON body, answering 400 itself on failure.
 func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
 	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
@@ -386,24 +551,32 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
 	return nil
 }
 
-// writeError maps resolution errors to status codes.
+// writeError maps resolution errors to status codes; validation
+// failures carry the offending Config field name.
 func writeError(w http.ResponseWriter, err error) {
 	var bad badRequestError
 	if errors.As(err, &bad) {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: bad.msg})
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: bad.msg, Field: bad.field})
 		return
 	}
 	writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 }
 
-// writeTimeout maps context errors: deadline → 504, client cancel → 499
-// (nginx's convention; net/http has no name for it).
-func writeTimeout(w http.ResponseWriter, err error) {
-	if errors.Is(err, context.DeadlineExceeded) {
-		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "request timed out in queue"})
-		return
+// writeRunError maps a run failure onto a status: drain refusal → 503,
+// deadline → 504, client cancel → 499 (nginx's convention; net/http has
+// no name for it), anything conclusive → 500 with its taxonomy kind.
+func writeRunError(w http.ResponseWriter, err error) {
+	kind := errKind(err)
+	switch {
+	case errors.Is(err, errDraining):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server is draining", Kind: kind})
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "request timed out in queue", Kind: kind})
+	case errors.Is(err, context.Canceled):
+		writeJSON(w, 499, errorResponse{Error: "request cancelled", Kind: kind})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error(), Kind: kind})
 	}
-	writeJSON(w, 499, errorResponse{Error: "request cancelled"})
 }
 
 // writeJSON renders one response. Marshal of our wire types cannot fail;

@@ -1,0 +1,71 @@
+package sim
+
+import "fmt"
+
+// FieldError is a validation failure tied to one Config field, so API
+// layers can tell a caller which knob to fix (lapserved returns the
+// field name in its 400 responses) instead of a free-form string.
+type FieldError struct {
+	// Field is the Go field name in Config (which is also the JSON key —
+	// Config marshals with default field names).
+	Field string
+	// Reason describes the constraint that failed, including the
+	// offending value.
+	Reason string
+}
+
+func (e *FieldError) Error() string {
+	return fmt.Sprintf("%s: %s", e.Field, e.Reason)
+}
+
+func fieldErrf(field, format string, args ...any) *FieldError {
+	return &FieldError{Field: field, Reason: fmt.Sprintf(format, args...)}
+}
+
+// Validate checks the configuration for the mistakes the simulator would
+// otherwise panic on. Every failure is a *FieldError naming the field.
+func (c Config) Validate() error {
+	switch {
+	case c.Cores <= 0:
+		return fieldErrf("Cores", "must be positive (got %d)", c.Cores)
+	case c.BlockBytes <= 0:
+		return fieldErrf("BlockBytes", "block size must be positive (got %d)", c.BlockBytes)
+	case c.L1SizeBytes <= 0 || c.L1Ways <= 0:
+		return fieldErrf("L1SizeBytes", "invalid L1 geometry %d/%d-way", c.L1SizeBytes, c.L1Ways)
+	case c.L2SizeBytes <= 0 || c.L2Ways <= 0:
+		return fieldErrf("L2SizeBytes", "invalid L2 geometry %d/%d-way", c.L2SizeBytes, c.L2Ways)
+	case c.L3SizeBytes <= 0 || c.L3Ways <= 0:
+		return fieldErrf("L3SizeBytes", "invalid L3 geometry %d/%d-way", c.L3SizeBytes, c.L3Ways)
+	case c.L3SRAMWays < 0 || c.L3SRAMWays > c.L3Ways:
+		return fieldErrf("L3SRAMWays", "hybrid SRAM ways %d out of range 0..%d", c.L3SRAMWays, c.L3Ways)
+	case c.L3Banks <= 0 || c.L3Banks&(c.L3Banks-1) != 0:
+		return fieldErrf("L3Banks", "LLC banks must be a positive power of two (got %d)", c.L3Banks)
+	case c.ClockHz <= 0:
+		return fieldErrf("ClockHz", "clock must be positive (got %g)", c.ClockHz)
+	case c.BaseCPI <= 0:
+		return fieldErrf("BaseCPI", "must be positive (got %g)", c.BaseCPI)
+	case c.MLP <= 0:
+		return fieldErrf("MLP", "must be positive (got %g)", c.MLP)
+	case c.PrefetchDegree < 0:
+		return fieldErrf("PrefetchDegree", "prefetch degree must be non-negative (got %d)", c.PrefetchDegree)
+	}
+	for _, geom := range []struct {
+		field      string
+		name       string
+		size, ways int
+	}{
+		{"L1SizeBytes", "L1", c.L1SizeBytes, c.L1Ways},
+		{"L2SizeBytes", "L2", c.L2SizeBytes, c.L2Ways},
+		{"L3SizeBytes", "L3", c.L3SizeBytes, c.L3Ways},
+	} {
+		blocks := geom.size / c.BlockBytes
+		if blocks%geom.ways != 0 {
+			return fieldErrf(geom.field, "%s capacity not divisible into %d ways", geom.name, geom.ways)
+		}
+		sets := blocks / geom.ways
+		if sets <= 0 || sets&(sets-1) != 0 {
+			return fieldErrf(geom.field, "%s set count %d is not a power of two", geom.name, sets)
+		}
+	}
+	return nil
+}

@@ -3,12 +3,37 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
+
+	"repro/internal/fault"
 )
+
+// ErrCorrupt is the typed decoding failure of the binary trace reader:
+// it carries the byte offset of the damage and a reason, so an API layer
+// can tell a client where its upload went bad instead of returning an
+// opaque string. It wraps the underlying I/O error (when there is one),
+// preserving errors.As/Is chains — notably http.MaxBytesError through
+// the lapserved upload path.
+type ErrCorrupt struct {
+	// Offset is the stream offset in bytes where decoding failed.
+	Offset int64
+	// Reason describes the corruption.
+	Reason string
+	// Err is the underlying error, if any.
+	Err error
+}
+
+func (e *ErrCorrupt) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("trace: corrupt at byte %d: %s: %v", e.Offset, e.Reason, e.Err)
+	}
+	return fmt.Sprintf("trace: corrupt at byte %d: %s", e.Offset, e.Reason)
+}
+
+func (e *ErrCorrupt) Unwrap() error { return e.Err }
 
 // Binary trace format: an 8-byte magic header followed by fixed 11-byte
 // little-endian records (addr uint64, flags uint8, instrs uint16). The
@@ -74,10 +99,12 @@ func WriteAll(w io.Writer, src Source) (uint64, error) {
 }
 
 // Reader replays a binary trace from an io.Reader. It implements Source;
-// decoding errors surface through Err after Next reports false.
+// decoding errors surface through Err — always as *ErrCorrupt — after
+// Next reports false.
 type Reader struct {
 	r      *bufio.Reader
 	header bool
+	off    int64
 	err    error
 }
 
@@ -90,28 +117,34 @@ func (tr *Reader) Next() (Access, bool) {
 		return Access{}, false
 	}
 	if !tr.header {
+		if err := fault.Inject(fault.PointTraceDecode, ""); err != nil {
+			tr.err = &ErrCorrupt{Offset: tr.off, Reason: "injected fault", Err: err}
+			return Access{}, false
+		}
 		var magic [8]byte
 		if _, err := io.ReadFull(tr.r, magic[:]); err != nil {
 			// A completely empty input is a valid empty trace (the writer
 			// emits its header lazily, so zero records mean zero bytes).
 			if err != io.EOF {
-				tr.err = fmt.Errorf("trace: reading header: %w", err)
+				tr.err = &ErrCorrupt{Offset: tr.off, Reason: "reading header", Err: err}
 			}
 			return Access{}, false
 		}
 		if magic != binaryMagic {
-			tr.err = errors.New("trace: bad magic; not a LAP binary trace")
+			tr.err = &ErrCorrupt{Offset: tr.off, Reason: "bad magic; not a LAP binary trace"}
 			return Access{}, false
 		}
 		tr.header = true
+		tr.off += int64(len(magic))
 	}
 	var rec [recordSize]byte
 	if _, err := io.ReadFull(tr.r, rec[:]); err != nil {
 		if err != io.EOF {
-			tr.err = fmt.Errorf("trace: truncated record: %w", err)
+			tr.err = &ErrCorrupt{Offset: tr.off, Reason: "truncated record", Err: err}
 		}
 		return Access{}, false
 	}
+	tr.off += recordSize
 	return Access{
 		Addr:   binary.LittleEndian.Uint64(rec[0:8]),
 		Write:  rec[8]&flagWrite != 0,
@@ -120,6 +153,7 @@ func (tr *Reader) Next() (Access, bool) {
 }
 
 // Err returns the first decoding error encountered, or nil on clean EOF.
+// A non-nil error is always a *ErrCorrupt.
 func (tr *Reader) Err() error { return tr.err }
 
 // Text format: one access per line, "R|W <hex addr> <instrs>", with '#'

@@ -2,8 +2,11 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"reflect"
 	"testing"
+
+	"repro/internal/fault"
 )
 
 // encodeBinary renders accesses in the binary format (test helper for
@@ -24,8 +27,8 @@ func encodeBinary(t testing.TB, accs []Access) []byte {
 func FuzzCodecRoundTrip(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("not a trace"))
-	f.Add(binaryMagic[:])                          // header, zero records
-	f.Add(append(binaryMagic[:], 1, 2, 3))         // truncated record
+	f.Add(binaryMagic[:])                  // header, zero records
+	f.Add(append(binaryMagic[:], 1, 2, 3)) // truncated record
 	f.Add(encodeBinary(f, nil))
 	f.Add(encodeBinary(f, []Access{
 		{Addr: 0x1000, Write: false, Instrs: 1},
@@ -39,8 +42,16 @@ func FuzzCodecRoundTrip(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := NewReader(bytes.NewReader(data))
 		accs := Drain(r)
-		if r.Err() != nil {
-			return // corrupt input: an error (not a panic) is the contract
+		if err := r.Err(); err != nil {
+			// Corrupt input: a typed error (not a panic) is the contract.
+			var ec *ErrCorrupt
+			if !errors.As(err, &ec) {
+				t.Fatalf("decode error %T is not *ErrCorrupt: %v", err, err)
+			}
+			if ec.Offset < 0 || ec.Offset > int64(len(data)) || ec.Reason == "" {
+				t.Fatalf("ErrCorrupt lost context: %+v for %d input bytes", ec, len(data))
+			}
+			return
 		}
 
 		// Binary: encode → decode must reproduce the stream exactly.
@@ -94,6 +105,64 @@ func hasZeroInstrs(accs []Access) bool {
 		}
 	}
 	return false
+}
+
+// TestCorruptTraceTyped pins the ErrCorrupt contract on hand-mangled
+// inputs: the offset points at the damage and the reason names it.
+func TestCorruptTraceTyped(t *testing.T) {
+	good := encodeBinary(t, []Access{{Addr: 42, Instrs: 3}, {Addr: 43, Instrs: 1}})
+	cases := []struct {
+		name       string
+		data       []byte
+		wantOffset int64
+		wantReason string
+	}{
+		{"damaged magic", append([]byte("XAPTRC01"), good[8:]...), 0, "bad magic"},
+		{"truncated mid-record", good[:len(good)-4], 8 + recordSize, "truncated record"},
+		{"garbage", []byte("definitely not a trace, long enough for a header"), 0, "bad magic"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewReader(bytes.NewReader(tc.data))
+			Drain(r)
+			var ec *ErrCorrupt
+			if !errors.As(r.Err(), &ec) {
+				t.Fatalf("err = %v (%T), want *ErrCorrupt", r.Err(), r.Err())
+			}
+			if ec.Offset != tc.wantOffset {
+				t.Errorf("offset = %d, want %d", ec.Offset, tc.wantOffset)
+			}
+			if !bytes.Contains([]byte(ec.Reason), []byte(tc.wantReason)) {
+				t.Errorf("reason = %q, want it to mention %q", ec.Reason, tc.wantReason)
+			}
+		})
+	}
+}
+
+// TestFaultPointTraceDecode drives the trace.decode injection point: a
+// perfectly healthy stream fails with a typed ErrCorrupt wrapping the
+// injected fault.
+func TestFaultPointTraceDecode(t *testing.T) {
+	fault.Reset()
+	t.Cleanup(fault.Reset)
+	if err := fault.Arm(fault.Spec{Point: fault.PointTraceDecode, Mode: fault.ModeError, Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	data := encodeBinary(t, []Access{{Addr: 42, Instrs: 3}})
+	r := NewReader(bytes.NewReader(data))
+	if accs := Drain(r); len(accs) != 0 {
+		t.Fatalf("faulted decode yielded %d accesses", len(accs))
+	}
+	var ec *ErrCorrupt
+	var inj *fault.InjectedError
+	if !errors.As(r.Err(), &ec) || !errors.As(r.Err(), &inj) {
+		t.Fatalf("err = %v, want *ErrCorrupt wrapping *fault.InjectedError", r.Err())
+	}
+	// Count exhausted: the same bytes decode cleanly on retry.
+	r2 := NewReader(bytes.NewReader(data))
+	if accs := Drain(r2); r2.Err() != nil || len(accs) != 1 {
+		t.Fatalf("retry after spent fault: %d accesses, err %v", len(accs), r2.Err())
+	}
 }
 
 // TestCodecFuzzSeeds runs the fuzz body over a deterministic corpus in

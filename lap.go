@@ -51,6 +51,8 @@ type (
 	Access = trace.Access
 	// Source is a stream of accesses driving one core.
 	Source = trace.Source
+	// FieldError is a Config validation failure naming the bad field.
+	FieldError = sim.FieldError
 )
 
 // Policy names an inclusion property implemented by this library.
