@@ -35,9 +35,11 @@ ci:
 	$(GO) test -bench=BenchmarkFig14 -benchtime=1x -run '^$$' .
 	$(GO) run ./cmd/lapserved -smoke
 
-# Boot lapserved on an ephemeral port, hit /healthz and /v1/run, then
-# fire a coalesced duplicate pair and assert the recalled counter
-# advanced. Exits non-zero on any failure.
+# Boot lapserved on an ephemeral port, hit /healthz and /v1/run, fire a
+# coalesced duplicate pair and assert the recalled counter advanced,
+# then scrape /metrics and validate the Prometheus exposition (format,
+# required series, computed-vs-recalled histogram split). Exits non-zero
+# on any failure.
 serve-smoke:
 	$(GO) run ./cmd/lapserved -smoke
 

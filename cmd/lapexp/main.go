@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/fault"
+	"repro/internal/obs"
 )
 
 // artifactTiming is one artifact's perf record in the -timings report.
@@ -66,6 +67,10 @@ type timingReport struct {
 	RunsPerSec   float64           `json:"runs_per_sec"`
 	Artifacts    []artifactTiming  `json:"artifacts"`
 	Failures     []artifactFailure `json:"failures,omitempty"`
+	// Counters is the obs snapshot of the process-wide memo and pool
+	// instrumentation ("lapexp_memo_computed_total" etc.), the same series
+	// lapserved exposes on /metrics. Populated only for -timings runs.
+	Counters map[string]float64 `json:"counters,omitempty"`
 }
 
 func main() {
@@ -117,6 +122,7 @@ func main() {
 		os.Exit(1)
 	}
 	if *timings != "" {
+		attachCounters(&report)
 		buf, err := encodeTimings(report)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lapexp: %v\n", err)
@@ -215,6 +221,18 @@ func runArtifact(gen experiments.Generator) (tab *experiments.Table, err error) 
 		}
 	}()
 	return gen(), nil
+}
+
+// attachCounters embeds the obs snapshot of the process-wide memo and
+// pool instrumentation into the report, under the same series names
+// lapserved exposes on /metrics. Snapshot-time registration: the
+// counters are cumulative process atomics, so registering after the runs
+// reads the same values as registering before them — and runs without
+// -timings never touch a registry at all.
+func attachCounters(report *timingReport) {
+	reg := obs.NewRegistry()
+	experiments.RegisterMetrics(reg, "lapexp")
+	report.Counters = reg.Snapshot()
 }
 
 // encodeTimings renders the -timings document exactly as written to disk.

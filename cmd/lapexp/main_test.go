@@ -81,6 +81,38 @@ func TestTimingsReportRoundTrip(t *testing.T) {
 	}
 }
 
+// TestTimingsCounters: the counters block carries the obs snapshot of
+// the process-wide memo/pool instrumentation and agrees with the
+// artifact timing fields, and it survives the JSON round trip.
+func TestTimingsCounters(t *testing.T) {
+	experiments.ResetMemo()
+	report, err := generate(tinyOptions(), []string{"fig2"}, "", io.Discard, io.Discard)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	attachCounters(&report)
+	computed := report.Counters["lapexp_memo_computed_total"]
+	if computed < float64(report.TotalRuns) {
+		t.Errorf("counters computed=%v below report total runs %d", computed, report.TotalRuns)
+	}
+	if _, ok := report.Counters["lapexp_pool_tasks_total"]; !ok {
+		t.Error("pool counters missing from snapshot")
+	}
+
+	buf, err := encodeTimings(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back timingReport
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["lapexp_memo_computed_total"] != computed {
+		t.Errorf("counters lost in round trip: %v != %v",
+			back.Counters["lapexp_memo_computed_total"], computed)
+	}
+}
+
 // TestGenerateUnknownArtifact pins the error (not os.Exit) contract of
 // the extracted generate function.
 func TestGenerateUnknownArtifact(t *testing.T) {

@@ -1,0 +1,212 @@
+package main
+
+// Tiny Prometheus text-exposition (v0.0.4) checker for the smoke run: a
+// stdlib-only parser that is deliberately stricter than a scraper needs
+// to be, so a formatting regression in internal/obs fails `make
+// serve-smoke` rather than a dashboard three hops away. It validates
+// line shape, HELP/TYPE ordering, sorted family order, and histogram
+// self-consistency (cumulative buckets, +Inf == _count), and returns the
+// samples for series-presence assertions.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// exposition is one parsed scrape: sample values by full series name
+// ("name{labels}") and declared metric types by family name.
+type exposition struct {
+	samples map[string]float64
+	types   map[string]string
+}
+
+// parseExposition validates text and returns its samples. Any deviation
+// from the format the obs writer promises is an error.
+func parseExposition(text string) (*exposition, error) {
+	exp := &exposition{samples: map[string]float64{}, types: map[string]string{}}
+	helped := map[string]bool{}
+	var familyOrder []string
+	for i, line := range strings.Split(text, "\n") {
+		lineNo := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			fields := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(fields) < 1 || fields[0] == "" {
+				return nil, fmt.Errorf("line %d: HELP without a metric name", lineNo)
+			}
+			helped[fields[0]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+			}
+			name, typ := fields[0], fields[1]
+			switch typ {
+			case "counter", "gauge", "histogram":
+			default:
+				return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+			}
+			if !helped[name] {
+				return nil, fmt.Errorf("line %d: TYPE for %s precedes its HELP", lineNo, name)
+			}
+			if _, dup := exp.types[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+			}
+			exp.types[name] = typ
+			familyOrder = append(familyOrder, name)
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			return nil, fmt.Errorf("line %d: unexpected comment %q", lineNo, line)
+		}
+		series, valueText, ok := splitSample(line)
+		if !ok {
+			return nil, fmt.Errorf("line %d: malformed sample %q", lineNo, line)
+		}
+		value, err := strconv.ParseFloat(valueText, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: value %q: %v", lineNo, valueText, err)
+		}
+		family := sampleFamily(series)
+		if _, known := exp.types[family]; !known {
+			return nil, fmt.Errorf("line %d: sample %s precedes its TYPE", lineNo, series)
+		}
+		if _, dup := exp.samples[series]; dup {
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, series)
+		}
+		exp.samples[series] = value
+	}
+	if !sort.StringsAreSorted(familyOrder) {
+		return nil, fmt.Errorf("families not emitted in sorted order: %v", familyOrder)
+	}
+	if err := exp.checkHistograms(); err != nil {
+		return nil, err
+	}
+	return exp, nil
+}
+
+// splitSample cuts "name{labels} value" (or "name value") at the value
+// separator, tolerating spaces inside label values.
+func splitSample(line string) (series, value string, ok bool) {
+	cut := strings.LastIndexByte(line, ' ')
+	if cut <= 0 || cut == len(line)-1 {
+		return "", "", false
+	}
+	series, value = line[:cut], line[cut+1:]
+	if brace := strings.IndexByte(series, '{'); brace >= 0 && !strings.HasSuffix(series, "}") {
+		return "", "", false
+	}
+	return series, value, true
+}
+
+// sampleFamily maps a series name onto its TYPE-declaring family,
+// stripping labels and the histogram sample suffixes.
+func sampleFamily(series string) string {
+	name := series
+	if brace := strings.IndexByte(name, '{'); brace >= 0 {
+		name = name[:brace]
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		trimmed := strings.TrimSuffix(name, suffix)
+		if trimmed != name {
+			return trimmed
+		}
+	}
+	return name
+}
+
+// checkHistograms verifies every declared histogram is self-consistent:
+// buckets are cumulative (non-decreasing in le order), a +Inf bucket
+// exists, and it equals the _count sample.
+func (exp *exposition) checkHistograms() error {
+	for family, typ := range exp.types {
+		if typ != "histogram" {
+			continue
+		}
+		// Group bucket samples by their non-le label set.
+		type bucket struct {
+			le    float64
+			count float64
+		}
+		buckets := map[string][]bucket{}
+		infs := map[string]float64{}
+		for series, value := range exp.samples {
+			if sampleFamily(series) != family || !strings.Contains(series, "_bucket{") {
+				continue
+			}
+			le, rest, err := extractLE(series)
+			if err != nil {
+				return fmt.Errorf("%s: %v", series, err)
+			}
+			if le == "+Inf" {
+				infs[rest] = value
+				continue
+			}
+			ub, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return fmt.Errorf("%s: le=%q: %v", series, le, err)
+			}
+			buckets[rest] = append(buckets[rest], bucket{le: ub, count: value})
+		}
+		if len(infs) == 0 {
+			return fmt.Errorf("histogram %s has no +Inf bucket", family)
+		}
+		for rest, inf := range infs {
+			bs := buckets[rest]
+			sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+			prev := 0.0
+			for _, b := range bs {
+				if b.count < prev {
+					return fmt.Errorf("histogram %s%s buckets not cumulative at le=%v", family, rest, b.le)
+				}
+				prev = b.count
+			}
+			if inf < prev {
+				return fmt.Errorf("histogram %s%s +Inf bucket below lower bucket", family, rest)
+			}
+			countSeries := family + "_count" + rest
+			if got, ok := exp.samples[countSeries]; !ok {
+				return fmt.Errorf("histogram %s%s missing _count", family, rest)
+			} else if got != inf {
+				return fmt.Errorf("histogram %s%s: +Inf bucket %v != _count %v", family, rest, inf, got)
+			}
+			if _, ok := exp.samples[family+"_sum"+rest]; !ok {
+				return fmt.Errorf("histogram %s%s missing _sum", family, rest)
+			}
+		}
+	}
+	return nil
+}
+
+// extractLE pulls the le label out of a _bucket series, returning the le
+// value and the series' remaining label suffix (normalised, "" when le
+// was the only label) so buckets group by their non-le labels.
+func extractLE(series string) (le, rest string, err error) {
+	brace := strings.IndexByte(series, '{')
+	inner := strings.TrimSuffix(series[brace+1:], "}")
+	var kept []string
+	for _, pair := range strings.Split(inner, ",") {
+		name, value, ok := strings.Cut(pair, "=")
+		if !ok {
+			return "", "", fmt.Errorf("malformed label pair %q", pair)
+		}
+		if name == "le" {
+			le = strings.Trim(value, `"`)
+			continue
+		}
+		kept = append(kept, pair)
+	}
+	if le == "" {
+		return "", "", fmt.Errorf("bucket series lacks an le label")
+	}
+	if len(kept) == 0 {
+		return le, "", nil
+	}
+	return le, "{" + strings.Join(kept, ",") + "}", nil
+}

@@ -39,9 +39,11 @@ import (
 	"io"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux; mounted only with -pprof
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -67,6 +69,7 @@ func main() {
 	retryBackoff := flag.Duration("retry-backoff", 50*time.Millisecond, "base retry backoff (doubles per attempt, plus jitter)")
 	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive failures that open the circuit breaker (negative = disabled)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "open-breaker shed window before a half-open probe")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	smoke := flag.Bool("smoke", false, "self-test against a loopback instance and exit")
 	flag.Parse()
 
@@ -91,20 +94,30 @@ func main() {
 		return
 	}
 
-	if err := serve(*addr, cfg, *drainTimeout); err != nil {
+	if err := serve(*addr, cfg, *drainTimeout, *pprofOn); err != nil {
 		fmt.Fprintf(os.Stderr, "lapserved: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 // serve listens on addr and blocks until SIGINT/SIGTERM, then drains.
-func serve(addr string, cfg server.Config, drainTimeout time.Duration) error {
+func serve(addr string, cfg server.Config, drainTimeout time.Duration, pprofOn bool) error {
 	s := server.New(cfg)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: s.Handler()}
+	handler := s.Handler()
+	if pprofOn {
+		// The pprof import registered on DefaultServeMux; route only its
+		// prefix there so nothing else ever reaches the default mux.
+		root := http.NewServeMux()
+		root.Handle("/debug/pprof/", http.DefaultServeMux)
+		root.Handle("/", handler)
+		handler = root
+		fmt.Println("lapserved: pprof enabled on /debug/pprof/")
+	}
+	hs := &http.Server{Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -214,6 +227,83 @@ func runSmoke(cfg server.Config) error {
 		return fmt.Errorf("duplicate requests recomputed: computed=%d, want 1", stats.Computed)
 	}
 	fmt.Printf("lapserved: smoke coalescing OK (computed=%d recalled=%d)\n", stats.Computed, stats.Recalled)
+
+	// 4. The metrics endpoint serves a valid exposition that agrees with
+	// what just happened: one computed run, recalled duplicates, a quiet
+	// breaker.
+	if err := smokeMetrics(client, base); err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	return nil
+}
+
+// smokeMetrics scrapes /metrics and validates the exposition end to end:
+// format (via parseExposition), presence of the load-bearing series, and
+// the computed-vs-recalled histogram split matching the smoke traffic.
+func smokeMetrics(c *http.Client, base string) error {
+	resp, err := c.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		return fmt.Errorf("content type %q, want text exposition v0.0.4", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	exp, err := parseExposition(string(raw))
+	if err != nil {
+		return fmt.Errorf("invalid exposition: %w", err)
+	}
+
+	for series, typ := range map[string]string{
+		"lapserved_breaker_state":             "gauge",
+		"lapserved_queue_depth":               "gauge",
+		"lapserved_queue_limit":               "gauge",
+		"lapserved_inflight_runs":             "gauge",
+		"lapserved_trace_store_entries":       "gauge",
+		"lapserved_breaker_shed_total":        "counter",
+		"lapserved_admit_rejected_total":      "counter",
+		"lapserved_runs_failed_total":         "counter",
+		"lapserved_memo_computed_total":       "counter",
+		"lapserved_memo_recalled_total":       "counter",
+		"lapserved_breaker_transitions_total": "counter",
+		"lapserved_retry_attempts_total":      "counter",
+		"lapserved_run_duration_seconds":      "histogram",
+	} {
+		if got := exp.types[series]; got != typ {
+			return fmt.Errorf("family %s: type %q, want %q", series, got, typ)
+		}
+	}
+	for _, series := range []string{
+		`lapserved_breaker_transitions_total{to="open"}`,
+		`lapserved_retry_attempts_total{outcome="success"}`,
+		`lapserved_retry_attempts_total{outcome="failure"}`,
+		`lapserved_run_duration_seconds_count{source="computed"}`,
+		`lapserved_run_duration_seconds_count{source="recalled"}`,
+	} {
+		if _, ok := exp.samples[series]; !ok {
+			return fmt.Errorf("series %s missing", series)
+		}
+	}
+
+	// The smoke traffic so far: exactly one computed simulation, at least
+	// two recalled duplicates, no breaker activity.
+	if got := exp.samples[`lapserved_run_duration_seconds_count{source="computed"}`]; got != 1 {
+		return fmt.Errorf("computed latency count = %v, want 1", got)
+	}
+	if got := exp.samples[`lapserved_run_duration_seconds_count{source="recalled"}`]; got < 2 {
+		return fmt.Errorf("recalled latency count = %v, want >= 2", got)
+	}
+	if got := exp.samples["lapserved_breaker_state"]; got != 0 {
+		return fmt.Errorf("breaker state = %v, want 0 (closed)", got)
+	}
+	fmt.Printf("lapserved: smoke metrics OK (%d series, computed/recalled split verified)\n", len(exp.samples))
 	return nil
 }
 

@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	lap "repro"
+	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/trace"
 )
@@ -45,6 +46,7 @@ func main() {
 	moesi := flag.Bool("moesi", false, "track the MOESI reference protocol (threaded runs)")
 	prefetch := flag.Int("prefetch", 0, "next-N-line L2 prefetch degree")
 	configPath := flag.String("config", "", "JSON machine configuration to start from")
+	metricsFile := flag.String("metrics", "", "write a Prometheus text exposition of the run's counters to this file")
 	flag.Parse()
 
 	cfg := lap.DefaultConfig()
@@ -151,6 +153,32 @@ func main() {
 	if len(results) > 1 {
 		compare(policies, results)
 	}
+	if *metricsFile != "" {
+		if err := writeMetrics(*metricsFile); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "lapsim: [metrics saved to %s]\n", *metricsFile)
+	}
+}
+
+// writeMetrics dumps the worker-pool counters as a Prometheus text
+// exposition — the same lapsim_pool_* series names a scraping setup
+// would use, so ad-hoc CLI runs and the lapserved service stay
+// comparable. Registration happens at dump time: the counters are
+// cumulative process atomics, so runs without -metrics never build a
+// registry.
+func writeMetrics(path string) error {
+	reg := obs.NewRegistry()
+	pool.Register(reg, "lapsim_pool")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := reg.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // resolvePolicies parses the -policy argument: one name, a

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/fault"
 	memocache "repro/internal/memo"
+	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -121,6 +122,15 @@ func runThreaded(cfg sim.Config, policyName string, ctrl sim.Controller, b workl
 		panic(fmt.Sprintf("experiments: threaded run %s|%s: %v", b.Name, policyName, err))
 	}
 	return res
+}
+
+// RegisterMetrics exposes the process-wide run memo and worker-pool
+// counters on an optional obs registry under namespace ns (cmd/lapexp
+// passes "lapexp", so its -timings JSON and a future /metrics share
+// series names). A nil registry is a no-op.
+func RegisterMetrics(r *obs.Registry, ns string) {
+	memo.Register(r, ns+"_memo")
+	pool.Register(r, ns+"_pool")
 }
 
 // ResetMemo clears the run cache (tests and benchmarks use it to bound

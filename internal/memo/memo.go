@@ -29,6 +29,8 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // ErrComputeFailed is delivered to callers that were waiting on an
@@ -79,7 +81,7 @@ func New[K comparable, V any](maxEntries int) *Cache[K, V] {
 // cache generation: the first caller runs compute while concurrent
 // duplicates block on the entry's latch and share its result.
 func (c *Cache[K, V]) Do(key K, compute func() V) V {
-	v, _ := c.do(context.Background(), key, func() (V, error) { return compute(), nil })
+	v, _, _ := c.do(context.Background(), key, func() (V, error) { return compute(), nil })
 	return v
 }
 
@@ -89,7 +91,8 @@ func (c *Cache[K, V]) Do(key K, compute func() V) V {
 // cancelled — the caller that owns it runs compute to completion
 // regardless of its own ctx, so waiters that stay see a valid result.
 func (c *Cache[K, V]) DoCtx(ctx context.Context, key K, compute func() V) (V, error) {
-	return c.do(ctx, key, func() (V, error) { return compute(), nil })
+	v, _, err := c.do(ctx, key, func() (V, error) { return compute(), nil })
+	return v, err
 }
 
 // DoErr is the failure-aware variant: compute may return an error, in
@@ -100,10 +103,55 @@ func (c *Cache[K, V]) DoCtx(ctx context.Context, key K, compute func() V) (V, er
 // values cache exactly as with Do. The wait is bounded by ctx like
 // DoCtx.
 func (c *Cache[K, V]) DoErr(ctx context.Context, key K, compute func() (V, error)) (V, error) {
+	v, _, err := c.do(ctx, key, compute)
+	return v, err
+}
+
+// DoErrStat is DoErr plus provenance: computed reports whether THIS call
+// executed compute (successfully or not), as opposed to recalling a
+// cached value or sharing another caller's in-flight outcome. Upstream
+// health machinery (the lapserved circuit breaker) needs the
+// distinction — a recall executes no simulation and proves nothing about
+// the simulator, so only computed outcomes may move the breaker.
+func (c *Cache[K, V]) DoErrStat(ctx context.Context, key K, compute func() (V, error)) (v V, computed bool, err error) {
 	return c.do(ctx, key, compute)
 }
 
-func (c *Cache[K, V]) do(ctx context.Context, key K, compute func() (V, error)) (V, error) {
+// Peek returns key's value without blocking and without a compute
+// function: it hits only entries whose computation has already completed
+// successfully, counts as a recall, and touches the entry's LRU
+// position. In-flight entries miss — a caller that wants to wait for
+// them uses Do/DoErr. The fast path lets servers answer cached keys
+// without consuming an execution slot.
+func (c *Cache[K, V]) Peek(key K) (V, bool) {
+	var zero V
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.mu.Unlock()
+		return zero, false
+	}
+	select {
+	case <-e.done:
+	default: // still in flight
+		c.mu.Unlock()
+		return zero, false
+	}
+	if e.err != nil {
+		// Unreachable in practice — failed entries are dropped before
+		// their latch closes — but guard the invariant anyway.
+		c.mu.Unlock()
+		return zero, false
+	}
+	if e.elem != nil {
+		c.order.MoveToFront(e.elem)
+	}
+	c.mu.Unlock()
+	c.recalled.Add(1)
+	return e.res, true
+}
+
+func (c *Cache[K, V]) do(ctx context.Context, key K, compute func() (V, error)) (V, bool, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		if e.elem != nil {
@@ -112,15 +160,19 @@ func (c *Cache[K, V]) do(ctx context.Context, key K, compute func() (V, error)) 
 		c.mu.Unlock()
 		select {
 		case <-e.done:
-			if e.err != nil {
-				var zero V
-				return zero, e.err
-			}
-			c.recalled.Add(1)
-			return e.res, nil
+			return c.waited(e)
 		case <-ctx.Done():
+			// Both latch and ctx can be ready; select picks arbitrarily.
+			// A result that is already available must win over a
+			// cancellation — the caller asked for the value and it is
+			// right there — so re-check the latch before giving up.
+			select {
+			case <-e.done:
+				return c.waited(e)
+			default:
+			}
 			var zero V
-			return zero, ctx.Err()
+			return zero, false, ctx.Err()
 		}
 	}
 	e := &entry[K, V]{key: key, done: make(chan struct{})}
@@ -152,7 +204,7 @@ func (c *Cache[K, V]) do(ctx context.Context, key K, compute func() (V, error)) 
 	completed = true
 	if e.err != nil {
 		var zero V
-		return zero, e.err
+		return zero, true, e.err
 	}
 	c.computed.Add(1)
 
@@ -164,7 +216,18 @@ func (c *Cache[K, V]) do(ctx context.Context, key K, compute func() (V, error)) 
 		c.evictLocked()
 	}
 	c.mu.Unlock()
-	return e.res, nil
+	return e.res, true, nil
+}
+
+// waited delivers a completed entry's outcome to a caller that waited on
+// (or found) its latch: the shared error, or the value as a recall.
+func (c *Cache[K, V]) waited(e *entry[K, V]) (V, bool, error) {
+	if e.err != nil {
+		var zero V
+		return zero, false, e.err
+	}
+	c.recalled.Add(1)
+	return e.res, false, nil
 }
 
 // evictLocked drops least-recently-used completed entries until the
@@ -219,6 +282,27 @@ type Stats struct {
 	Recalled uint64 `json:"recalled"`
 	Evicted  uint64 `json:"evicted"`
 	Failed   uint64 `json:"failed"`
+}
+
+// Register exposes the cache's counters (and resident-entry gauge) on an
+// optional obs registry under prefix (e.g. "lapserved_memo"). The cache
+// keeps mutating its own atomics — registration adds scrape-time readers
+// only, so the hot path is untouched and a nil registry is a no-op.
+func (c *Cache[K, V]) Register(r *obs.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	r.CounterFunc(prefix+"_computed_total",
+		"Computations executed successfully.", c.computed.Load)
+	r.CounterFunc(prefix+"_recalled_total",
+		"Requests served from the cache, including waits on in-flight computations.", c.recalled.Load)
+	r.CounterFunc(prefix+"_evicted_total",
+		"Completed entries dropped by the LRU bound.", c.evicted.Load)
+	r.CounterFunc(prefix+"_failed_total",
+		"Computations that returned an error or panicked (never cached).", c.failed.Load)
+	r.GaugeFunc(prefix+"_entries",
+		"Resident entries, including in-flight computations.",
+		func() float64 { return float64(c.Len()) })
 }
 
 // Stats snapshots the counters.

@@ -304,6 +304,125 @@ func TestDoCtxTimesOutWaiters(t *testing.T) {
 	}
 }
 
+// TestDoErrStatProvenance: computed is true exactly when this call
+// executed compute — including a compute that failed — and false for
+// recalls and for waiters sharing an in-flight outcome.
+func TestDoErrStatProvenance(t *testing.T) {
+	c := New[string, int](0)
+	boom := errors.New("boom")
+
+	_, computed, err := c.DoErrStat(context.Background(), "bad", func() (int, error) { return 0, boom })
+	if err != boom || !computed {
+		t.Fatalf("failing execution: computed=%v err=%v, want true/boom", computed, err)
+	}
+
+	v, computed, err := c.DoErrStat(context.Background(), "k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 || !computed {
+		t.Fatalf("first execution: v=%d computed=%v err=%v", v, computed, err)
+	}
+	v, computed, err = c.DoErrStat(context.Background(), "k", func() (int, error) {
+		t.Error("recompute of cached key")
+		return 0, nil
+	})
+	if err != nil || v != 7 || computed {
+		t.Fatalf("recall: v=%d computed=%v err=%v, want 7/false/nil", v, computed, err)
+	}
+
+	// A waiter sharing an in-flight computation is not the executor.
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go c.DoErrStat(context.Background(), "slow", func() (int, error) {
+		close(started)
+		<-release
+		return 9, nil
+	})
+	<-started
+	done := make(chan bool, 1)
+	go func() {
+		_, waiterComputed, _ := c.DoErrStat(context.Background(), "slow", func() (int, error) {
+			t.Error("waiter recomputed while in flight")
+			return 0, nil
+		})
+		done <- waiterComputed
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	if <-done {
+		t.Fatal("waiter reported computed=true for a shared in-flight result")
+	}
+}
+
+// TestPeek: Peek hits only completed successful entries, never blocks,
+// counts as a recall, and refreshes the entry's LRU position.
+func TestPeek(t *testing.T) {
+	c := New[string, int](0)
+	if _, ok := c.Peek("missing"); ok {
+		t.Fatal("Peek hit a key that was never computed")
+	}
+
+	// In-flight entries miss without blocking.
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go c.Do("slow", func() int { close(started); <-release; return 1 })
+	<-started
+	if _, ok := c.Peek("slow"); ok {
+		t.Fatal("Peek hit an in-flight entry")
+	}
+	close(release)
+
+	c.Do("k", func() int { return 42 })
+	before := c.Stats().Recalled
+	v, ok := c.Peek("k")
+	if !ok || v != 42 {
+		t.Fatalf("Peek = %d, %v, want 42, true", v, ok)
+	}
+	if got := c.Stats().Recalled; got != before+1 {
+		t.Fatalf("recalled = %d, want %d", got, before+1)
+	}
+}
+
+// TestPeekTouchesLRU: a Peek must refresh recency exactly like Do, so
+// hot cached keys served via the fast path are not the first evicted.
+func TestPeekTouchesLRU(t *testing.T) {
+	c := New[int, int](2)
+	c.Do(1, func() int { return 1 })
+	c.Do(2, func() int { return 2 })
+	if _, ok := c.Peek(1); !ok { // 1 becomes most recent
+		t.Fatal("Peek missed a cached key")
+	}
+	c.Do(3, func() int { return 3 }) // must evict 2, not 1
+	if _, ok := c.Peek(1); !ok {
+		t.Fatal("Peek-touched key 1 was evicted")
+	}
+	if _, ok := c.Peek(2); ok {
+		t.Fatal("LRU key 2 survived past the bound")
+	}
+}
+
+// TestWaiterPrefersResultOverCancelledCtx is the select-race regression:
+// when the result latch is already closed AND ctx is already done, the
+// waiter must deliver the result, not the cancellation. Pre-fix, select
+// picked arbitrarily between the two ready channels, so this failed
+// nondeterministically; loop to make the race likely.
+func TestWaiterPrefersResultOverCancelledCtx(t *testing.T) {
+	c := New[int, int](0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled before any call
+	for i := 0; i < 200; i++ {
+		c.Do(i, func() int { return i * 10 }) // entry completed: latch closed
+		v, computed, err := c.DoErrStat(ctx, i, func() (int, error) {
+			t.Error("recompute of completed entry")
+			return 0, nil
+		})
+		if err != nil {
+			t.Fatalf("iteration %d: err = %v, want the completed result", i, err)
+		}
+		if v != i*10 || computed {
+			t.Fatalf("iteration %d: v=%d computed=%v, want %d/false", i, v, computed, i*10)
+		}
+	}
+}
+
 // TestHammer drives duplicate keys, concurrent resets, and a tight LRU
 // bound through the cache; it exists chiefly for go test -race.
 func TestHammer(t *testing.T) {

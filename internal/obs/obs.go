@@ -1,0 +1,468 @@
+// Package obs is a dependency-free metrics registry for the simulation
+// stack: counters, gauges, and fixed-bucket histograms with an atomic
+// hot path, exposed in the Prometheus text exposition format (v0.0.4).
+//
+// Design:
+//
+//   - Hot path: mutation (Counter.Add, Gauge.Set, Histogram.Observe) is
+//     lock-free — plain atomic adds for integer counters and bucket
+//     counts, a CAS loop for float accumulation — so instrumenting the
+//     simulation path costs nanoseconds and never serialises workers.
+//     The registry mutex guards only registration and scraping.
+//   - Optionality: every mutation method is nil-safe (a nil *Counter
+//     no-ops), and a nil *Registry hands out nil instruments, so a
+//     package can accept an optional registry and instrument
+//     unconditionally; un-wired binaries pay one nil check.
+//   - No dependencies: the exposition writer speaks the Prometheus text
+//     format directly (# HELP/# TYPE comments, label escaping,
+//     cumulative histogram buckets with le="+Inf", _sum and _count), so
+//     nothing outside the standard library is imported. Families are
+//     emitted in sorted name order and series in sorted label order,
+//     making scrapes deterministic and diffable.
+//
+// The registry is the standard instrument for the tree: lapserved mounts
+// one on GET /metrics, lapexp embeds a snapshot in its -timings JSON,
+// and lapsim dumps one with -metrics.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name="value" pair attached to a series at registration.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Counter is a monotonically increasing integer metric. All methods are
+// nil-safe: a nil Counter silently discards updates, so optional
+// instrumentation needs no branching at call sites.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable float metric. Mutation is lock-free: Set is an
+// atomic store of the float bits, Add a CAS loop over them.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add moves the gauge by d (negative to decrease).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value reads the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution. Buckets are upper bounds
+// (exclusive of +Inf, which is implicit); Observe finds the first bound
+// >= v with a binary search and bumps that bucket atomically, so the
+// hot path is a search plus three atomic operations.
+type Histogram struct {
+	upper   []float64       // sorted upper bounds, +Inf excluded
+	counts  []atomic.Uint64 // len(upper)+1; last is the +Inf overflow
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.upper, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count reads the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reads the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// ExpBuckets returns n exponentially spaced upper bounds starting at
+// start and multiplying by factor: ExpBuckets(0.001, 2, 4) is
+// [0.001 0.002 0.004 0.008].
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// RunLatencyBuckets is the tree's standard latency bucketing: 1ms to
+// ~8s, doubling — wide enough for quick smoke runs and full-scale
+// simulations alike.
+var RunLatencyBuckets = ExpBuckets(0.001, 2, 14)
+
+// metricKind discriminates family types in the exposition output.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "counter"
+}
+
+// series is one registered label-set of a family. Exactly one of the
+// value sources is set.
+type series struct {
+	labels  string // rendered {a="b",...} suffix, "" when unlabeled
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	cfn     func() uint64
+	gfn     func() float64
+}
+
+// family is all series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series []*series
+}
+
+// Registry holds registered metrics and renders them. A nil Registry is
+// valid: registration returns nil instruments and WriteTo writes
+// nothing, so callers can thread an optional registry without guards.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// register adds one series, enforcing family consistency (one type and
+// help per name) and series uniqueness (one value source per
+// name+labels). Violations are programming errors and panic.
+func (r *Registry) register(name, help string, kind metricKind, s *series, labels []Label) {
+	if name == "" || !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	s.labels = renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind}
+		r.families[name] = f
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, f.kind))
+	}
+	for _, prev := range f.series {
+		if prev.labels == s.labels {
+			panic(fmt.Sprintf("obs: duplicate series %s%s", name, s.labels))
+		}
+	}
+	f.series = append(f.series, s)
+}
+
+// Counter registers (and returns) a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := &Counter{}
+	r.register(name, help, kindCounter, &series{counter: c}, labels)
+	return c
+}
+
+// CounterFunc registers a counter series whose value is read from fn at
+// scrape time — the bridge for subsystems that already keep their own
+// atomic counters (internal/memo, internal/pool) and must stay free of
+// registry plumbing on the hot path.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, kindCounter, &series{cfn: fn}, labels)
+}
+
+// Gauge registers (and returns) a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := &Gauge{}
+	r.register(name, help, kindGauge, &series{gauge: g}, labels)
+	return g
+}
+
+// GaugeFunc registers a gauge series sampled from fn at scrape time
+// (queue occupancy, resident cache entries, breaker position).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, kindGauge, &series{gfn: fn}, labels)
+}
+
+// Histogram registers (and returns) a histogram series over the given
+// upper bounds (sorted ascending; +Inf implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if len(buckets) == 0 {
+		panic("obs: histogram needs at least one bucket")
+	}
+	if !sort.Float64sAreSorted(buckets) {
+		panic("obs: histogram buckets must be sorted ascending")
+	}
+	h := &Histogram{
+		upper:  append([]float64(nil), buckets...),
+		counts: make([]atomic.Uint64, len(buckets)+1),
+	}
+	r.register(name, help, kindHistogram, &series{hist: h}, labels)
+	return h
+}
+
+// WriteTo renders the registry in the Prometheus text exposition format
+// v0.0.4: families sorted by name, each with # HELP and # TYPE comments
+// followed by its series in sorted label order. Histograms emit
+// cumulative _bucket series up to le="+Inf" plus _sum and _count.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	if r == nil {
+		return 0, nil
+	}
+	var b strings.Builder
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := r.families[name]
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		ordered := append([]*series(nil), f.series...)
+		sort.Slice(ordered, func(i, j int) bool { return ordered[i].labels < ordered[j].labels })
+		for _, s := range ordered {
+			s.writeTo(&b, f.name)
+		}
+	}
+	r.mu.Unlock()
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// writeTo renders one series' sample lines.
+func (s *series) writeTo(b *strings.Builder, name string) {
+	switch {
+	case s.counter != nil:
+		fmt.Fprintf(b, "%s%s %s\n", name, s.labels, formatValue(float64(s.counter.Value())))
+	case s.cfn != nil:
+		fmt.Fprintf(b, "%s%s %s\n", name, s.labels, formatValue(float64(s.cfn())))
+	case s.gauge != nil:
+		fmt.Fprintf(b, "%s%s %s\n", name, s.labels, formatValue(s.gauge.Value()))
+	case s.gfn != nil:
+		fmt.Fprintf(b, "%s%s %s\n", name, s.labels, formatValue(s.gfn()))
+	case s.hist != nil:
+		var cum uint64
+		for i, ub := range s.hist.upper {
+			cum += s.hist.counts[i].Load()
+			fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLE(s.labels, formatValue(ub)), cum)
+		}
+		cum += s.hist.counts[len(s.hist.upper)].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLE(s.labels, "+Inf"), cum)
+		fmt.Fprintf(b, "%s_sum%s %s\n", name, s.labels, formatValue(s.hist.Sum()))
+		fmt.Fprintf(b, "%s_count%s %d\n", name, s.labels, s.hist.Count())
+	}
+}
+
+// Snapshot flattens the registry into "name{labels}" → value, the shape
+// lapexp embeds in its -timings JSON. Histograms contribute their
+// name_count and name_sum series.
+func (r *Registry) Snapshot() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	out := map[string]float64{}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.families {
+		for _, s := range f.series {
+			key := f.name + s.labels
+			switch {
+			case s.counter != nil:
+				out[key] = float64(s.counter.Value())
+			case s.cfn != nil:
+				out[key] = float64(s.cfn())
+			case s.gauge != nil:
+				out[key] = s.gauge.Value()
+			case s.gfn != nil:
+				out[key] = s.gfn()
+			case s.hist != nil:
+				out[f.name+"_count"+s.labels] = float64(s.hist.Count())
+				out[f.name+"_sum"+s.labels] = s.hist.Sum()
+			}
+		}
+	}
+	return out
+}
+
+// Handler serves the exposition over HTTP with the v0.0.4 content type.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteTo(w)
+	})
+}
+
+// withLE merges the le bucket label into a rendered label suffix.
+func withLE(labels, le string) string {
+	pair := `le="` + le + `"`
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+// renderLabels produces the canonical {a="b",c="d"} suffix, names
+// sorted, values escaped.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ordered := append([]Label(nil), labels...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Name < ordered[j].Name })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ordered {
+		if !validName(l.Name) {
+			panic(fmt.Sprintf("obs: invalid label name %q", l.Name))
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// validName enforces the Prometheus metric/label name charset.
+func validName(s string) bool {
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return s != ""
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// escapeHelp escapes a help string per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatValue renders a sample value the way Prometheus expects:
+// shortest round-trip representation, integers without an exponent.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

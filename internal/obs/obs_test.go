@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("lap_tests_total", "test counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("lap_depth", "test gauge")
+	g.Set(3.5)
+	g.Add(-1.25)
+	if got := g.Value(); got != 2.25 {
+		t.Errorf("gauge = %v, want 2.25", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "nil registry hands out nil instruments")
+	g := r.Gauge("x", "")
+	h := r.Histogram("x_seconds", "", []float64{1})
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(0.5)
+	r.CounterFunc("y_total", "", func() uint64 { return 1 })
+	r.GaugeFunc("y", "", func() float64 { return 1 })
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil instruments must read zero")
+	}
+	var sb strings.Builder
+	if n, err := r.WriteTo(&sb); n != 0 || err != nil || sb.Len() != 0 {
+		t.Error("nil registry must write nothing")
+	}
+	if r.Snapshot() != nil {
+		t.Error("nil registry snapshot must be nil")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lap_run_seconds", "test histogram", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 55.65; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// Cumulative buckets: 0.05 and 0.1 land in le=0.1 (bounds are
+	// inclusive), 0.5 in le=1, 5 in le=10, 50 only in +Inf.
+	for _, line := range []string{
+		`lap_run_seconds_bucket{le="0.1"} 2`,
+		`lap_run_seconds_bucket{le="1"} 3`,
+		`lap_run_seconds_bucket{le="10"} 4`,
+		`lap_run_seconds_bucket{le="+Inf"} 5`,
+		`lap_run_seconds_count 5`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("exposition missing %q:\n%s", line, out)
+		}
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(0.001, 2, 4)
+	want := []float64{0.001, 0.002, 0.004, 0.008}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "second family").Add(2)
+	r.Counter("a_total", "first family", L("kind", "x")).Add(1)
+	r.Counter("a_total", "first family", L("kind", "y")).Add(3)
+	r.GaugeFunc("c_depth", "sampled gauge", func() float64 { return 7 })
+
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP a_total first family
+# TYPE a_total counter
+a_total{kind="x"} 1
+a_total{kind="y"} 3
+# HELP b_total second family
+# TYPE b_total counter
+b_total 2
+# HELP c_depth sampled gauge
+# TYPE c_depth gauge
+c_depth 7
+`
+	if sb.String() != want {
+		t.Errorf("exposition:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "esc", L("path", "a\"b\\c\nd")).Inc()
+	var sb strings.Builder
+	r.WriteTo(&sb)
+	if want := `esc_total{path="a\"b\\c\nd"} 1`; !strings.Contains(sb.String(), want+"\n") {
+		t.Errorf("escaped series missing %q in:\n%s", want, sb.String())
+	}
+}
+
+func TestDuplicateAndInconsistentRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "x")
+	for name, fn := range map[string]func(){
+		"duplicate series":   func() { r.Counter("dup_total", "x") },
+		"inconsistent type":  func() { r.Gauge("dup_total", "x") },
+		"invalid name":       func() { r.Counter("0bad", "x") },
+		"invalid label name": func() { r.Counter("ok_total", "x", L("0bad", "v")) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: want panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("s_total", "c", L("k", "v")).Add(9)
+	h := r.Histogram("s_seconds", "h", []float64{1})
+	h.Observe(0.5)
+	h.Observe(2)
+	snap := r.Snapshot()
+	if snap[`s_total{k="v"}`] != 9 {
+		t.Errorf("snapshot counter: %v", snap)
+	}
+	if snap["s_seconds_count"] != 2 || snap["s_seconds_sum"] != 2.5 {
+		t.Errorf("snapshot histogram: %v", snap)
+	}
+}
+
+// TestConcurrentMutation hammers the lock-free paths under the race
+// detector.
+func TestConcurrentMutation(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cc_total", "c")
+	g := r.Gauge("cg", "g")
+	h := r.Histogram("ch_seconds", "h", ExpBuckets(0.001, 2, 10))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i*j) * 0.0001)
+			}
+		}(i)
+	}
+	// Scrape concurrently with the writers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			r.WriteTo(&sb)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if c.Value() != 8000 || g.Value() != 8000 || h.Count() != 8000 {
+		t.Errorf("lost updates: c=%d g=%v h=%d", c.Value(), g.Value(), h.Count())
+	}
+}

@@ -17,7 +17,31 @@ import (
 	"sync/atomic"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 )
+
+// Package-level instrumentation: the pool is stateless, so its counters
+// are process-wide atomics (one add per task — noise-level next to a
+// simulation). Register exposes them on an optional obs registry.
+var (
+	tasksTotal atomic.Uint64 // units executed by Run or a Warm pass
+	taskErrors atomic.Uint64 // units that returned an error (injected faults included)
+	taskPanics atomic.Uint64 // units whose panic was recovered
+)
+
+// Register exposes the pool's process-wide task counters on an optional
+// obs registry under prefix (e.g. "lapsim_pool"). Nil registries no-op.
+func Register(r *obs.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	r.CounterFunc(prefix+"_tasks_total",
+		"Work units executed by pool.Run and pool.Warm.", tasksTotal.Load)
+	r.CounterFunc(prefix+"_task_errors_total",
+		"Work units that returned an error.", taskErrors.Load)
+	r.CounterFunc(prefix+"_task_panics_total",
+		"Work units whose panic was recovered (process survived).", taskPanics.Load)
+}
 
 // Workers resolves an effective worker count from a jobs knob. The clamp
 // is shared by every fan-out in the tree (the experiment scheduler,
@@ -105,9 +129,13 @@ func Run(workers int, tasks []Task) []error {
 
 // runTask executes one task with panic isolation.
 func runTask(t Task) (err error) {
+	tasksTotal.Add(1)
 	defer func() {
 		if r := recover(); r != nil {
+			taskPanics.Add(1)
 			err = Recovered(t.Key, r)
+		} else if err != nil {
+			taskErrors.Add(1)
 		}
 	}()
 	if err := fault.Inject(fault.PointPoolTask, t.Key); err != nil {
@@ -148,7 +176,12 @@ func Warm(workers int, batch []func()) {
 					return
 				}
 				func() {
-					defer func() { _ = recover() }()
+					tasksTotal.Add(1)
+					defer func() {
+						if recover() != nil {
+							taskPanics.Add(1)
+						}
+					}()
 					batch[j]()
 				}()
 			}

@@ -1,0 +1,139 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerSuccessByState is the cooldown-bypass regression table: a
+// success may close the breaker only from closed or half-open. A success
+// arriving while OPEN belongs to a request admitted before the trip and
+// must not end the cooldown early (the pre-fix success() unconditionally
+// set state = closed).
+func TestBreakerSuccessByState(t *testing.T) {
+	cases := []struct {
+		name  string
+		setup func(b *breaker)
+		want  breakerState
+	}{
+		{
+			name:  "closed stays closed and resets the streak",
+			setup: func(b *breaker) { b.failure() }, // fails = 1 of 3
+			want:  breakerClosed,
+		},
+		{
+			name: "open ignores a stale success",
+			setup: func(b *breaker) {
+				for i := 0; i < 3; i++ {
+					b.failure()
+				}
+			},
+			want: breakerOpen,
+		},
+		{
+			name: "half-open probe success closes",
+			setup: func(b *breaker) {
+				for i := 0; i < 3; i++ {
+					b.failure()
+				}
+				time.Sleep(2 * time.Millisecond) // let the cooldown lapse
+				if ok, _ := b.allow(); !ok {
+					t.Fatal("probe not admitted after cooldown")
+				}
+			},
+			want: breakerClosed,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := newBreaker(3, time.Millisecond)
+			tc.setup(b)
+			b.success()
+			b.mu.Lock()
+			got, fails := b.state, b.fails
+			b.mu.Unlock()
+			if got != tc.want {
+				t.Fatalf("state after success = %v, want %v", got, tc.want)
+			}
+			if got == breakerClosed && fails != 0 {
+				t.Fatalf("failure streak not reset: fails = %d", fails)
+			}
+		})
+	}
+}
+
+// TestBreakerStaleSuccessKeepsShedding drives the public surface of the
+// same bug: while open and mid-cooldown, a stale success must leave the
+// breaker shedding.
+func TestBreakerStaleSuccessKeepsShedding(t *testing.T) {
+	b := newBreaker(2, time.Minute)
+	b.failure()
+	b.failure()
+	if ok, _ := b.allow(); ok {
+		t.Fatal("breaker did not open at threshold")
+	}
+	b.success() // stale: from a request admitted before the trip
+	ok, retryAfter := b.allow()
+	if ok {
+		t.Fatal("stale success closed an open breaker mid-cooldown")
+	}
+	if retryAfter <= 0 || retryAfter > time.Minute {
+		t.Fatalf("retry-after = %v, want within the remaining cooldown", retryAfter)
+	}
+	if st := b.snapshot(); st.state != "open" || st.opens != 1 {
+		t.Fatalf("snapshot = %+v, want open/1", st)
+	}
+}
+
+// TestBreakerHalfOpenShedAdvertisesRemainingWait: while a half-open
+// probe is in flight, sheds must advertise the remaining probe window,
+// not a fresh full cooldown.
+func TestBreakerHalfOpenShedAdvertisesRemainingWait(t *testing.T) {
+	cooldown := 200 * time.Millisecond
+	b := newBreaker(1, cooldown)
+	b.failure() // trips
+	time.Sleep(cooldown + 10*time.Millisecond)
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("probe not admitted after cooldown")
+	}
+	time.Sleep(50 * time.Millisecond)
+	ok, retryAfter := b.allow()
+	if ok {
+		t.Fatal("second request admitted while a probe is in flight")
+	}
+	// ~150ms of the probe window remain; anything >= the full cooldown
+	// reproduces the old bug, and negative waits must clamp to zero.
+	if retryAfter >= cooldown {
+		t.Fatalf("retry-after = %v, want < full cooldown %v", retryAfter, cooldown)
+	}
+	if retryAfter < 0 {
+		t.Fatalf("retry-after = %v, want >= 0", retryAfter)
+	}
+
+	// Long after the window the advertised wait bottoms out at zero.
+	time.Sleep(cooldown)
+	if _, retryAfter = b.allow(); retryAfter != 0 {
+		t.Fatalf("expired probe window advertises %v, want 0", retryAfter)
+	}
+}
+
+// TestBreakerProbeDoneReleasesSlot: an inconclusive probe outcome frees
+// the slot without closing the breaker.
+func TestBreakerProbeDoneReleasesSlot(t *testing.T) {
+	b := newBreaker(1, time.Millisecond)
+	b.failure()
+	time.Sleep(3 * time.Millisecond)
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("probe not admitted")
+	}
+	if ok, _ := b.allow(); ok {
+		t.Fatal("two probes admitted at once")
+	}
+	b.probeDone()
+	if st := b.snapshot(); st.state != "half-open" {
+		t.Fatalf("state after inconclusive probe = %q, want half-open", st.state)
+	}
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("next probe not admitted after probeDone")
+	}
+}

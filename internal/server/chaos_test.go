@@ -267,3 +267,134 @@ func TestChaosDrainMidSweepCancelsUndoneCells(t *testing.T) {
 		t.Fatalf("failures = %d, want 0", st.Failures)
 	}
 }
+
+// TestChaosBreakerOpensDespiteCacheHits is the recall-liveness
+// regression: with the simulator failing every fresh execution, a stream
+// of interleaved cache hits must not keep the breaker alive. Pre-fix,
+// each recalled success fed breaker.success() and reset the
+// consecutive-failure streak, so a popular cached key made the breaker
+// untrippable exactly when it was needed.
+func TestChaosBreakerOpensDespiteCacheHits(t *testing.T) {
+	fault.Reset()
+	t.Cleanup(fault.Reset)
+
+	const threshold = 3
+	_, ts := testServer(t, Config{
+		RetryMax:         -1, // each failing request is one conclusive failure
+		BreakerThreshold: threshold,
+		BreakerCooldown:  time.Minute, // nothing here waits out a cooldown
+	})
+	cached := RunRequest{Mix: "WL1", Accesses: smallAccesses}
+	failing := RunRequest{Mix: "WH1", Accesses: smallAccesses}
+
+	// Prime the cache while everything is healthy.
+	if status, body := post(t, ts.URL+"/v1/run", cached); status != http.StatusOK {
+		t.Fatalf("priming run: %d %s", status, body)
+	}
+	// Then the simulator breaks for anything not cached.
+	if err := fault.Arm(fault.Spec{Point: fault.PointServerRun, Match: "WH1", Mode: fault.ModeError}); err != nil {
+		t.Fatal(err)
+	}
+
+	// threshold failures, each chased by a healthy cache hit.
+	for i := 0; i < threshold; i++ {
+		if status, body := post(t, ts.URL+"/v1/run", failing); status != http.StatusInternalServerError {
+			t.Fatalf("failing run %d: %d %s", i, status, body)
+		}
+		if i < threshold-1 { // after the trip the breaker sheds cached keys too
+			if status, body := post(t, ts.URL+"/v1/run", cached); status != http.StatusOK {
+				t.Fatalf("cache hit %d: %d %s", i, status, body)
+			}
+		}
+	}
+
+	// The streak survived the interleaved recalls: the breaker is open.
+	if status, _ := post(t, ts.URL+"/v1/run", failing); status != http.StatusServiceUnavailable {
+		t.Fatalf("post-trip request: %d, want 503", status)
+	}
+	st := getStats(t, ts.URL)
+	if st.BreakerState != "open" || st.BreakerOpens != 1 {
+		t.Fatalf("breaker = %q opens=%d, want open/1", st.BreakerState, st.BreakerOpens)
+	}
+	if st.Failures != threshold {
+		t.Fatalf("failures = %d, want %d", st.Failures, threshold)
+	}
+}
+
+// TestChaosBreakerIgnoresStaleSuccess is the cooldown-bypass regression
+// end to end: a slow healthy run admitted before the breaker trips
+// completes while it is open. Its success is stale evidence and must not
+// end the cooldown early. Pre-fix, success() unconditionally closed the
+// breaker, so one straggler reopened the floodgates onto a failing
+// simulator.
+func TestChaosBreakerIgnoresStaleSuccess(t *testing.T) {
+	fault.Reset()
+	t.Cleanup(fault.Reset)
+
+	cooldown := 1200 * time.Millisecond
+	s, ts := testServer(t, Config{
+		Jobs:             2, // the slow run and the failing runs overlap
+		RetryMax:         -1,
+		BreakerThreshold: 2,
+		BreakerCooldown:  cooldown,
+	})
+	// The WL2 run is healthy but slow; WH1 runs fail outright.
+	if err := fault.Arm(fault.Spec{
+		Point: fault.PointServerRun, Match: "WL2",
+		Mode: fault.ModeDelay, Delay: 400 * time.Millisecond, Count: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.Arm(fault.Spec{Point: fault.PointServerRun, Match: "WH1", Mode: fault.ModeError}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Launch the slow healthy run; it is admitted while the breaker is
+	// still closed.
+	slowDone := make(chan int, 1)
+	go func() {
+		status, _ := post(t, ts.URL+"/v1/run", RunRequest{Mix: "WL2", Accesses: smallAccesses})
+		slowDone <- status
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.inflight.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow run never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Two conclusive failures trip the breaker while the slow run is
+	// still executing.
+	failing := RunRequest{Mix: "WH1", Accesses: smallAccesses}
+	for i := 0; i < 2; i++ {
+		if status, body := post(t, ts.URL+"/v1/run", failing); status != http.StatusInternalServerError {
+			t.Fatalf("failing run %d: %d %s", i, status, body)
+		}
+	}
+
+	// The straggler finishes healthy — while the breaker is open.
+	if status := <-slowDone; status != http.StatusOK {
+		t.Fatalf("slow run: %d, want 200", status)
+	}
+
+	// Its stale success must not have closed the breaker: the cooldown
+	// stands and the next request is shed.
+	if status, _ := post(t, ts.URL+"/v1/run", failing); status != http.StatusServiceUnavailable {
+		t.Fatalf("request after stale success: %d, want 503 (breaker reopened early)", status)
+	}
+	st := getStats(t, ts.URL)
+	if st.BreakerState != "open" || st.BreakerOpens != 1 {
+		t.Fatalf("breaker = %q opens=%d, want open/1", st.BreakerState, st.BreakerOpens)
+	}
+
+	// Recovery still works: fault gone, cooldown over, the probe closes it.
+	fault.Reset()
+	time.Sleep(cooldown + 100*time.Millisecond)
+	if status, body := post(t, ts.URL+"/v1/run", failing); status != http.StatusOK {
+		t.Fatalf("probe after cooldown: %d %s", status, body)
+	}
+	if st := getStats(t, ts.URL); st.BreakerState != "closed" {
+		t.Fatalf("breaker after probe = %q, want closed", st.BreakerState)
+	}
+}

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"repro/internal/obs"
+	"repro/internal/pool"
+)
+
+// serverMetrics is lapserved's first-class observability layer: every
+// series GET /metrics exposes. Mutated instruments live here; sampled
+// values (queue occupancy, memo residency, breaker position) register as
+// scrape-time gauge functions so the hot path never touches the
+// registry.
+//
+// The run-latency histogram is split by provenance — source="computed"
+// observes simulation execution time, source="recalled" the time a
+// cached answer took to reach the client. The split is load-bearing:
+// recalls that climb toward computed latencies mean cache hits are
+// queuing behind workers, and a breaker that never opens while
+// recalled traffic stays healthy and computed traffic fails is the
+// exact signature of the recall/breaker liveness bug this layer was
+// built to expose.
+type serverMetrics struct {
+	reg *obs.Registry
+
+	admitRejected *obs.Counter
+	retrySuccess  *obs.Counter
+	retryFailure  *obs.Counter
+	cellErrors    map[string]*obs.Counter
+	latComputed   *obs.Histogram
+	latRecalled   *obs.Histogram
+}
+
+// cellErrorKinds is the closed failure taxonomy of the wire (see
+// CellError); every kind pre-registers so series exist at zero.
+var cellErrorKinds = []string{"cancelled", "timeout", "fault", "panic", "error"}
+
+// newServerMetrics registers every lapserved series on reg and wires the
+// sampled gauges to s. Called once from New, after the server's
+// components exist.
+func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
+	m := &serverMetrics{
+		reg: reg,
+		admitRejected: reg.Counter("lapserved_admit_rejected_total",
+			"Requests refused with 429 because the job queue was full."),
+		cellErrors: map[string]*obs.Counter{},
+	}
+	m.retrySuccess = reg.Counter("lapserved_retry_attempts_total",
+		"Retry attempts by outcome of the retried execution.", obs.L("outcome", "success"))
+	m.retryFailure = reg.Counter("lapserved_retry_attempts_total",
+		"Retry attempts by outcome of the retried execution.", obs.L("outcome", "failure"))
+	for _, kind := range cellErrorKinds {
+		m.cellErrors[kind] = reg.Counter("lapserved_cell_errors_total",
+			"Failed run/sweep cells by failure kind.", obs.L("kind", kind))
+	}
+	m.latComputed = reg.Histogram("lapserved_run_duration_seconds",
+		"Run latency split by provenance: simulation execution time (computed) vs cached-answer delivery time (recalled).",
+		obs.RunLatencyBuckets, obs.L("source", "computed"))
+	m.latRecalled = reg.Histogram("lapserved_run_duration_seconds",
+		"Run latency split by provenance: simulation execution time (computed) vs cached-answer delivery time (recalled).",
+		obs.RunLatencyBuckets, obs.L("source", "recalled"))
+
+	reg.GaugeFunc("lapserved_queue_depth",
+		"Admitted-but-unfinished jobs (bounded queue occupancy).",
+		func() float64 { return float64(s.queued.Load()) })
+	reg.GaugeFunc("lapserved_queue_limit",
+		"Configured job queue bound (QueueDepth).",
+		func() float64 { return float64(s.cfg.QueueDepth) })
+	reg.GaugeFunc("lapserved_inflight_runs",
+		"Simulations executing right now.",
+		func() float64 { return float64(s.inflight.Load()) })
+	reg.GaugeFunc("lapserved_trace_store_entries",
+		"Uploaded traces resident in the trace store.",
+		func() float64 { return float64(s.store.count()) })
+	reg.GaugeFunc("lapserved_breaker_state",
+		"Circuit breaker position: -1 disabled, 0 closed, 1 open, 2 half-open.",
+		s.breaker.stateValue)
+	reg.CounterFunc("lapserved_runs_failed_total",
+		"Runs that stayed failed after exhausting retries (mirrors /v1/stats failures).",
+		s.failures.Load)
+
+	// The breaker reports its own transitions and sheds.
+	s.breaker.met = breakerMetrics{
+		toOpen: reg.Counter("lapserved_breaker_transitions_total",
+			"Breaker state transitions by destination state.", obs.L("to", "open")),
+		toHalfOpen: reg.Counter("lapserved_breaker_transitions_total",
+			"Breaker state transitions by destination state.", obs.L("to", "half-open")),
+		toClosed: reg.Counter("lapserved_breaker_transitions_total",
+			"Breaker state transitions by destination state.", obs.L("to", "closed")),
+		shed: reg.Counter("lapserved_breaker_shed_total",
+			"Requests refused with 503 while the breaker was open or probing."),
+	}
+
+	// Memo and pool counters ride along under the lapserved namespace.
+	s.memo.Register(reg, "lapserved_memo")
+	pool.Register(reg, "lapserved_pool")
+	return m
+}
+
+// cellError resolves the counter for one failure kind, falling back to
+// the generic "error" series for kinds outside the taxonomy.
+func (m *serverMetrics) cellError(kind string) *obs.Counter {
+	if c, ok := m.cellErrors[kind]; ok {
+		return c
+	}
+	return m.cellErrors["error"]
+}

@@ -51,6 +51,7 @@ import (
 	lap "repro"
 	"repro/internal/fault"
 	"repro/internal/memo"
+	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -85,6 +86,10 @@ type Config struct {
 	// BreakerCooldown is how long an open breaker sheds load before
 	// admitting a probe (0 = 5s).
 	BreakerCooldown time.Duration
+	// Metrics is an optional obs registry to expose on GET /metrics; nil
+	// builds a private one (still served — metrics are not optional for a
+	// production service, only the registry's ownership is).
+	Metrics *obs.Registry
 }
 
 const (
@@ -116,6 +121,7 @@ type Server struct {
 	failures atomic.Uint64 // runs still failed after retries
 	retries  atomic.Uint64 // retry attempts made
 
+	met *serverMetrics
 	lat latRing
 	mux *http.ServeMux
 }
@@ -164,8 +170,14 @@ func New(cfg Config) *Server {
 		breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		lat:     latRing{buf: make([]float64, 0, latencyWindow)},
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s.met = newServerMetrics(reg, s)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.Handle("GET /metrics", reg.Handler())
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
@@ -175,6 +187,9 @@ func New(cfg Config) *Server {
 
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the obs registry behind GET /metrics.
+func (s *Server) Metrics() *obs.Registry { return s.met.reg }
 
 // SetDraining flips the server into (or out of) drain mode: /healthz
 // answers 503 so load balancers stop routing here, and new simulation
@@ -203,44 +218,85 @@ func (s *Server) release(n int) { s.queued.Add(int64(-n)) }
 // you started, start nothing new".
 var errDraining = errors.New("server: draining; run not started")
 
-// runCell executes (or recalls) one resolved run under the worker cap.
-// It blocks for a worker slot until ctx expires; identical concurrent
-// cells coalesce inside the memo, and the latch wait is also bounded by
-// ctx. Failed runs are never cached (memo.DoErr), so a retry recomputes.
-func (s *Server) runCell(ctx context.Context, sp *runSpec) (lap.Result, error) {
+// runCell executes (or recalls) one resolved run under the worker cap,
+// reporting provenance: computed is true when THIS call executed the
+// simulation (successfully or not), false when the result was recalled
+// from the memo or shared from another caller's in-flight execution.
+//
+// A key whose result is already cached is served by a completed-entry
+// fast path (memo.Peek) *before* the worker-semaphore acquire: a cache
+// hit executes nothing, so making it wait behind running simulations —
+// and burn a slot doing no work — would be pure queuing delay. Only
+// requests that may actually compute contend for slots. The latch wait
+// for in-flight duplicates is bounded by ctx, and failed runs are never
+// cached (memo.DoErrStat), so a retry recomputes.
+func (s *Server) runCell(ctx context.Context, sp *runSpec) (lap.Result, bool, error) {
+	start := time.Now()
+	if res, ok := s.memo.Peek(sp.key); ok {
+		s.met.latRecalled.Observe(time.Since(start).Seconds())
+		return res, false, nil
+	}
 	select {
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():
-		return lap.Result{}, ctx.Err()
+		return lap.Result{}, false, ctx.Err()
 	}
 	defer func() { <-s.sem }()
-	return s.memo.DoErr(ctx, sp.key, func() (lap.Result, error) {
+	res, computed, err := s.memo.DoErrStat(ctx, sp.key, func() (lap.Result, error) {
 		if s.draining.Load() {
 			return lap.Result{}, errDraining
 		}
 		s.inflight.Add(1)
 		defer s.inflight.Add(-1)
-		start := time.Now()
+		execStart := time.Now()
 		res, err := sp.execute()
 		if err != nil {
 			return lap.Result{}, err
 		}
-		s.lat.add(time.Since(start).Seconds())
+		d := time.Since(execStart).Seconds()
+		s.lat.add(d)
+		s.met.latComputed.Observe(d)
 		return res, nil
 	})
+	if err == nil && !computed {
+		// Lost the Peek race to a completing duplicate: still a recall.
+		s.met.latRecalled.Observe(time.Since(start).Seconds())
+	}
+	return res, computed, err
 }
 
 // runCellRetry is runCell under the resilience policy: retryable
 // failures are re-executed up to RetryMax times with exponential backoff
-// and deterministic jitter, the breaker hears about conclusive outcomes,
-// and the failure counters advance when a run stays failed.
+// and deterministic jitter, the breaker hears about conclusive
+// *executions* only, and the failure counters advance when a run stays
+// failed.
+//
+// Provenance gates the breaker. A memo recall runs no simulation: while
+// the simulator is broken, a stream of cache hits says nothing about its
+// health, so recalled successes must not reset the consecutive-failure
+// streak (they only release a half-open probe slot, like any other
+// inconclusive outcome). Likewise an error merely shared from another
+// caller's in-flight execution is that execution's evidence, not a
+// second data point.
 func (s *Server) runCellRetry(ctx context.Context, sp *runSpec) (lap.Result, error) {
 	var res lap.Result
+	var computed bool
 	var err error
 	for attempt := 0; ; attempt++ {
-		res, err = s.runCell(ctx, sp)
+		res, computed, err = s.runCell(ctx, sp)
+		if attempt > 0 {
+			if err == nil {
+				s.met.retrySuccess.Inc()
+			} else {
+				s.met.retryFailure.Inc()
+			}
+		}
 		if err == nil {
-			s.breaker.success()
+			if computed {
+				s.breaker.success()
+			} else {
+				s.breaker.probeDone()
+			}
 			return res, nil
 		}
 		if !retryable(err) || attempt >= s.cfg.RetryMax {
@@ -258,7 +314,11 @@ func (s *Server) runCellRetry(ctx context.Context, sp *runSpec) (lap.Result, err
 		// A conclusive failure (fault, panic, simulation error) — not a
 		// cancellation, which says nothing about the simulator's health.
 		s.failures.Add(1)
-		s.breaker.failure()
+		if computed {
+			s.breaker.failure()
+		} else {
+			s.breaker.probeDone()
+		}
 	} else {
 		s.breaker.probeDone()
 	}
@@ -356,6 +416,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.admit(1) {
+		s.met.admitRejected.Inc()
 		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "job queue full; retry later"})
 		return
 	}
@@ -368,6 +429,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	res, err := s.runCellRetry(ctx, sp)
 	if err != nil {
+		s.met.cellError(errKind(err)).Inc()
 		writeRunError(w, err)
 		return
 	}
@@ -419,6 +481,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.admit(len(specs)) {
+		s.met.admitRejected.Inc()
 		writeJSON(w, http.StatusTooManyRequests, errorResponse{
 			Error: fmt.Sprintf("job queue cannot take %d sweep cells; retry later", len(specs)),
 		})
@@ -446,7 +509,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		for i, sp := range specs {
 			sp := sp
 			tasks[i] = pool.Task{Key: sp.cellKey(), Do: func() error {
-				_, err := s.runCell(ctx, sp)
+				_, _, err := s.runCell(ctx, sp)
 				return err
 			}}
 		}
@@ -462,6 +525,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		res, err := s.runCellRetry(ctx, sp)
 		if err != nil {
 			kind := errKind(err)
+			s.met.cellError(kind).Inc()
 			if kind == "cancelled" || kind == "timeout" {
 				resp.Cancelled++
 			} else {

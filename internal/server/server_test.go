@@ -557,3 +557,103 @@ func TestRunContextCancel(t *testing.T) {
 		t.Fatalf("queue slot leaked after cancel: queued=%d", got)
 	}
 }
+
+// TestCachedRunBypassesWorkerSlots: a request for an already-cached key
+// must be served by the memo fast path without waiting for (or burning)
+// a worker slot. Pre-fix, runCell acquired the semaphore before looking
+// at the memo, so cache hits queued behind running simulations.
+func TestCachedRunBypassesWorkerSlots(t *testing.T) {
+	s, ts := testServer(t, Config{Jobs: 2, RequestTimeout: time.Minute})
+	req := RunRequest{Mix: "WL1", Accesses: smallAccesses}
+	if status, body := post(t, ts.URL+"/v1/run", req); status != http.StatusOK {
+		t.Fatalf("priming run: %d %s", status, body)
+	}
+
+	// Saturate every worker slot, as slow simulations would.
+	for i := 0; i < cap(s.sem); i++ {
+		s.sem <- struct{}{}
+	}
+	defer func() {
+		for i := 0; i < cap(s.sem); i++ {
+			<-s.sem
+		}
+	}()
+
+	type reply struct {
+		status int
+		body   []byte
+	}
+	done := make(chan reply, 1)
+	go func() {
+		status, body := post(t, ts.URL+"/v1/run", req)
+		done <- reply{status, body}
+	}()
+	select {
+	case r := <-done:
+		if r.status != http.StatusOK {
+			t.Fatalf("cached run: %d %s", r.status, r.body)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cached run queued behind saturated worker slots")
+	}
+	if st := getStats(t, ts.URL); st.Computed != 1 || st.Recalled == 0 {
+		t.Fatalf("stats = computed %d recalled %d, want 1 and >0", st.Computed, st.Recalled)
+	}
+}
+
+// TestMetricsEndpoint: GET /metrics serves the Prometheus text format
+// with the load-bearing lapserved series present, and the run-latency
+// histogram advances in the right provenance bucket.
+func TestMetricsEndpoint(t *testing.T) {
+	s, ts := testServer(t, Config{})
+	req := RunRequest{Mix: "WL1", Accesses: smallAccesses}
+	for i := 0; i < 2; i++ { // one computed, one recalled
+		if status, body := post(t, ts.URL+"/v1/run", req); status != http.StatusOK {
+			t.Fatalf("run %d: %d %s", i, status, body)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE lapserved_queue_depth gauge",
+		"# TYPE lapserved_breaker_state gauge",
+		"# TYPE lapserved_breaker_transitions_total counter",
+		"# TYPE lapserved_retry_attempts_total counter",
+		"# TYPE lapserved_run_duration_seconds histogram",
+		`lapserved_retry_attempts_total{outcome="success"} 0`,
+		`lapserved_breaker_transitions_total{to="open"} 0`,
+		"lapserved_memo_computed_total 1",
+		"lapserved_queue_limit " + fmt.Sprint(defaultQueueDepth),
+		"lapserved_breaker_state 0",
+		`lapserved_run_duration_seconds_bucket{source="computed",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	snap := s.Metrics().Snapshot()
+	if got := snap[`lapserved_run_duration_seconds_count{source="computed"}`]; got != 1 {
+		t.Errorf("computed latency count = %v, want 1", got)
+	}
+	if got := snap[`lapserved_run_duration_seconds_count{source="recalled"}`]; got < 1 {
+		t.Errorf("recalled latency count = %v, want >= 1", got)
+	}
+	if got := snap["lapserved_memo_recalled_total"]; got < 1 {
+		t.Errorf("memo recalled = %v, want >= 1", got)
+	}
+}
