@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench chaos ci quick serve serve-smoke
+.PHONY: all build test race bench chaos ci quick serve serve-smoke trace-smoke
 
 all: build
 
@@ -34,6 +34,7 @@ ci:
 	$(GO) test -race -timeout 10m -run 'Chaos|Fault|Corrupt' ./...
 	$(GO) test -bench=BenchmarkFig14 -benchtime=1x -run '^$$' .
 	$(GO) run ./cmd/lapserved -smoke
+	$(MAKE) trace-smoke
 
 # Boot lapserved on an ephemeral port, hit /healthz and /v1/run, fire a
 # coalesced duplicate pair and assert the recalled counter advanced,
@@ -42,6 +43,18 @@ ci:
 # on any failure.
 serve-smoke:
 	$(GO) run ./cmd/lapserved -smoke
+
+# Record a real simulation timeline with lapsim -trace and validate it
+# with the strict cmd/tracecheck parser: span nesting (warmup and epochs
+# inside the run), per-interval counter tracks, numeric samples. Exits
+# non-zero if the trace exporter regresses.
+trace-smoke:
+	$(GO) run ./cmd/lapsim -policy LAP,non-inclusive -mix WH1 \
+		-accesses 20000 -warmup 2000 -trace /tmp/lap-trace-smoke.json -interval 1000 >/dev/null
+	$(GO) run ./cmd/tracecheck \
+		-span run,warmup,epoch \
+		-counter accesses,misses,writebacks,fills,redundant_fills,loop_blocks \
+		-nested warmup:run,epoch:run /tmp/lap-trace-smoke.json
 
 # Run the simulation server on :8080 (see README "Serving simulations").
 serve:

@@ -31,6 +31,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 )
 
 // artifactTiming is one artifact's perf record in the -timings report.
@@ -87,6 +88,7 @@ func main() {
 	list := flag.Bool("list", false, "list available artifacts and exit")
 	csvDir := flag.String("csv", "", "also save each artifact as CSV into this directory")
 	timings := flag.String("timings", "", "write per-artifact wall-clock and runs/sec JSON to this file")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event timeline of every simulation cell to this file (.jsonl for JSONL)")
 	flag.Parse()
 
 	opt := experiments.Defaults()
@@ -100,6 +102,11 @@ func main() {
 		opt.Seed = *seed
 	}
 	opt.Jobs = *jobs
+	if *traceOut != "" {
+		// Tables stay byte-identical; the tracer only observes the cells
+		// (wall-clock spans, memo compute-vs-recall provenance).
+		opt.Trace = trace.New(0)
+	}
 
 	all := experiments.Registry(opt)
 	if *list {
@@ -134,11 +141,36 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "[timings saved to %s]\n", *timings)
 	}
+	if *traceOut != "" {
+		if err := writeTrace(opt.Trace, *traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "lapexp: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[trace saved to %s]\n", *traceOut)
+	}
 	if len(report.Failures) > 0 {
 		fmt.Fprintf(os.Stderr, "lapexp: %d of %d artifact(s) failed\n",
 			len(report.Failures), len(report.Failures)+len(report.Artifacts))
 		os.Exit(1)
 	}
+}
+
+// writeTrace exports the per-cell timeline recorded during generate.
+func writeTrace(tr *trace.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = tr.WriteJSONL(f)
+	} else {
+		err = tr.WriteChromeTrace(f)
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // generate runs the named artifacts under opt, printing each table to

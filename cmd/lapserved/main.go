@@ -23,6 +23,14 @@
 // -breaker-cooldown passes. The LAP_FAULTS environment variable arms
 // internal/fault injection points for chaos runs.
 //
+// Every simulation request is traced: the response carries an X-Trace-Id
+// header and GET /v1/trace/{id} returns that request's Chrome
+// trace-event timeline (admission, queue wait, memo lookup, retry
+// attempts, execution). -trace-requests bounds the in-memory trace
+// store (negative disables tracing); -trace-dir additionally writes
+// each trace to disk. Requests are logged as JSON lines on stderr with
+// the matching trace_id.
+//
 // -smoke starts the server on a loopback port, exercises /healthz, one
 // /v1/run, and a coalesced duplicate pair, then verifies via /v1/stats
 // that the duplicate was recalled rather than recomputed. It exits
@@ -37,6 +45,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux; mounted only with -pprof
@@ -70,9 +79,17 @@ func main() {
 	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive failures that open the circuit breaker (negative = disabled)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "open-breaker shed window before a half-open probe")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	traceRequests := flag.Int("trace-requests", 0, "recent per-request traces kept for GET /v1/trace/{id} (0 = 64; negative disables tracing)")
+	traceDir := flag.String("trace-dir", "", "also write each request's Chrome trace-event JSON into this directory")
 	smoke := flag.Bool("smoke", false, "self-test against a loopback instance and exit")
 	flag.Parse()
 
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "lapserved: -trace-dir: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	cfg := server.Config{
 		Jobs:             *jobs,
 		QueueDepth:       *queueDepth,
@@ -83,6 +100,8 @@ func main() {
 		RetryBackoff:     *retryBackoff,
 		BreakerThreshold: *breakerThreshold,
 		BreakerCooldown:  *breakerCooldown,
+		TraceRequests:    *traceRequests,
+		TraceDir:         *traceDir,
 	}
 
 	if *smoke {
@@ -102,6 +121,9 @@ func main() {
 
 // serve listens on addr and blocks until SIGINT/SIGTERM, then drains.
 func serve(addr string, cfg server.Config, drainTimeout time.Duration, pprofOn bool) error {
+	// Structured request logging: one JSON line per request on stderr,
+	// each carrying the trace_id/span_id that GET /v1/trace/{id} resolves.
+	cfg.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	s := server.New(cfg)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -275,6 +297,7 @@ func smokeMetrics(c *http.Client, base string) error {
 		"lapserved_breaker_transitions_total": "counter",
 		"lapserved_retry_attempts_total":      "counter",
 		"lapserved_run_duration_seconds":      "histogram",
+		"lapserved_queue_wait_seconds":        "histogram",
 	} {
 		if got := exp.types[series]; got != typ {
 			return fmt.Errorf("family %s: type %q, want %q", series, got, typ)
@@ -286,6 +309,7 @@ func smokeMetrics(c *http.Client, base string) error {
 		`lapserved_retry_attempts_total{outcome="failure"}`,
 		`lapserved_run_duration_seconds_count{source="computed"}`,
 		`lapserved_run_duration_seconds_count{source="recalled"}`,
+		"lapserved_queue_wait_seconds_count",
 	} {
 		if _, ok := exp.samples[series]; !ok {
 			return fmt.Errorf("series %s missing", series)
@@ -302,6 +326,13 @@ func smokeMetrics(c *http.Client, base string) error {
 	}
 	if got := exp.samples["lapserved_breaker_state"]; got != 0 {
 		return fmt.Errorf("breaker state = %v, want 0 (closed)", got)
+	}
+	// Queue wait is observed only on the compute path (the memo fast path
+	// never queues), so the single computed run above contributes exactly
+	// the admission→worker-start sample we expect — and it must be a
+	// different series from run duration.
+	if got := exp.samples["lapserved_queue_wait_seconds_count"]; got < 1 {
+		return fmt.Errorf("queue wait count = %v, want >= 1", got)
 	}
 	fmt.Printf("lapserved: smoke metrics OK (%d series, computed/recalled split verified)\n", len(exp.samples))
 	return nil

@@ -13,7 +13,14 @@
 //	lapsim -policy LAP -bench streamcluster -threads 4
 //	lapsim -policy Lhybrid -llc hybrid -mix WH5
 //	lapsim -policy LAP -llc sram -mix WL2
-//	lapsim -trace trace.bin -policy exclusive -cores 1
+//	lapsim -replay trace.bin -policy exclusive -cores 1
+//	lapsim -policy LAP,non-inclusive -mix WH1 -trace timeline.json -interval 1000
+//
+// -trace FILE records each policy's run as a simulated-time timeline
+// (nested run → warmup → epoch spans plus per-interval counter series
+// for misses, writebacks, fills, redundant fills, and loop blocks) in
+// Chrome trace-event JSON — open it in Perfetto or chrome://tracing. A
+// .jsonl extension selects the compact JSONL stream instead.
 package main
 
 import (
@@ -40,7 +47,9 @@ func main() {
 	accesses := flag.Uint64("accesses", 400_000, "per-core trace length")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	cores := flag.Int("cores", 0, "number of cores (0 = keep the config's value)")
-	traceFile := flag.String("trace", "", "binary trace file to replay on every core")
+	replayFile := flag.String("replay", "", "binary trace file to replay on every core")
+	traceOut := flag.String("trace", "", "write a trace-event timeline of every run to this file (.jsonl for JSONL, else Chrome JSON)")
+	interval := flag.Uint64("interval", 10_000, "telemetry window for -trace, in accesses summed over cores")
 	useDRAM := flag.Bool("dram", false, "use the DDR3-1600 row-buffer memory model")
 	warmup := flag.Uint64("warmup", 0, "per-core warmup accesses excluded from statistics")
 	moesi := flag.Bool("moesi", false, "track the MOESI reference protocol (threaded runs)")
@@ -99,26 +108,32 @@ func main() {
 	if *bench != "" && *threads > 0 {
 		cfg.Cores = *threads
 	}
+	// One shared tracer; each policy's run renders onto its own track.
+	var tracer *lap.Tracer
+	if *traceOut != "" {
+		tracer = lap.NewTracer(0)
+	}
 	runOne := func(p lap.Policy) (lap.Result, error) {
+		tel := lap.TraceTelemetry(tracer, string(p), *interval)
 		switch {
-		case *traceFile != "":
-			return replayTrace(cfg, p, *traceFile)
+		case *replayFile != "":
+			return replayTrace(cfg, p, *replayFile, tel)
 		case *bench != "" && *threads > 0:
 			b, err := lap.BenchmarkByName(*bench)
 			if err != nil {
 				return lap.Result{}, err
 			}
-			return lap.RunThreaded(cfg, p, b, *accesses, *seed)
+			return lap.RunThreadedObserved(cfg, p, b, *accesses, *seed, tel)
 		case *bench != "":
-			return lap.Run(cfg, p, lap.DuplicateMix(*bench, cfg.Cores), *accesses, *seed)
+			return lap.RunObserved(cfg, p, lap.DuplicateMix(*bench, cfg.Cores), *accesses, *seed, tel)
 		case *mixArg != "":
 			mix, err := resolveMix(*mixArg, cfg.Cores)
 			if err != nil {
 				return lap.Result{}, err
 			}
-			return lap.Run(cfg, p, mix, *accesses, *seed)
+			return lap.RunObserved(cfg, p, mix, *accesses, *seed, tel)
 		default:
-			fatal("one of -mix, -bench or -trace is required")
+			fatal("one of -mix, -bench or -replay is required")
 			panic("unreachable")
 		}
 	}
@@ -159,6 +174,31 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "lapsim: [metrics saved to %s]\n", *metricsFile)
 	}
+	if *traceOut != "" {
+		if err := writeTrace(tracer, *traceOut); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "lapsim: [trace saved to %s]\n", *traceOut)
+	}
+}
+
+// writeTrace exports the recorded timeline: Chrome trace-event JSON by
+// default, the compact JSONL stream for .jsonl paths.
+func writeTrace(tr *lap.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = tr.WriteJSONL(f)
+	} else {
+		err = tr.WriteChromeTrace(f)
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeMetrics dumps the worker-pool counters as a Prometheus text
@@ -250,7 +290,7 @@ func resolveMix(arg string, cores int) (lap.Mix, error) {
 	return lap.Mix{Name: "custom", Members: members}, nil
 }
 
-func replayTrace(cfg lap.Config, p lap.Policy, path string) (lap.Result, error) {
+func replayTrace(cfg lap.Config, p lap.Policy, path string, tel *lap.Telemetry) (lap.Result, error) {
 	srcs := make([]lap.Source, cfg.Cores)
 	files := make([]*os.File, cfg.Cores)
 	for i := range srcs {
@@ -271,7 +311,7 @@ func replayTrace(cfg lap.Config, p lap.Policy, path string) (lap.Result, error) 
 			f.Close()
 		}
 	}()
-	return lap.RunTraces(cfg, p, srcs)
+	return lap.RunTracesObserved(cfg, p, srcs, tel)
 }
 
 func report(r lap.Result) {

@@ -33,7 +33,7 @@ func TestResolveMixCustom(t *testing.T) {
 }
 
 func TestReplayTraceMissingFile(t *testing.T) {
-	if _, err := replayTrace(lap.DefaultConfig(), lap.PolicyLAP, "/nonexistent/file.bin"); err == nil {
+	if _, err := replayTrace(lap.DefaultConfig(), lap.PolicyLAP, "/nonexistent/file.bin", nil); err == nil {
 		t.Fatal("missing trace file accepted")
 	}
 }

@@ -1,0 +1,137 @@
+// Command tracecheck is a strict validator for the trace-event files the
+// lap tools emit (lapsim -trace, lapexp -trace, lapserved's
+// /v1/trace/{id}). Like cmd/lapserved's exposition checker, it is a
+// stdlib-only parser deliberately stricter than a viewer needs to be, so
+// an export regression fails `make trace-smoke` rather than rendering as
+// a silently empty Perfetto timeline.
+//
+// It accepts the Chrome trace-event JSON object ({"traceEvents": [...]})
+// or, for files ending in .jsonl, the compact one-object-per-line form.
+// Beyond per-event shape (required fields per phase, non-negative
+// durations, numeric counter samples), it verifies that every span's
+// parent reference resolves, and optionally that named spans and counter
+// series are present and that child spans nest inside their parents:
+//
+//	tracecheck -span run,warmup -counter misses,writebacks \
+//	    -nested warmup:run,epoch:run timeline.json
+//
+// Exits non-zero with a line-oriented diagnosis on the first violation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	spans := flag.String("span", "", "comma-separated span names that must each appear at least once")
+	counters := flag.String("counter", "", "comma-separated counter series that must each appear at least once")
+	nested := flag.String("nested", "", "comma-separated child:parent pairs; every child span must nest inside a parent-named span")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-span a,b] [-counter a,b] [-nested child:parent,...] FILE")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var evs []event
+	if strings.HasSuffix(path, ".jsonl") {
+		evs, err = parseJSONL(data)
+	} else {
+		evs, err = parseChrome(data)
+	}
+	if err != nil {
+		fatal(fmt.Errorf("%s: %v", path, err))
+	}
+	if err := check(evs, splitList(*spans), splitList(*counters), *nested); err != nil {
+		fatal(fmt.Errorf("%s: %v", path, err))
+	}
+	fmt.Printf("tracecheck: %s OK (%d events)\n", path, len(evs))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+	os.Exit(1)
+}
+
+// splitList parses a comma-separated flag value, "" meaning none.
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+// check runs the cross-event validations and the presence/nesting
+// assertions the caller requested.
+func check(evs []event, wantSpans, wantCounters []string, nestedSpec string) error {
+	byID := map[uint64]event{}
+	spanNames := map[string]int{}
+	counterNames := map[string]int{}
+	for _, ev := range evs {
+		switch ev.ph {
+		case "X":
+			if _, dup := byID[ev.spanID]; dup {
+				return fmt.Errorf("event %d: duplicate span_id %d", ev.index, ev.spanID)
+			}
+			byID[ev.spanID] = ev
+			spanNames[ev.name]++
+		case "C":
+			counterNames[ev.name]++
+		}
+	}
+	for _, ev := range evs {
+		if ev.ph != "X" || ev.parent == 0 {
+			continue
+		}
+		if _, ok := byID[ev.parent]; !ok {
+			return fmt.Errorf("event %d: span %q parent_id %d resolves to no span", ev.index, ev.name, ev.parent)
+		}
+	}
+	for _, name := range wantSpans {
+		if spanNames[name] == 0 {
+			return fmt.Errorf("required span %q never appears", name)
+		}
+	}
+	for _, name := range wantCounters {
+		if counterNames[name] == 0 {
+			return fmt.Errorf("required counter series %q never appears", name)
+		}
+	}
+	for _, pair := range splitList(nestedSpec) {
+		child, parent, ok := strings.Cut(pair, ":")
+		if !ok || child == "" || parent == "" {
+			return fmt.Errorf("malformed -nested pair %q (want child:parent)", pair)
+		}
+		if spanNames[child] == 0 {
+			return fmt.Errorf("-nested %s: child span %q never appears", pair, child)
+		}
+		for _, ev := range evs {
+			if ev.ph != "X" || ev.name != child {
+				continue
+			}
+			if ev.parent == 0 {
+				return fmt.Errorf("event %d: span %q has no parent (want %q)", ev.index, child, parent)
+			}
+			p := byID[ev.parent]
+			if p.name != parent {
+				return fmt.Errorf("event %d: span %q parent is %q, want %q", ev.index, child, p.name, parent)
+			}
+			if p.pid != ev.pid || p.tid != ev.tid {
+				return fmt.Errorf("event %d: span %q on pid %d/track %d but parent %q on pid %d/track %d",
+					ev.index, child, ev.pid, ev.tid, parent, p.pid, p.tid)
+			}
+			if ev.ts < p.ts || ev.ts+ev.dur > p.ts+p.dur {
+				return fmt.Errorf("event %d: span %q [%d,%d] escapes parent %q [%d,%d]",
+					ev.index, child, ev.ts, ev.ts+ev.dur, parent, p.ts, p.ts+p.dur)
+			}
+		}
+	}
+	return nil
+}

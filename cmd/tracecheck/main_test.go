@@ -1,0 +1,106 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// The committed example timeline is the golden input: the full check the
+// Makefile runs against fresh lapsim output must accept it.
+func TestCommittedExampleTimeline(t *testing.T) {
+	data, err := os.ReadFile("../../examples/tracetimeline/timeline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := parseChrome(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("no events")
+	}
+	err = check(evs,
+		[]string{"run", "warmup", "epoch"},
+		[]string{"accesses", "misses", "writebacks", "fills", "redundant_fills", "loop_blocks"},
+		"warmup:run,epoch:run")
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseChromeRejects(t *testing.T) {
+	for name, doc := range map[string]string{
+		"trailing data":   `{"traceEvents":[],"displayTimeUnit":"ms"} garbage`,
+		"unknown field":   `{"traceEvents":[],"displayTimeUnit":"ms","bogus":1}`,
+		"wrong unit":      `{"traceEvents":[],"displayTimeUnit":"ns"}`,
+		"missing ts":      `{"traceEvents":[{"name":"x","ph":"X","dur":1,"pid":1,"tid":1,"args":{"span_id":1}}],"displayTimeUnit":"ms"}`,
+		"span sans dur":   `{"traceEvents":[{"name":"x","ph":"X","ts":0,"pid":1,"tid":1,"args":{"span_id":1}}],"displayTimeUnit":"ms"}`,
+		"span sans id":    `{"traceEvents":[{"name":"x","ph":"X","ts":0,"dur":1,"pid":1,"tid":1}],"displayTimeUnit":"ms"}`,
+		"negative dur":    `{"traceEvents":[{"name":"x","ph":"X","ts":0,"dur":-1,"pid":1,"tid":1,"args":{"span_id":1}}],"displayTimeUnit":"ms"}`,
+		"unknown phase":   `{"traceEvents":[{"name":"x","ph":"B","ts":0,"pid":1,"tid":1}],"displayTimeUnit":"ms"}`,
+		"string counter":  `{"traceEvents":[{"name":"c","ph":"C","ts":0,"pid":2,"tid":1,"id":"1","args":{"v":"hi"}}],"displayTimeUnit":"ms"}`,
+		"counter no lane": `{"traceEvents":[{"name":"c","ph":"C","ts":0,"pid":2,"tid":1,"args":{"v":3}}],"displayTimeUnit":"ms"}`,
+		"bad metadata":    `{"traceEvents":[{"name":"weird_name","ph":"M","ts":0,"pid":1,"tid":0,"args":{"name":"x"}}],"displayTimeUnit":"ms"}`,
+	} {
+		if _, err := parseChrome([]byte(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestCheckNesting(t *testing.T) {
+	span := func(i int, name string, ts, dur int64, id, parent uint64) event {
+		return event{index: i, ph: "X", name: name, pid: 1, tid: 7, ts: ts, dur: dur, spanID: id, parent: parent}
+	}
+	// Child escaping its parent's time range must fail containment.
+	evs := []event{
+		span(0, "run", 0, 100, 1, 0),
+		span(1, "epoch", 50, 100, 2, 1),
+	}
+	err := check(evs, nil, nil, "epoch:run")
+	if err == nil || !strings.Contains(err.Error(), "escapes") {
+		t.Fatalf("escaping child: %v", err)
+	}
+	// A dangling parent reference fails even without -nested.
+	evs = []event{span(0, "epoch", 0, 1, 2, 99)}
+	if err := check(evs, nil, nil, ""); err == nil {
+		t.Fatal("dangling parent accepted")
+	}
+	// Parent with the wrong name fails the pair.
+	evs = []event{
+		span(0, "other", 0, 100, 1, 0),
+		span(1, "epoch", 10, 10, 2, 1),
+	}
+	err = check(evs, nil, nil, "epoch:run")
+	if err == nil || !strings.Contains(err.Error(), `want "run"`) {
+		t.Fatalf("wrong parent name: %v", err)
+	}
+	// The happy path with counters present.
+	evs = []event{
+		span(0, "run", 0, 100, 1, 0),
+		span(1, "epoch", 10, 10, 2, 1),
+		{index: 2, ph: "C", name: "misses", pid: 2, tid: 7, ts: 20},
+	}
+	if err := check(evs, []string{"run", "epoch"}, []string{"misses"}, "epoch:run"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseJSONL(t *testing.T) {
+	good := `{"seq":1,"ph":"X","name":"run","pid":2,"track":3,"ts":0,"dur":9,"id":3}
+{"seq":2,"ph":"C","name":"misses","pid":2,"track":3,"ts":5,"attrs":{"misses":4}}
+`
+	evs, err := parseJSONL([]byte(good))
+	if err != nil || len(evs) != 2 {
+		t.Fatalf("good JSONL: %v (%d events)", err, len(evs))
+	}
+	if _, err := parseJSONL([]byte(`{"seq":5,"ph":"X","name":"a","pid":1,"track":1,"ts":0,"dur":1,"id":1}
+{"seq":4,"ph":"X","name":"b","pid":1,"track":1,"ts":0,"dur":1,"id":2}
+`)); err == nil {
+		t.Fatal("non-increasing seq accepted")
+	}
+	if _, err := parseJSONL([]byte(`{"seq":1,"ph":"C","name":"c","pid":2,"track":1,"ts":0}`)); err == nil {
+		t.Fatal("sample-less counter accepted")
+	}
+}

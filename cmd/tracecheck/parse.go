@@ -1,0 +1,239 @@
+package main
+
+// Strict parsers for the two export formats internal/obs/trace writes.
+// Field sets are closed (DisallowUnknownFields) and numbers are kept as
+// json.Number so span IDs round-trip without float64 truncation.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// event is one validated record in either format, normalised for check.
+type event struct {
+	index  int // position in the file, for diagnostics
+	ph     string
+	name   string
+	pid    int
+	tid    uint64
+	ts     int64
+	dur    int64
+	spanID uint64
+	parent uint64
+}
+
+// chromeDoc is the exact document WriteChromeTrace produces.
+type chromeDoc struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	Unit        string        `json:"displayTimeUnit"`
+}
+
+// chromeEvent mirrors the exporter's record; pointer fields distinguish
+// "absent" from zero so required-field checks are real.
+type chromeEvent struct {
+	Name string                     `json:"name"`
+	Ph   string                     `json:"ph"`
+	TS   *int64                     `json:"ts"`
+	Dur  *int64                     `json:"dur"`
+	Pid  *int                       `json:"pid"`
+	Tid  *uint64                    `json:"tid"`
+	ID   string                     `json:"id"`
+	Args map[string]json.RawMessage `json:"args"`
+}
+
+// parseChrome validates a Chrome trace-event JSON object and returns its
+// events. Any deviation from the exporter's promised shape is an error.
+func parseChrome(data []byte) ([]event, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	dec.DisallowUnknownFields()
+	var doc chromeDoc
+	if err := dec.Decode(&doc); err != nil {
+		return nil, err
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("trailing data after the trace object")
+	}
+	if doc.Unit != "ms" {
+		return nil, fmt.Errorf("displayTimeUnit %q, want %q", doc.Unit, "ms")
+	}
+	var out []event
+	for i, ce := range doc.TraceEvents {
+		if ce.TS == nil || ce.Pid == nil || ce.Tid == nil {
+			return nil, fmt.Errorf("event %d: missing ts/pid/tid", i)
+		}
+		ev := event{
+			index: i, ph: ce.Ph, name: ce.Name,
+			pid: *ce.Pid, tid: *ce.Tid, ts: *ce.TS,
+		}
+		if ce.Dur != nil {
+			ev.dur = *ce.Dur
+		}
+		switch ce.Ph {
+		case "M":
+			if err := checkMeta(i, ce); err != nil {
+				return nil, err
+			}
+			continue // metadata carries no timeline payload
+		case "X":
+			if ce.Dur == nil {
+				return nil, fmt.Errorf("event %d: complete span %q without dur", i, ce.Name)
+			}
+			id, err := argUint(ce.Args, "span_id")
+			if err != nil {
+				return nil, fmt.Errorf("event %d: span %q: %v", i, ce.Name, err)
+			}
+			ev.spanID = id
+			if _, ok := ce.Args["parent_id"]; ok {
+				p, err := argUint(ce.Args, "parent_id")
+				if err != nil {
+					return nil, fmt.Errorf("event %d: span %q: %v", i, ce.Name, err)
+				}
+				ev.parent = p
+			}
+		case "C":
+			if len(ce.Args) == 0 {
+				return nil, fmt.Errorf("event %d: counter %q has no samples", i, ce.Name)
+			}
+			for k, v := range ce.Args {
+				if _, err := rawNumber(v); err != nil {
+					return nil, fmt.Errorf("event %d: counter %q sample %s is not numeric: %v", i, ce.Name, k, err)
+				}
+			}
+			if ce.ID == "" {
+				return nil, fmt.Errorf("event %d: counter %q without a lane id", i, ce.Name)
+			}
+		default:
+			return nil, fmt.Errorf("event %d: unknown phase %q", i, ce.Ph)
+		}
+		if err := checkCommon(ev); err != nil {
+			return nil, err
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}
+
+// checkMeta validates a metadata record: only the two kinds the exporter
+// writes, each naming its target.
+func checkMeta(i int, ce chromeEvent) error {
+	switch ce.Name {
+	case "process_name", "thread_name":
+	default:
+		return fmt.Errorf("event %d: unknown metadata kind %q", i, ce.Name)
+	}
+	raw, ok := ce.Args["name"]
+	if !ok {
+		return fmt.Errorf("event %d: metadata %q without args.name", i, ce.Name)
+	}
+	var name string
+	if err := json.Unmarshal(raw, &name); err != nil || name == "" {
+		return fmt.Errorf("event %d: metadata %q args.name is not a non-empty string", i, ce.Name)
+	}
+	return nil
+}
+
+// checkCommon enforces the invariants shared by both formats.
+func checkCommon(ev event) error {
+	if ev.name == "" {
+		return fmt.Errorf("event %d: empty name", ev.index)
+	}
+	if ev.ts < 0 || ev.dur < 0 {
+		return fmt.Errorf("event %d: %q has negative ts/dur (%d/%d)", ev.index, ev.name, ev.ts, ev.dur)
+	}
+	if ev.ph == "X" && ev.spanID == 0 {
+		return fmt.Errorf("event %d: span %q has id 0", ev.index, ev.name)
+	}
+	return nil
+}
+
+// jsonlEvent mirrors internal/obs/trace's compact record.
+type jsonlEvent struct {
+	Seq    uint64                     `json:"seq"`
+	Ph     string                     `json:"ph"`
+	Name   string                     `json:"name"`
+	Pid    int                        `json:"pid"`
+	Track  uint64                     `json:"track"`
+	TS     int64                      `json:"ts"`
+	Dur    int64                      `json:"dur"`
+	ID     uint64                     `json:"id"`
+	Parent uint64                     `json:"parent"`
+	Attrs  map[string]json.RawMessage `json:"attrs"`
+}
+
+// parseJSONL validates the one-object-per-line export. Seq must be
+// strictly increasing — the ring guarantees emission order.
+func parseJSONL(data []byte) ([]event, error) {
+	var out []event
+	lastSeq := uint64(0)
+	for i, line := range strings.Split(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		dec := json.NewDecoder(strings.NewReader(line))
+		dec.UseNumber()
+		dec.DisallowUnknownFields()
+		var je jsonlEvent
+		if err := dec.Decode(&je); err != nil {
+			return nil, fmt.Errorf("line %d: %v", i+1, err)
+		}
+		if je.Seq <= lastSeq && len(out) > 0 {
+			return nil, fmt.Errorf("line %d: seq %d not increasing (prev %d)", i+1, je.Seq, lastSeq)
+		}
+		lastSeq = je.Seq
+		ev := event{
+			index: i, ph: je.Ph, name: je.Name, pid: je.Pid, tid: je.Track,
+			ts: je.TS, dur: je.Dur, spanID: je.ID, parent: je.Parent,
+		}
+		switch je.Ph {
+		case "X":
+		case "C":
+			if len(je.Attrs) == 0 {
+				return nil, fmt.Errorf("line %d: counter %q has no samples", i+1, je.Name)
+			}
+			for k, v := range je.Attrs {
+				if _, err := rawNumber(v); err != nil {
+					return nil, fmt.Errorf("line %d: counter %q sample %s is not numeric: %v", i+1, je.Name, k, err)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("line %d: unknown phase %q", i+1, je.Ph)
+		}
+		if err := checkCommon(ev); err != nil {
+			return nil, fmt.Errorf("line %d: %v", i+1, err)
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}
+
+// rawNumber decodes a raw value that must be a JSON number.
+func rawNumber(raw json.RawMessage) (json.Number, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var n json.Number
+	if err := dec.Decode(&n); err != nil {
+		return "", err
+	}
+	return n, nil
+}
+
+// argUint reads a numeric arg as uint64.
+func argUint(args map[string]json.RawMessage, key string) (uint64, error) {
+	raw, ok := args[key]
+	if !ok {
+		return 0, fmt.Errorf("missing %s", key)
+	}
+	n, err := rawNumber(raw)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %v", key, err)
+	}
+	v, err := strconv.ParseUint(n.String(), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%s=%q: %v", key, n, err)
+	}
+	return v, nil
+}

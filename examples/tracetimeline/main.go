@@ -1,0 +1,51 @@
+// Tracetimeline: record a simulation as a Chrome trace-event timeline.
+//
+// Two policies run over the same loop-block-heavy mix with an interval
+// telemetry hook attached; each run becomes its own track carrying a
+// "run" span, the nested "warmup" span, one "epoch" span per interval,
+// and per-interval counter series (accesses, misses, writebacks, fills,
+// redundant_fills, loop_blocks) in simulated-cycle time. The result
+// loads in Perfetto (https://ui.perfetto.dev) or chrome://tracing —
+// timeline.json in this directory is a committed reference output.
+//
+// Run with: go run ./examples/tracetimeline
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	lap "repro"
+)
+
+func main() {
+	cfg := lap.DefaultConfig()
+	mix := lap.TableIII()[5] // WH1: loop-block heavy, separates the policies
+
+	// One tracer collects every run; tracks keep them apart.
+	tracer := lap.NewTracer(0)
+
+	const accesses = 20_000 // per core, deliberately small for a readable timeline
+	const interval = 1_000  // telemetry window in accesses (summed over cores)
+	for _, policy := range []lap.Policy{lap.PolicyLAP, lap.PolicyNonInclusive} {
+		tel := lap.TraceTelemetry(tracer, string(policy), interval)
+		res, err := lap.RunObserved(cfg, policy, mix, accesses, 1, tel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s MPKI %.3f  %d cycles\n", policy, res.MPKI(), res.Cycles)
+	}
+
+	f, err := os.Create("timeline.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tracer.WriteChromeTrace(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote timeline.json — open it in https://ui.perfetto.dev")
+}

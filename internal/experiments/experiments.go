@@ -14,6 +14,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/energy"
+	"repro/internal/obs/trace"
 	"repro/internal/sim"
 )
 
@@ -36,6 +37,11 @@ type Options struct {
 	// (runtime.GOMAXPROCS), 1 forces the fully serial path. Tables are
 	// byte-identical for any value; Jobs only changes wall-clock.
 	Jobs int
+	// Trace optionally records per-cell wall-clock spans (and the memo's
+	// compute-vs-recall provenance) into a span tracer. Nil — the default
+	// — is fully off; tables are byte-identical either way, the tracer
+	// only observes. Scheduling-only, like Jobs: not part of memo keys.
+	Trace *trace.Tracer
 }
 
 // Defaults returns the standard experiment scale.

@@ -8,6 +8,7 @@ import (
 	"repro/internal/fault"
 	memocache "repro/internal/memo"
 	"repro/internal/obs"
+	otrace "repro/internal/obs/trace"
 	"repro/internal/pool"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -72,7 +73,8 @@ var memo = memocache.New[memoKey, sim.Result](0)
 func runE(cfg sim.Config, policyName string, ctrl sim.Controller, mix workload.Mix, opt Options) (sim.Result, error) {
 	key := runKey(cfg, policyName, mix, false, opt)
 	cell := key.Mix + "|" + policyName
-	return memo.DoErr(context.Background(), key, func() (res sim.Result, err error) {
+	ctx, sp := cellSpan(opt, cell)
+	res, err := memo.DoErr(ctx, key, func() (res sim.Result, err error) {
 		defer func() {
 			if r := recover(); r != nil {
 				err = pool.Recovered(cell, r)
@@ -83,6 +85,19 @@ func runE(cfg sim.Config, policyName string, ctrl sim.Controller, mix workload.M
 		}
 		return sim.RunMix(cfg, ctrl, mix, opt.Accesses, opt.Seed)
 	})
+	sp.End()
+	return res, err
+}
+
+// cellSpan opens a per-cell root span on opt.Trace (nil-safe, zero cost
+// when tracing is off). The span's ctx flows into the memo, so the
+// recorded timeline distinguishes computes from recalls per cell.
+func cellSpan(opt Options, cell string) (context.Context, *otrace.Span) {
+	ctx, sp := opt.Trace.Root(context.Background(), "cell", otrace.Str("cell", cell))
+	if sp != nil {
+		opt.Trace.NameTrack(otrace.PidWall, sp.ID(), cell)
+	}
+	return ctx, sp
 }
 
 // run is runE for the static experiment definitions of this package,
@@ -102,7 +117,8 @@ func run(cfg sim.Config, policyName string, ctrl sim.Controller, mix workload.Mi
 func runThreadedE(cfg sim.Config, policyName string, ctrl sim.Controller, b workload.Benchmark, opt Options) (sim.Result, error) {
 	key := runKey(cfg, policyName, workload.Mix{Name: b.Name}, true, opt)
 	cell := key.Mix + "|" + policyName
-	return memo.DoErr(context.Background(), key, func() (res sim.Result, err error) {
+	ctx, sp := cellSpan(opt, cell)
+	res, err := memo.DoErr(ctx, key, func() (res sim.Result, err error) {
 		defer func() {
 			if r := recover(); r != nil {
 				err = pool.Recovered(cell, r)
@@ -113,6 +129,8 @@ func runThreadedE(cfg sim.Config, policyName string, ctrl sim.Controller, b work
 		}
 		return sim.RunThreaded(cfg, ctrl, b, opt.Accesses, opt.Seed), nil
 	})
+	sp.End()
+	return res, err
 }
 
 // runThreaded is run's panicking counterpart for threaded runs.

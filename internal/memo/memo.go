@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/obs"
+	otrace "repro/internal/obs/trace"
 )
 
 // ErrComputeFailed is delivered to callers that were waiting on an
@@ -158,8 +159,13 @@ func (c *Cache[K, V]) do(ctx context.Context, key K, compute func() (V, error)) 
 			c.order.MoveToFront(e.elem)
 		}
 		c.mu.Unlock()
+		// Recall-vs-compute provenance in traces: a request that found an
+		// entry (completed or in flight) spends its time here, not in
+		// memo.compute.
+		_, sp := otrace.Start(ctx, "memo.await")
 		select {
 		case <-e.done:
+			sp.End()
 			return c.waited(e)
 		case <-ctx.Done():
 			// Both latch and ctx can be ready; select picks arbitrarily.
@@ -168,9 +174,12 @@ func (c *Cache[K, V]) do(ctx context.Context, key K, compute func() (V, error)) 
 			// right there — so re-check the latch before giving up.
 			select {
 			case <-e.done:
+				sp.End()
 				return c.waited(e)
 			default:
 			}
+			sp.SetAttr(otrace.Bool("cancelled", true))
+			sp.End()
 			var zero V
 			return zero, false, ctx.Err()
 		}
@@ -200,8 +209,11 @@ func (c *Cache[K, V]) do(ctx context.Context, key K, compute func() (V, error)) 
 		}
 		close(e.done)
 	}()
+	_, sp := otrace.Start(ctx, "memo.compute")
 	e.res, e.err = compute()
 	completed = true
+	sp.SetAttr(otrace.Bool("failed", e.err != nil))
+	sp.End()
 	if e.err != nil {
 		var zero V
 		return zero, true, e.err

@@ -417,7 +417,7 @@ func renderLabels(labels []Label) string {
 	var b strings.Builder
 	b.WriteByte('{')
 	for i, l := range ordered {
-		if !validName(l.Name) {
+		if !validLabelName(l.Name) {
 			panic(fmt.Sprintf("obs: invalid label name %q", l.Name))
 		}
 		if i > 0 {
@@ -432,11 +432,34 @@ func renderLabels(labels []Label) string {
 	return b.String()
 }
 
-// validName enforces the Prometheus metric/label name charset.
+// validName enforces the Prometheus metric name charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*. Colons are legal ONLY in metric names (the
+// spec reserves them for recording rules); label names use
+// validLabelName, which rejects them.
 func validName(s string) bool {
 	for i, r := range s {
 		switch {
 		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return s != ""
+}
+
+// validLabelName enforces the Prometheus label name charset
+// [a-zA-Z_][a-zA-Z0-9_]*: like metric names but with no colons. A label
+// name like "source:kind" would render an exposition line strict
+// parsers (and Prometheus itself) reject, so it must panic at
+// registration, not at scrape.
+func validLabelName(s string) bool {
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
 		case r >= '0' && r <= '9':
 			if i == 0 {
 				return false

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"strings"
 	"sync"
 	"testing"
@@ -192,5 +193,125 @@ func TestConcurrentMutation(t *testing.T) {
 	<-done
 	if c.Value() != 8000 || g.Value() != 8000 || h.Count() != 8000 {
 		t.Errorf("lost updates: c=%d g=%v h=%d", c.Value(), g.Value(), h.Count())
+	}
+}
+
+// TestHostileLabelValueRoundTrips is the escaping regression test: a
+// label value using every character the exposition format escapes (and
+// a few it must pass through verbatim) must survive render → strict
+// unescape unchanged, on both the full exposition and histogram bucket
+// lines.
+func TestHostileLabelValueRoundTrips(t *testing.T) {
+	hostile := "a\\b\"c\nd{},= e\ttab\\n"
+	r := NewRegistry()
+	r.Counter("hostile_total", "h", L("path", hostile)).Inc()
+	h := r.Histogram("hostile_seconds", "h", []float64{1}, L("path", hostile))
+	h.Observe(0.5)
+
+	var sb strings.Builder
+	r.WriteTo(&sb)
+	for _, line := range strings.Split(strings.TrimSuffix(sb.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		open := strings.Index(line, `{`)
+		if open < 0 {
+			t.Fatalf("series line lost its labels: %q", line)
+		}
+		// Extract the first label value with a strict escape-aware scan:
+		// the parse a real Prometheus scraper performs.
+		rest := line[open+1:]
+		eq := strings.Index(rest, `="`)
+		if eq < 0 {
+			t.Fatalf("malformed label pair in %q", line)
+		}
+		if name := rest[:eq]; name != "path" {
+			t.Fatalf("label name %q in %q", name, line)
+		}
+		var val strings.Builder
+		i := eq + 2
+		for ; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' {
+				i++
+				if i >= len(rest) {
+					t.Fatalf("dangling escape in %q", line)
+				}
+				switch rest[i] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					t.Fatalf("invalid escape \\%c in %q", rest[i], line)
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			if c == '\n' {
+				t.Fatalf("raw newline leaked into exposition line %q", line)
+			}
+			val.WriteByte(c)
+		}
+		if i >= len(rest) || rest[i] != '"' {
+			t.Fatalf("unterminated label value in %q", line)
+		}
+		if val.String() != hostile {
+			t.Errorf("label value did not round-trip:\n got %q\nwant %q\nline %q", val.String(), hostile, line)
+		}
+	}
+}
+
+// TestLabelNameRejectsColon pins the metric-vs-label charset split:
+// colons are legal in metric names (recording-rule convention) but
+// never in label names.
+func TestLabelNameRejectsColon(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rule:metric_total", "colons are legal in metric names").Inc()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("label name with a colon registered without panic")
+		}
+	}()
+	r.Counter("ok_total", "x", L("source:kind", "v"))
+}
+
+// TestSnapshotJSONRoundTrip: the Snapshot map is embedded verbatim in
+// lapexp's -timings JSON, so it must survive marshal → unmarshal with
+// keys and values intact (including labeled and histogram-derived keys).
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rt_total", "c", L("kind", `quo"te`)).Add(3)
+	r.Gauge("rt_depth", "g").Set(-2.5)
+	h := r.Histogram("rt_seconds", "h", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	snap := r.Snapshot()
+
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back map[string]float64
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(back) != len(snap) {
+		t.Fatalf("round-trip changed cardinality: %d -> %d", len(snap), len(back))
+	}
+	for k, v := range snap {
+		if back[k] != v {
+			t.Errorf("key %q: %v -> %v", k, v, back[k])
+		}
+	}
+	if back[`rt_total{kind="quo\"te"}`] != 3 {
+		t.Errorf("labeled counter lost: %v", back)
+	}
+	if back["rt_seconds_count"] != 2 {
+		t.Errorf("histogram count lost: %v", back)
 	}
 }

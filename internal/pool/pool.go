@@ -10,6 +10,7 @@
 package pool
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -18,6 +19,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/obs"
+	otrace "repro/internal/obs/trace"
 )
 
 // Package-level instrumentation: the pool is stateless, so its counters
@@ -88,6 +90,10 @@ func Recovered(key string, v any) *RunError {
 type Task struct {
 	// Key identifies the unit in failures.
 	Key string
+	// Ctx optionally carries a trace span; when set, the task's execution
+	// is recorded as a "pool.task" child span. A nil Ctx (or one without a
+	// span) costs nothing.
+	Ctx context.Context
 	// Do executes the unit.
 	Do func() error
 }
@@ -130,12 +136,20 @@ func Run(workers int, tasks []Task) []error {
 // runTask executes one task with panic isolation.
 func runTask(t Task) (err error) {
 	tasksTotal.Add(1)
+	var sp *otrace.Span
+	if t.Ctx != nil {
+		_, sp = otrace.Start(t.Ctx, "pool.task", otrace.Str("key", t.Key))
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			taskPanics.Add(1)
 			err = Recovered(t.Key, r)
 		} else if err != nil {
 			taskErrors.Add(1)
+		}
+		if sp != nil {
+			sp.SetAttr(otrace.Bool("failed", err != nil))
+			sp.End()
 		}
 	}()
 	if err := fault.Inject(fault.PointPoolTask, t.Key); err != nil {

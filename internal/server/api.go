@@ -142,6 +142,23 @@ type StatsResponse struct {
 	BreakerShed  uint64 `json:"breaker_shed"`
 }
 
+// HealthzResponse is the GET /healthz payload: liveness plus the
+// signals an operator needs first when the instance looks sick.
+type HealthzResponse struct {
+	// Status is "ok", or "draining" (with a 503) while the instance is
+	// being pulled from rotation.
+	Status string `json:"status"`
+	// Breaker is the circuit breaker's position: "closed", "open",
+	// "half-open", or "disabled".
+	Breaker string `json:"breaker"`
+	// QueueDepth is the bounded job queue's occupancy, QueueLimit its
+	// configured bound (admissions past it answer 429).
+	QueueDepth int64 `json:"queue_depth"`
+	QueueLimit int   `json:"queue_limit"`
+	// InFlight is the number of simulations executing right now.
+	InFlight int64 `json:"in_flight"`
+}
+
 // errorResponse is every non-2xx body. Kind carries the failure taxonomy
 // (see CellError); Field names the offending Config field on validation
 // failures.

@@ -28,6 +28,7 @@ type serverMetrics struct {
 	cellErrors    map[string]*obs.Counter
 	latComputed   *obs.Histogram
 	latRecalled   *obs.Histogram
+	queueWait     *obs.Histogram
 }
 
 // cellErrorKinds is the closed failure taxonomy of the wire (see
@@ -58,6 +59,12 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 	m.latRecalled = reg.Histogram("lapserved_run_duration_seconds",
 		"Run latency split by provenance: simulation execution time (computed) vs cached-answer delivery time (recalled).",
 		obs.RunLatencyBuckets, obs.L("source", "recalled"))
+	// Queue wait is deliberately a separate series from run duration:
+	// admission-to-worker-start time isolates contention for the worker
+	// cap from the simulator's own speed.
+	m.queueWait = reg.Histogram("lapserved_queue_wait_seconds",
+		"Time between a cell's admission and its worker-slot acquisition (queueing delay, not execution).",
+		obs.RunLatencyBuckets)
 
 	reg.GaugeFunc("lapserved_queue_depth",
 		"Admitted-but-unfinished jobs (bounded queue occupancy).",

@@ -42,6 +42,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -52,6 +53,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/memo"
 	"repro/internal/obs"
+	otrace "repro/internal/obs/trace"
 	"repro/internal/pool"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -90,6 +92,16 @@ type Config struct {
 	// builds a private one (still served — metrics are not optional for a
 	// production service, only the registry's ownership is).
 	Metrics *obs.Registry
+	// TraceRequests bounds the per-request trace log served by GET
+	// /v1/trace/{id}, evicting oldest-first (0 = 64; negative disables
+	// request tracing entirely — the untraced path costs one nil check).
+	TraceRequests int
+	// TraceDir additionally writes each request's Chrome trace-event JSON
+	// to TraceDir/<id>.json; empty writes no files.
+	TraceDir string
+	// Logger receives one structured line per request (method, path,
+	// status, duration, trace/span IDs); nil logs nothing.
+	Logger *slog.Logger
 }
 
 const (
@@ -104,6 +116,7 @@ const (
 	defaultRetryBackoff     = 50 * time.Millisecond
 	defaultBreakerThreshold = 5
 	defaultBreakerCooldown  = 5 * time.Second
+	defaultTraceRequests    = 64
 )
 
 // Server is the lapserved HTTP core. Construct with New; serve
@@ -112,6 +125,7 @@ type Server struct {
 	cfg     Config
 	memo    *memo.Cache[runKey, lap.Result]
 	store   *traceStore
+	traces  *traceLog // per-request trace exports; nil when disabled
 	sem     chan struct{}
 	breaker *breaker
 
@@ -120,6 +134,7 @@ type Server struct {
 	draining atomic.Bool
 	failures atomic.Uint64 // runs still failed after retries
 	retries  atomic.Uint64 // retry attempts made
+	reqSeq   atomic.Uint64 // request/trace ID counter
 
 	met *serverMetrics
 	lat latRing
@@ -170,6 +185,13 @@ func New(cfg Config) *Server {
 		breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		lat:     latRing{buf: make([]float64, 0, latencyWindow)},
 	}
+	if cfg.TraceRequests >= 0 {
+		n := cfg.TraceRequests
+		if n == 0 {
+			n = defaultTraceRequests
+		}
+		s.traces = newTraceLog(n)
+	}
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = obs.NewRegistry()
@@ -182,11 +204,13 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("POST /v1/traces", s.handleTraceUpload)
+	s.mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
 	return s
 }
 
-// Handler returns the server's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's HTTP handler: the router wrapped with
+// per-request tracing and structured logging (see instrument).
+func (s *Server) Handler() http.Handler { return s.instrument(s.mux) }
 
 // Metrics returns the obs registry behind GET /metrics.
 func (s *Server) Metrics() *obs.Registry { return s.met.reg }
@@ -232,15 +256,34 @@ var errDraining = errors.New("server: draining; run not started")
 // cached (memo.DoErrStat), so a retry recomputes.
 func (s *Server) runCell(ctx context.Context, sp *runSpec) (lap.Result, bool, error) {
 	start := time.Now()
-	if res, ok := s.memo.Peek(sp.key); ok {
+	_, psp := otrace.Start(ctx, "memo.peek", otrace.Str("cell", sp.cellKey()))
+	res, ok := s.memo.Peek(sp.key)
+	if psp != nil {
+		psp.SetAttr(otrace.Bool("hit", ok))
+		psp.End()
+	}
+	if ok {
 		s.met.latRecalled.Observe(time.Since(start).Seconds())
 		return res, false, nil
 	}
+	// Queue wait: admission happened in the handler; this is the gap
+	// until a worker slot frees (zero when a slot is idle). Separate
+	// histogram from run latency — climbing queue waits with flat run
+	// latency means the worker cap, not the simulator, is the bottleneck.
+	qstart := time.Now()
+	_, qsp := otrace.Start(ctx, "queue_wait")
 	select {
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():
+		if qsp != nil {
+			qsp.SetAttr(otrace.Bool("cancelled", true))
+			qsp.End()
+		}
+		s.met.queueWait.Observe(time.Since(qstart).Seconds())
 		return lap.Result{}, false, ctx.Err()
 	}
+	qsp.End()
+	s.met.queueWait.Observe(time.Since(qstart).Seconds())
 	defer func() { <-s.sem }()
 	res, computed, err := s.memo.DoErrStat(ctx, sp.key, func() (lap.Result, error) {
 		if s.draining.Load() {
@@ -249,7 +292,12 @@ func (s *Server) runCell(ctx context.Context, sp *runSpec) (lap.Result, bool, er
 		s.inflight.Add(1)
 		defer s.inflight.Add(-1)
 		execStart := time.Now()
+		_, esp := otrace.Start(ctx, "execute", otrace.Str("cell", sp.cellKey()))
 		res, err := sp.execute()
+		if esp != nil {
+			esp.SetAttr(otrace.Bool("failed", err != nil))
+			esp.End()
+		}
 		if err != nil {
 			return lap.Result{}, err
 		}
@@ -283,7 +331,13 @@ func (s *Server) runCellRetry(ctx context.Context, sp *runSpec) (lap.Result, err
 	var computed bool
 	var err error
 	for attempt := 0; ; attempt++ {
-		res, computed, err = s.runCell(ctx, sp)
+		actx, asp := otrace.Start(ctx, "attempt",
+			otrace.Str("cell", sp.cellKey()), otrace.Int("n", int64(attempt)))
+		res, computed, err = s.runCell(actx, sp)
+		if asp != nil {
+			asp.SetAttr(otrace.Bool("computed", computed), otrace.Bool("failed", err != nil))
+			asp.End()
+		}
 		if attempt > 0 {
 			if err == nil {
 				s.met.retrySuccess.Inc()
@@ -365,13 +419,23 @@ func errKind(err error) string {
 }
 
 // handleHealthz reports liveness; 503 while draining so balancers pull
-// the instance before shutdown.
+// the instance before shutdown. The body carries the load-bearing
+// health signals — breaker position, queue occupancy against its bound,
+// in-flight runs — so an operator's first curl answers "is it sick, and
+// how" without a metrics scrape.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status, code := "ok", http.StatusOK
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-		return
+		status, code = "draining", http.StatusServiceUnavailable
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	bs := s.breaker.snapshot()
+	writeJSON(w, code, HealthzResponse{
+		Status:     status,
+		Breaker:    bs.state,
+		QueueDepth: s.queued.Load(),
+		QueueLimit: s.cfg.QueueDepth,
+		InFlight:   s.inflight.Load(),
+	})
 }
 
 // handleStats reports the memo counters, queue occupancy, and run
@@ -508,7 +572,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		tasks := make([]pool.Task, len(specs))
 		for i, sp := range specs {
 			sp := sp
-			tasks[i] = pool.Task{Key: sp.cellKey(), Do: func() error {
+			tasks[i] = pool.Task{Key: sp.cellKey(), Ctx: ctx, Do: func() error {
 				_, _, err := s.runCell(ctx, sp)
 				return err
 			}}

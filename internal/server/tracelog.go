@@ -1,0 +1,151 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	otrace "repro/internal/obs/trace"
+)
+
+// perRequestTraceEvents bounds one request's span ring. A request emits
+// a handful of spans per attempt (queue wait, memo, execute), so this is
+// generous headroom even for a large sweep.
+const perRequestTraceEvents = 4096
+
+// traceLog is the bounded in-memory store behind GET /v1/trace/{id}:
+// each traced request's exported Chrome trace-event JSON, keyed by
+// request ID, evicting oldest-first past the bound.
+type traceLog struct {
+	mu    sync.Mutex
+	max   int
+	byID  map[string]*list.Element
+	order *list.List // *traceEntry, newest at front
+}
+
+type traceEntry struct {
+	id   string
+	data []byte
+}
+
+func newTraceLog(max int) *traceLog {
+	return &traceLog{max: max, byID: map[string]*list.Element{}, order: list.New()}
+}
+
+func (l *traceLog) put(id string, data []byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.byID[id] = l.order.PushFront(&traceEntry{id: id, data: data})
+	for l.order.Len() > l.max {
+		back := l.order.Back()
+		delete(l.byID, back.Value.(*traceEntry).id)
+		l.order.Remove(back)
+	}
+}
+
+func (l *traceLog) get(id string) ([]byte, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	el, ok := l.byID[id]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*traceEntry).data, true
+}
+
+func (l *traceLog) count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.order.Len()
+}
+
+// instrument wraps the router with per-request tracing and structured
+// logging. Simulation requests (the POST endpoints) each get a private
+// small tracer whose root "request" span flows down through the handler
+// via the request context — queue waits, memo provenance, retry
+// attempts, and executions all record under it — and whose export lands
+// in the trace log for GET /v1/trace/{id} (and TraceDir, when set). The
+// response carries the request ID in X-Trace-Id, and the request log
+// line carries the same ID plus the root span's ID, so logs, traces,
+// and responses correlate. Read-only endpoints are logged but not
+// traced. With request tracing disabled and no logger, instrument adds
+// two nil checks per request.
+func (s *Server) instrument(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ctx := r.Context()
+		var tr *otrace.Tracer
+		var root *otrace.Span
+		var id string
+		if s.traces != nil && r.Method == http.MethodPost {
+			tr = otrace.New(perRequestTraceEvents)
+			id = fmt.Sprintf("req-%06d", s.reqSeq.Add(1))
+			ctx, root = tr.Root(ctx, "request",
+				otrace.Str("id", id),
+				otrace.Str("method", r.Method),
+				otrace.Str("path", r.URL.Path))
+			tr.NameTrack(otrace.PidWall, root.ID(), id)
+			w.Header().Set("X-Trace-Id", id)
+			r = r.WithContext(ctx)
+		}
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(rec, r)
+		if root != nil {
+			root.SetAttr(otrace.Int("status", int64(rec.status)))
+			root.End()
+			data := tr.ChromeJSON()
+			s.traces.put(id, data)
+			if s.cfg.TraceDir != "" {
+				// Best-effort: a full disk must not fail the request.
+				_ = os.WriteFile(filepath.Join(s.cfg.TraceDir, id+".json"), data, 0o644)
+			}
+		}
+		if s.cfg.Logger != nil {
+			attrs := []slog.Attr{
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", rec.status),
+				slog.Duration("duration", time.Since(start)),
+			}
+			if id != "" {
+				attrs = append(attrs,
+					slog.String("trace_id", id),
+					slog.Uint64("span_id", root.ID()))
+			}
+			s.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
+		}
+	})
+}
+
+// statusRecorder captures the response status for the request log and
+// the root span.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// handleTrace serves one traced request's Chrome trace-event JSON.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.traces == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "request tracing is disabled"})
+		return
+	}
+	id := r.PathValue("id")
+	data, ok := s.traces.get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "no trace for id " + id + " (evicted or never recorded)"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}

@@ -66,6 +66,12 @@ type machine struct {
 	mem   *dram.Memory
 	moesi *coherence.Directory
 
+	// Telemetry observation (nil on unobserved runs — the hot loop then
+	// pays one nil check per access). loopFills counts loop-classified
+	// fetches for the per-interval series.
+	tel       *telemetryState
+	loopFills uint64
+
 	// Warmup baselines, captured when the measurement window opens so
 	// that reported metrics cover only the post-warmup region.
 	warmupDone bool
@@ -87,11 +93,28 @@ type meterSnapshot struct {
 // and returns the collected metrics. It panics on configuration misuse
 // (wrong source count), since that is a programming error.
 func Run(cfg Config, ctrl core.Controller, srcs []trace.Source) Result {
+	return RunObserved(cfg, ctrl, srcs, nil)
+}
+
+// RunObserved is Run with an optional epoch/interval telemetry hook.
+// tel lives outside Config on purpose: Config stays comparable (memo
+// keys embed it by value), and a nil tel keeps the loop's cost at one
+// nil check per access.
+func RunObserved(cfg Config, ctrl core.Controller, srcs []trace.Source, tel *Telemetry) Result {
 	if len(srcs) != cfg.Cores {
 		panic(fmt.Sprintf("sim: %d sources for %d cores", len(srcs), cfg.Cores))
 	}
 	m := build(cfg, ctrl, srcs)
+	if tel != nil {
+		m.tel = &telemetryState{cfg: tel}
+	}
 	m.loop()
+	if m.tel != nil {
+		m.telFlush(true)
+		if tel.OnDone != nil {
+			tel.OnDone(m.maxCycles())
+		}
+	}
 	return m.result()
 }
 
@@ -199,6 +222,9 @@ func (m *machine) loop() {
 		}
 		m.step(next, acc)
 		next.nAcc++
+		if m.tel != nil {
+			m.telTick()
+		}
 		if !m.warmupDone && m.cfg.WarmupAccessesPerCore > 0 {
 			m.maybeEndWarmup()
 		}
@@ -239,6 +265,9 @@ func (m *machine) maybeEndWarmup() {
 	if m.ctx.Prof != nil {
 		// Redundancy statistics restart with the measurement window.
 		m.ctx.Prof = core.NewProfiler()
+	}
+	if m.tel != nil {
+		m.telWarmupEnd()
 	}
 }
 
@@ -372,6 +401,9 @@ func (m *machine) access(c *coreState, block uint64, write bool) uint64 {
 	// LLC via the inclusion controller.
 	m.ctx.Now = uint64(c.cycles)
 	r := m.ctrl.Fetch(m.ctx, block)
+	if r.Loop {
+		m.loopFills++
+	}
 	if !r.Hit && m.bus != nil {
 		m.bus.OnLLCMiss()
 	}
@@ -395,6 +427,9 @@ func (m *machine) prefetch(c *coreState, block uint64) {
 		}
 		m.ctx.Now = uint64(c.cycles)
 		r := m.ctrl.Fetch(m.ctx, pb)
+		if r.Loop {
+			m.loopFills++
+		}
 		if !r.Hit && m.bus != nil {
 			m.bus.OnLLCMiss()
 		}

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/energy"
+	otrace "repro/internal/obs/trace"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -53,6 +54,14 @@ type (
 	Source = trace.Source
 	// FieldError is a Config validation failure naming the bad field.
 	FieldError = sim.FieldError
+	// Telemetry is the per-interval observation hook for the Observed run
+	// variants; build one by hand or with TraceTelemetry.
+	Telemetry = sim.Telemetry
+	// Interval is one telemetry window's counters.
+	Interval = sim.Interval
+	// Tracer records spans and counters for the trace-event exporters
+	// (see internal/obs/trace); NewTracer constructs one.
+	Tracer = otrace.Tracer
 )
 
 // Policy names an inclusion property implemented by this library.
@@ -136,6 +145,12 @@ func NewController(p Policy, cfg Config) (core.Controller, error) {
 // Run simulates a multi-programmed mix (one member per core) under the
 // given policy for accesses references per core, seeded deterministically.
 func Run(cfg Config, p Policy, mix Mix, accesses, seed uint64) (Result, error) {
+	return RunObserved(cfg, p, mix, accesses, seed, nil)
+}
+
+// RunObserved is Run with an optional epoch/interval telemetry hook; a
+// nil tel is exactly Run.
+func RunObserved(cfg Config, p Policy, mix Mix, accesses, seed uint64, tel *Telemetry) (Result, error) {
 	ctrl, err := NewController(p, cfg)
 	if err != nil {
 		return Result{}, err
@@ -147,24 +162,34 @@ func Run(cfg Config, p Policy, mix Mix, accesses, seed uint64) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return sim.Run(cfg, ctrl, srcs), nil
+	return sim.RunObserved(cfg, ctrl, srcs, tel), nil
 }
 
 // RunThreaded simulates a multi-threaded benchmark (one thread per core,
 // shared address space, snooping coherence) under the given policy.
 func RunThreaded(cfg Config, p Policy, b Benchmark, accesses, seed uint64) (Result, error) {
+	return RunThreadedObserved(cfg, p, b, accesses, seed, nil)
+}
+
+// RunThreadedObserved is RunThreaded with an optional telemetry hook.
+func RunThreadedObserved(cfg Config, p Policy, b Benchmark, accesses, seed uint64, tel *Telemetry) (Result, error) {
 	ctrl, err := NewController(p, cfg)
 	if err != nil {
 		return Result{}, err
 	}
 	cfg.Coherent = true
 	srcs := sim.ThreadSources(b, cfg.Cores, accesses, seed)
-	return sim.Run(cfg, ctrl, srcs), nil
+	return sim.RunObserved(cfg, ctrl, srcs, tel), nil
 }
 
 // RunTraces simulates arbitrary per-core access streams (e.g. loaded from
 // trace files) under the given policy.
 func RunTraces(cfg Config, p Policy, srcs []Source) (Result, error) {
+	return RunTracesObserved(cfg, p, srcs, nil)
+}
+
+// RunTracesObserved is RunTraces with an optional telemetry hook.
+func RunTracesObserved(cfg Config, p Policy, srcs []Source, tel *Telemetry) (Result, error) {
 	ctrl, err := NewController(p, cfg)
 	if err != nil {
 		return Result{}, err
@@ -172,7 +197,20 @@ func RunTraces(cfg Config, p Policy, srcs []Source) (Result, error) {
 	if len(srcs) != cfg.Cores {
 		return Result{}, fmt.Errorf("lap: %d sources for %d cores", len(srcs), cfg.Cores)
 	}
-	return sim.Run(cfg, ctrl, srcs), nil
+	return sim.RunObserved(cfg, ctrl, srcs, tel), nil
+}
+
+// NewTracer returns an enabled span tracer whose ring holds at most
+// capacity events (<= 0 selects the default bound).
+func NewTracer(capacity int) *Tracer { return otrace.New(capacity) }
+
+// TraceTelemetry builds a Telemetry that renders a run as a
+// simulated-time timeline on tr: a "run" span on a track named name, a
+// nested "warmup" span, one "epoch" span per interval of the given
+// length (in accesses summed over cores), and per-interval counter
+// series. Nil — telemetry fully off — when tr is nil or disabled.
+func TraceTelemetry(tr *Tracer, name string, interval uint64) *Telemetry {
+	return sim.TraceTelemetry(tr, name, interval)
 }
 
 // SPEC returns the SPEC CPU2006 workload surrogates (Fig. 2/4/6).
