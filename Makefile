@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench chaos ci quick serve serve-smoke trace-smoke
+.PHONY: all build test race bench bench-json alloc-gate chaos ci quick serve serve-smoke trace-smoke
 
 all: build
 
@@ -22,6 +22,24 @@ race:
 bench:
 	$(GO) test -bench=BenchmarkFig14 -benchtime=1x -run '^$$' .
 
+# Capture the simulator benchmark suite into the committed BENCH_sim.json
+# snapshot (label "after" by default; override with LABEL=before to
+# record a baseline before starting a perf change).
+LABEL ?= after
+BENCH_SUITE = 'BenchmarkSim|BenchmarkCacheLookup|BenchmarkLoopAwareVictim|BenchmarkWorkloadGen|BenchmarkFig14$$|BenchmarkFig14Banks4'
+bench-json:
+	( $(GO) test -bench $(BENCH_SUITE) -benchmem -benchtime=1x -run '^$$' . && \
+	  $(GO) test -bench BenchmarkAccessAllocs -benchmem -benchtime=200000x -run '^$$' ./internal/sim ) \
+		| $(GO) run ./cmd/benchjson -label $(LABEL) -o BENCH_sim.json
+
+# The zero-alloc regression gate: the steady-state access path must not
+# allocate. TestAccessAllocsZero enforces it per controller; the grep on
+# BenchmarkAccessAllocs double-checks the reported allocs/op is exactly 0.
+alloc-gate:
+	$(GO) test -run TestAccessAllocsZero ./internal/sim
+	$(GO) test -bench BenchmarkAccessAllocs -benchmem -benchtime=100000x -run '^$$' ./internal/sim \
+		| grep -E 'BenchmarkAccessAllocs.*\s0 allocs/op'
+
 # Race-enabled failure-domain suite: fault injection, panic isolation,
 # typed corruption errors, retry/breaker/drain chaos scenarios.
 chaos:
@@ -32,7 +50,9 @@ ci:
 	$(GO) build ./...
 	$(GO) test -race -timeout 30m ./...
 	$(GO) test -race -timeout 10m -run 'Chaos|Fault|Corrupt' ./...
+	$(MAKE) alloc-gate
 	$(GO) test -bench=BenchmarkFig14 -benchtime=1x -run '^$$' .
+	$(MAKE) bench-json
 	$(GO) run ./cmd/lapserved -smoke
 	$(MAKE) trace-smoke
 

@@ -26,8 +26,15 @@ import (
 // benchArtifactJobs regenerates one paper artifact per iteration on the
 // given worker count (0 = GOMAXPROCS, 1 = serial).
 func benchArtifactJobs(b *testing.B, id string, jobs int) {
+	benchArtifactBanks(b, id, jobs, 0)
+}
+
+// benchArtifactBanks additionally sets the intra-run parallelism width
+// (sim.Config.Banks) of every simulation in the artifact.
+func benchArtifactBanks(b *testing.B, id string, jobs, banks int) {
 	opt := experiments.Quick()
 	opt.Jobs = jobs
+	opt.Banks = banks
 	gen, ok := experiments.Registry(opt)[id]
 	if !ok {
 		b.Fatalf("unknown artifact %q", id)
@@ -58,9 +65,12 @@ func BenchmarkFig13(b *testing.B)  { benchArtifact(b, "fig13") }
 func BenchmarkFig14(b *testing.B)  { benchArtifact(b, "fig14") }
 
 // The serial/parallel pair quantifies the scheduler's speedup on the
-// heaviest artifact (compare ns/op across the two).
+// heaviest artifact (compare ns/op across the two), and the Banks
+// variant the banked engine's intra-run speedup on top of serial
+// scheduling (one run at a time, four workers inside it).
 func BenchmarkFig14Serial(b *testing.B)   { benchArtifactJobs(b, "fig14", 1) }
 func BenchmarkFig14Parallel(b *testing.B) { benchArtifactJobs(b, "fig14", 0) }
+func BenchmarkFig14Banks4(b *testing.B)   { benchArtifactBanks(b, "fig14", 1, 4) }
 func BenchmarkFig15(b *testing.B)         { benchArtifact(b, "fig15") }
 func BenchmarkFig16(b *testing.B)         { benchArtifact(b, "fig16") }
 func BenchmarkFig17(b *testing.B)         { benchArtifact(b, "fig17") }
@@ -98,8 +108,11 @@ func BenchmarkMemoRecall(b *testing.B) {
 
 // benchPolicy measures end-to-end simulation speed (accesses/op) for one
 // policy on a loop-heavy mix.
-func benchPolicy(b *testing.B, p Policy) {
+func benchPolicy(b *testing.B, p Policy) { benchPolicyBanks(b, p, 0) }
+
+func benchPolicyBanks(b *testing.B, p Policy, banks int) {
 	cfg := DefaultConfig()
+	cfg.Banks = banks
 	if p == PolicyLhybrid {
 		cfg = cfg.WithHybridL3()
 	}
@@ -119,6 +132,7 @@ func BenchmarkSimExclusive(b *testing.B)    { benchPolicy(b, PolicyExclusive) }
 func BenchmarkSimFLEXclusion(b *testing.B)  { benchPolicy(b, PolicyFLEXclusion) }
 func BenchmarkSimDswitch(b *testing.B)      { benchPolicy(b, PolicyDswitch) }
 func BenchmarkSimLAP(b *testing.B)          { benchPolicy(b, PolicyLAP) }
+func BenchmarkSimLAPBanks4(b *testing.B)    { benchPolicyBanks(b, PolicyLAP, 4) }
 func BenchmarkSimLhybrid(b *testing.B)      { benchPolicy(b, PolicyLhybrid) }
 
 // BenchmarkCacheLookup measures the raw set-associative lookup path.

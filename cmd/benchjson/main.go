@@ -1,0 +1,133 @@
+// Command benchjson converts `go test -bench` output into a committed
+// JSON snapshot, so benchmark history rides along with the code it
+// measures.
+//
+// It reads benchmark output on stdin and upserts one labelled snapshot
+// into a JSON file:
+//
+//	go test -bench=. -benchmem -run '^$' ./... | benchjson -label after -o BENCH_sim.json
+//
+// The file maps label -> benchmark name -> {ns_per_op, bytes_per_op,
+// allocs_per_op}. Re-running with an existing label replaces that
+// snapshot and leaves the others untouched, so a "before" capture
+// survives the "after" update and the diff is reviewable in the PR.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one benchmark's measured cost.
+type Benchmark struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Snapshot is one labelled capture of the benchmark suite.
+type Snapshot map[string]Benchmark
+
+// parseBench extracts benchmark lines from `go test -bench` output.
+// A benchmark line looks like:
+//
+//	BenchmarkAccessAllocs-8   200000   150.6 ns/op   0 B/op   0 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped so snapshots captured on
+// different machines share names.
+func parseBench(r io.Reader) (Snapshot, error) {
+	snap := Snapshot{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		var b Benchmark
+		seen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsPerOp, seen = v, true
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			}
+		}
+		if seen {
+			snap[name] = b
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(snap) == 0 {
+		return nil, errors.New("no benchmark lines found on stdin")
+	}
+	return snap, nil
+}
+
+func run(label, out string, in io.Reader) error {
+	snap, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	all := map[string]Snapshot{}
+	if raw, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(raw, &all); err != nil {
+			return fmt.Errorf("existing %s is not a benchjson file: %w", out, err)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	all[label] = snap
+
+	buf, err := json.MarshalIndent(all, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(os.Stderr, "benchjson: %s[%q] <- %d benchmarks\n", out, label, len(snap))
+	for _, n := range names {
+		b := snap[n]
+		fmt.Fprintf(os.Stderr, "  %-40s %14.1f ns/op %8.0f allocs/op\n", n, b.NsPerOp, b.AllocsPerOp)
+	}
+	return nil
+}
+
+func main() {
+	label := flag.String("label", "after", "snapshot label to write (replaces an existing snapshot with the same label)")
+	out := flag.String("o", "BENCH_sim.json", "snapshot file to update")
+	flag.Parse()
+	if err := run(*label, *out, os.Stdin); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

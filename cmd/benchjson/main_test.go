@@ -1,0 +1,75 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkSimLAP-8     	       1	219220926 ns/op	 1.82 MB/s	  276472 B/op	     149 allocs/op
+BenchmarkAccessAllocs 	  200000	       150.6 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro	26.603s
+`
+
+func TestParseBench(t *testing.T) {
+	snap, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The -8 GOMAXPROCS suffix must be stripped; the suffix-less name
+	// passes through unchanged.
+	lap, ok := snap["BenchmarkSimLAP"]
+	if !ok {
+		t.Fatalf("BenchmarkSimLAP missing (got %v)", snap)
+	}
+	if lap.NsPerOp != 219220926 || lap.AllocsPerOp != 149 || lap.BytesPerOp != 276472 {
+		t.Fatalf("BenchmarkSimLAP parsed as %+v", lap)
+	}
+	al, ok := snap["BenchmarkAccessAllocs"]
+	if !ok || al.NsPerOp != 150.6 || al.AllocsPerOp != 0 {
+		t.Fatalf("BenchmarkAccessAllocs parsed as %+v (ok=%v)", al, ok)
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("PASS\nok repro 1s\n")); err == nil {
+		t.Fatal("want error on output without benchmark lines")
+	}
+}
+
+// TestRunUpsert checks the label-upsert contract: writing a second label
+// keeps the first, rewriting a label replaces only that snapshot.
+func TestRunUpsert(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run("before", out, strings.NewReader(sample)); err != nil {
+		t.Fatal(err)
+	}
+	after := strings.ReplaceAll(sample, "219220926", "100000000")
+	if err := run("after", out, strings.NewReader(after)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all map[string]Snapshot
+	if err := json.Unmarshal(raw, &all); err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("want 2 snapshots, got %d", len(all))
+	}
+	if all["before"]["BenchmarkSimLAP"].NsPerOp != 219220926 {
+		t.Fatalf("before snapshot mutated: %+v", all["before"]["BenchmarkSimLAP"])
+	}
+	if all["after"]["BenchmarkSimLAP"].NsPerOp != 100000000 {
+		t.Fatalf("after snapshot wrong: %+v", all["after"]["BenchmarkSimLAP"])
+	}
+}

@@ -298,6 +298,8 @@ func smokeMetrics(c *http.Client, base string) error {
 		"lapserved_retry_attempts_total":      "counter",
 		"lapserved_run_duration_seconds":      "histogram",
 		"lapserved_queue_wait_seconds":        "histogram",
+		"lapsim_accesses_per_second":          "gauge",
+		"lapsim_bank_ops_total":               "counter",
 	} {
 		if got := exp.types[series]; got != typ {
 			return fmt.Errorf("family %s: type %q, want %q", series, got, typ)
@@ -333,6 +335,14 @@ func smokeMetrics(c *http.Client, base string) error {
 	// different series from run duration.
 	if got := exp.samples["lapserved_queue_wait_seconds_count"]; got < 1 {
 		return fmt.Errorf("queue wait count = %v, want >= 1", got)
+	}
+	// The computed run must have fed the simulator-throughput series: a
+	// positive access rate and one bank-ops sample per LLC timing bank.
+	if got := exp.samples["lapsim_accesses_per_second"]; got <= 0 {
+		return fmt.Errorf("accesses per second = %v, want > 0", got)
+	}
+	if got, want := exp.samples[`lapsim_bank_ops_total{bank="0"}`], 0.0; got <= want {
+		return fmt.Errorf("bank 0 ops = %v, want > 0", got)
 	}
 	fmt.Printf("lapserved: smoke metrics OK (%d series, computed/recalled split verified)\n", len(exp.samples))
 	return nil

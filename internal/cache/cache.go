@@ -7,13 +7,27 @@
 // Addresses handled by this package are block numbers (byte address
 // divided by the block size); the hierarchy layer performs the shift once
 // at its edge.
+//
+// The backing store uses a split layout tuned for the probe-dominated
+// access pattern of the simulator hot loop: a packed per-set tag array and
+// valid bitmask are scanned on every probe, while the cold per-line
+// metadata (dirty/loop/shared bits, RRPV) lives in a separate Line array
+// touched only on hits and evictions. Recency is a compact per-set LRU
+// ordering (one byte per way), so a touch is a byte shuffle instead of a
+// global-counter stamp write.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Line is one cache block's metadata. The simulator is trace-driven, so no
 // data payload is stored; Tag holds the full block number, which both
 // identifies the block and lets a line be re-expanded to its address.
+// Tag and Valid are mirrored into the cache's packed probe arrays and must
+// only change through InsertAt/Evict/Invalidate/Reset; the remaining
+// fields are free to mutate through Line pointers.
 type Line struct {
 	// Tag is the block number stored in this line.
 	Tag uint64
@@ -28,8 +42,6 @@ type Line struct {
 	// Shared marks lines known to be replicated in a peer core's private
 	// cache; used by the coherence model to trigger write invalidations.
 	Shared bool
-	// stamp is the recency timestamp; larger is more recent.
-	stamp uint64
 	// rrpv is the 2-bit re-reference prediction value (RRIP replacement).
 	rrpv uint8
 }
@@ -41,7 +53,7 @@ type Config struct {
 	// SizeBytes is the total capacity. Must be a power-of-two multiple of
 	// Ways*BlockBytes.
 	SizeBytes int
-	// Ways is the associativity.
+	// Ways is the associativity (at most 64).
 	Ways int
 	// BlockBytes is the cache-block size (64 in the paper).
 	BlockBytes int
@@ -63,8 +75,18 @@ type Cache struct {
 	numSets int
 	setMask uint64
 	ways    int
-	lines   []Line
-	clock   uint64
+	// tags is the packed per-set tag array: tags[set*ways+way] is the
+	// block number when the corresponding valid bit is set.
+	tags []uint64
+	// valid holds one bitmask word per set; bit w is way w's valid bit.
+	valid []uint64
+	// order holds the per-set recency ordering: order[set*ways+k] is the
+	// way at recency rank k, rank 0 being LRU and ways-1 being MRU.
+	order []uint8
+	// lines is the cold metadata store, indexed like tags.
+	lines []Line
+	// fills is the running count of valid lines (see FillCount).
+	fills int
 
 	// Hits and Misses count Lookup outcomes.
 	Hits, Misses uint64
@@ -75,6 +97,9 @@ type Cache struct {
 func New(cfg Config) *Cache {
 	if cfg.BlockBytes <= 0 || cfg.Ways <= 0 || cfg.SizeBytes <= 0 {
 		panic(fmt.Sprintf("cache %q: non-positive geometry: %+v", cfg.Name, cfg))
+	}
+	if cfg.Ways > 64 {
+		panic(fmt.Sprintf("cache %q: %d ways exceeds the 64-way limit", cfg.Name, cfg.Ways))
 	}
 	blocks := cfg.SizeBytes / cfg.BlockBytes
 	if blocks%cfg.Ways != 0 {
@@ -87,12 +112,27 @@ func New(cfg Config) *Cache {
 	if cfg.SRAMWays < 0 || cfg.SRAMWays > cfg.Ways {
 		panic(fmt.Sprintf("cache %q: SRAMWays %d out of range", cfg.Name, cfg.SRAMWays))
 	}
-	return &Cache{
+	c := &Cache{
 		cfg:     cfg,
 		numSets: sets,
 		setMask: uint64(sets - 1),
 		ways:    cfg.Ways,
+		tags:    make([]uint64, sets*cfg.Ways),
+		valid:   make([]uint64, sets),
+		order:   make([]uint8, sets*cfg.Ways),
 		lines:   make([]Line, sets*cfg.Ways),
+	}
+	c.resetOrder()
+	return c
+}
+
+// resetOrder restores the identity recency ordering in every set.
+func (c *Cache) resetOrder() {
+	for s := 0; s < c.numSets; s++ {
+		base := s * c.ways
+		for w := 0; w < c.ways; w++ {
+			c.order[base+w] = uint8(w)
+		}
 	}
 }
 
@@ -118,92 +158,149 @@ func (c *Cache) IsSRAMWay(way int) bool { return way < c.cfg.SRAMWays }
 // SRAMWays returns the number of SRAM ways per set (0 for single-tech).
 func (c *Cache) SRAMWays() int { return c.cfg.SRAMWays }
 
-// tick advances and returns the recency clock.
-func (c *Cache) tick() uint64 {
-	c.clock++
-	return c.clock
-}
-
-// Probe looks a block up without touching recency or hit/miss counters.
-// It returns the way index, or -1 if the block is absent.
-func (c *Cache) Probe(block uint64) int {
-	set := c.SetOf(block)
+// probeIn scans the packed tag array of one set for block, returning the
+// way index or -1. The cold Line array is not touched.
+func (c *Cache) probeIn(set int, block uint64) int {
 	base := set * c.ways
-	for w := 0; w < c.ways; w++ {
-		if l := &c.lines[base+w]; l.Valid && l.Tag == block {
+	tags := c.tags[base : base+c.ways]
+	vm := c.valid[set]
+	for w, t := range tags {
+		if t == block && vm&(1<<uint(w)) != 0 {
 			return w
 		}
 	}
 	return -1
 }
 
+// Probe looks a block up without touching recency or hit/miss counters.
+// It returns the way index, or -1 if the block is absent.
+func (c *Cache) Probe(block uint64) int {
+	return c.probeIn(int(block&c.setMask), block)
+}
+
 // Lookup probes for a block and, on a hit, promotes it to MRU. It updates
 // the Hits/Misses counters and returns the way index or -1.
 func (c *Cache) Lookup(block uint64) int {
-	w := c.Probe(block)
+	set := int(block & c.setMask)
+	w := c.probeIn(set, block)
 	if w < 0 {
 		c.Misses++
 		return -1
 	}
 	c.Hits++
-	c.Touch(c.SetOf(block), w)
+	c.touchIn(set, w)
 	return w
 }
 
-// Touch promotes the line at (set, way): its recency stamp becomes MRU
-// and, under RRIP, its re-reference prediction becomes immediate.
-func (c *Cache) Touch(set, way int) {
-	l := &c.lines[set*c.ways+way]
-	l.stamp = c.tick()
-	c.touchRepl(l)
+// touchIn moves (set, way) to the MRU rank of its set's recency ordering.
+func (c *Cache) touchIn(set, way int) {
+	base := set * c.ways
+	ord := c.order[base : base+c.ways]
+	w := uint8(way)
+	last := c.ways - 1
+	if ord[last] != w {
+		for i, v := range ord {
+			if v == w {
+				copy(ord[i:], ord[i+1:])
+				ord[last] = w
+				break
+			}
+		}
+	}
+	if c.cfg.Replacement == ReplRRIP {
+		c.lines[base+way].rrpv = rrpvPromote
+	}
 }
 
-// Stamp returns the recency timestamp of a line; exported for the victim
-// selectors in this package and for tests.
-func (c *Cache) Stamp(set, way int) uint64 { return c.lines[set*c.ways+way].stamp }
+// Touch promotes the line at (set, way): its recency rank becomes MRU
+// and, under RRIP, its re-reference prediction becomes immediate.
+func (c *Cache) Touch(set, way int) { c.touchIn(set, way) }
+
+// Stamp returns the recency rank of (set, way): 0 is the set's LRU
+// position, Ways()-1 its MRU. Exported for tests, which compare ranks of
+// valid lines relatively; invalid lines' ranks are unspecified.
+func (c *Cache) Stamp(set, way int) uint64 {
+	base := set * c.ways
+	for i := 0; i < c.ways; i++ {
+		if int(c.order[base+i]) == way {
+			return uint64(i)
+		}
+	}
+	panic("cache: way missing from recency ordering")
+}
 
 // InsertAt places a block into (set, way), overwriting whatever was there,
 // and promotes it to MRU. The caller is responsible for having evicted the
 // previous occupant (see Evict).
 func (c *Cache) InsertAt(set, way int, block uint64, dirty, loop bool) {
-	l := &c.lines[set*c.ways+way]
-	*l = Line{Tag: block, Valid: true, Dirty: dirty, Loop: loop, stamp: c.tick()}
-	c.insertRepl(l)
+	idx := set*c.ways + way
+	if bit := uint64(1) << uint(way); c.valid[set]&bit == 0 {
+		c.valid[set] |= bit
+		c.fills++
+	}
+	c.tags[idx] = block
+	l := &c.lines[idx]
+	*l = Line{Tag: block, Valid: true, Dirty: dirty, Loop: loop}
+	c.touchIn(set, way)
+	if c.cfg.Replacement == ReplRRIP {
+		l.rrpv = rrpvInsert
+	}
 }
 
 // Evict invalidates (set, way) and returns the previous contents. The
 // second result is false if the line was already invalid.
 func (c *Cache) Evict(set, way int) (Line, bool) {
-	l := &c.lines[set*c.ways+way]
+	idx := set*c.ways + way
+	l := &c.lines[idx]
 	old := *l
 	*l = Line{}
+	c.tags[idx] = 0
+	if bit := uint64(1) << uint(way); c.valid[set]&bit != 0 {
+		c.valid[set] &^= bit
+		c.fills--
+	}
 	return old, old.Valid
 }
 
 // Invalidate removes a block if present, returning the line it occupied.
 func (c *Cache) Invalidate(block uint64) (Line, bool) {
-	w := c.Probe(block)
+	set := int(block & c.setMask)
+	w := c.probeIn(set, block)
 	if w < 0 {
 		return Line{}, false
 	}
-	return c.Evict(c.SetOf(block), w)
+	return c.Evict(set, w)
 }
 
-// FillCount returns the number of valid lines (for occupancy tests).
-func (c *Cache) FillCount() int {
-	n := 0
-	for i := range c.lines {
-		if c.lines[i].Valid {
-			n++
-		}
-	}
-	return n
-}
+// FillCount returns the number of valid lines. It is a running counter,
+// not a scan, so telemetry paths can call it per interval.
+func (c *Cache) FillCount() int { return c.fills }
 
 // Reset invalidates every line and clears counters, preserving geometry.
 func (c *Cache) Reset() {
 	for i := range c.lines {
 		c.lines[i] = Line{}
 	}
-	c.clock, c.Hits, c.Misses = 0, 0, 0
+	for i := range c.tags {
+		c.tags[i] = 0
+	}
+	for i := range c.valid {
+		c.valid[i] = 0
+	}
+	c.resetOrder()
+	c.fills, c.Hits, c.Misses = 0, 0, 0
+}
+
+// rangeMask returns the bitmask selecting ways [lo, hi).
+func rangeMask(lo, hi int) uint64 {
+	m := ^uint64(0) >> uint(64-(hi-lo))
+	return m << uint(lo)
+}
+
+// invalidIn returns the lowest invalid way in [lo, hi), or -1.
+func (c *Cache) invalidIn(set, lo, hi int) int {
+	if inv := ^c.valid[set] & rangeMask(lo, hi); inv != 0 {
+		return bits.TrailingZeros64(inv)
+	}
+	return -1
 }

@@ -1,0 +1,79 @@
+package cache
+
+// MSHR models a bounded table of Miss Status Holding Registers in front
+// of main memory: one entry per outstanding LLC miss, keyed by block
+// number and holding the cycle the fill completes. A second miss to a
+// block already in flight merges with the existing entry — it waits for
+// the outstanding fill instead of issuing a redundant memory read — and
+// a miss arriving with every register busy stalls until the earliest
+// outstanding fill retires and frees its entry.
+//
+// The table is optional and off by default (Config.MSHREntries = 0), in
+// which case every miss issues its own memory read exactly as before.
+type MSHR struct {
+	blocks  []uint64
+	readyAt []uint64
+	// pending is the slot claimed by the last Reserve, filled by Fill.
+	pending int
+}
+
+// NewMSHR returns a table with n registers; n must be positive.
+func NewMSHR(n int) *MSHR {
+	if n <= 0 {
+		panic("cache: MSHR entry count must be positive")
+	}
+	return &MSHR{
+		blocks:  make([]uint64, n),
+		readyAt: make([]uint64, n),
+		pending: -1,
+	}
+}
+
+// Entries returns the table's register count.
+func (t *MSHR) Entries() int { return len(t.blocks) }
+
+// Merge reports whether block already has an outstanding fill at cycle
+// now. On a merge it returns the remaining wait until that fill
+// completes; the caller must not issue a new memory read.
+func (t *MSHR) Merge(block, now uint64) (wait uint64, ok bool) {
+	for i, b := range t.blocks {
+		if b == block && t.readyAt[i] > now {
+			return t.readyAt[i] - now, true
+		}
+	}
+	return 0, false
+}
+
+// Reserve claims a register for a new miss at cycle now. It returns the
+// issue delay: zero when a free or retired register exists, otherwise the
+// wait until the earliest outstanding fill retires (stalled is then
+// true). Fill must be called next with the fill's completion cycle.
+func (t *MSHR) Reserve(now uint64) (delay uint64, stalled bool) {
+	earliest, slot := ^uint64(0), -1
+	for i, r := range t.readyAt {
+		if r <= now {
+			t.pending = i
+			return 0, false
+		}
+		if r < earliest {
+			earliest, slot = r, i
+		}
+	}
+	t.pending = slot
+	return earliest - now, true
+}
+
+// Fill records the reserved register's block and completion cycle.
+func (t *MSHR) Fill(block, readyAt uint64) {
+	t.blocks[t.pending] = block
+	t.readyAt[t.pending] = readyAt
+}
+
+// Reset retires every outstanding entry.
+func (t *MSHR) Reset() {
+	for i := range t.blocks {
+		t.blocks[i] = 0
+		t.readyAt[i] = 0
+	}
+	t.pending = -1
+}

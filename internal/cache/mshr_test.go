@@ -1,0 +1,81 @@
+package cache
+
+import "testing"
+
+func TestMSHRMergeInFlight(t *testing.T) {
+	m := NewMSHR(2)
+	if m.Entries() != 2 {
+		t.Fatalf("Entries = %d, want 2", m.Entries())
+	}
+	// No miss in flight: nothing to merge, reserve is free.
+	if _, ok := m.Merge(0x100, 10); ok {
+		t.Fatal("merged against an empty table")
+	}
+	delay, stalled := m.Reserve(10)
+	if delay != 0 || stalled {
+		t.Fatalf("empty-table Reserve = (%d, %v), want (0, false)", delay, stalled)
+	}
+	m.Fill(0x100, 110)
+
+	// A second miss on the same block while the fill is outstanding
+	// merges and waits exactly until the fill lands.
+	wait, ok := m.Merge(0x100, 30)
+	if !ok || wait != 80 {
+		t.Fatalf("Merge = (%d, %v), want (80, true)", wait, ok)
+	}
+	// After the fill lands the entry is retired: no merge.
+	if _, ok := m.Merge(0x100, 110); ok {
+		t.Fatal("merged against a retired entry")
+	}
+}
+
+func TestMSHRReserveStalls(t *testing.T) {
+	m := NewMSHR(2)
+	for i, ready := range []uint64{50, 90} {
+		if delay, stalled := m.Reserve(0); delay != 0 || stalled {
+			t.Fatalf("Reserve %d stalled on a free table", i)
+		}
+		m.Fill(uint64(0x200+i), ready)
+	}
+	// Table full: the third miss stalls until the earliest fill (50).
+	delay, stalled := m.Reserve(20)
+	if !stalled || delay != 30 {
+		t.Fatalf("full-table Reserve = (%d, %v), want (30, true)", delay, stalled)
+	}
+	m.Fill(0x300, 80)
+	// Slots now hold fills landing at 80 and 90 — both outstanding at
+	// time 60, so the next reserve stalls until the earlier one (80).
+	delay, stalled = m.Reserve(60)
+	if !stalled || delay != 20 {
+		t.Fatalf("Reserve at 60 = (%d, %v), want (20, true)", delay, stalled)
+	}
+	m.Fill(0x400, 100)
+	// At 95 the 0x201@90 slot has retired: free reservation.
+	if delay, stalled = m.Reserve(95); delay != 0 || stalled {
+		t.Fatalf("Reserve at 95 = (%d, %v), want (0, false)", delay, stalled)
+	}
+}
+
+func TestMSHRReset(t *testing.T) {
+	m := NewMSHR(1)
+	if _, stalled := m.Reserve(0); stalled {
+		t.Fatal("fresh table stalled")
+	}
+	m.Fill(0x1, 100)
+	m.Reset()
+	if _, ok := m.Merge(0x1, 10); ok {
+		t.Fatal("merge hit after Reset")
+	}
+	if delay, stalled := m.Reserve(10); delay != 0 || stalled {
+		t.Fatal("Reserve stalled after Reset")
+	}
+}
+
+func TestMSHRPanicsOnZeroEntries(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMSHR(0) did not panic")
+		}
+	}()
+	NewMSHR(0)
+}

@@ -20,7 +20,9 @@ const (
 type Replacement int
 
 // Replacement families. ReplLRU is the paper's default; ReplRRIP is the
-// SRRIP alternative called out in Section IV.
+// SRRIP alternative called out in Section IV. LRU recency orderings are
+// always maintained (the hybrid LLC's MRU migration scan needs them);
+// RRIP additionally tracks per-line RRPVs.
 const (
 	ReplLRU Replacement = iota
 	ReplRRIP
@@ -34,22 +36,6 @@ func (r Replacement) String() string {
 	return "LRU"
 }
 
-// touchRepl applies the replacement family's promotion on a hit. LRU
-// recency stamps are always maintained (the hybrid LLC's MRU migration
-// scan needs them); RRIP additionally resets the line's RRPV.
-func (c *Cache) touchRepl(l *Line) {
-	if c.cfg.Replacement == ReplRRIP {
-		l.rrpv = rrpvPromote
-	}
-}
-
-// insertRepl applies the family's insertion prediction.
-func (c *Cache) insertRepl(l *Line) {
-	if c.cfg.Replacement == ReplRRIP {
-		l.rrpv = rrpvInsert
-	}
-}
-
 // rripVictimIn returns the SRRIP victim in [lo, hi): an invalid way if
 // any, else the first way at the maximum RRPV, ageing the range until one
 // exists.
@@ -58,13 +44,13 @@ func (c *Cache) rripVictimIn(set, lo, hi int) int {
 		panic("cache: empty victim range")
 	}
 	base := set * c.ways
+	vm := c.valid[set]
 	for {
 		for w := lo; w < hi; w++ {
-			l := &c.lines[base+w]
-			if !l.Valid {
+			if vm&(1<<uint(w)) == 0 {
 				return w
 			}
-			if l.rrpv >= rrpvMax {
+			if c.lines[base+w].rrpv >= rrpvMax {
 				return w
 			}
 		}
@@ -84,11 +70,12 @@ func (c *Cache) rripLoopAwareVictimIn(set, lo, hi int) int {
 		panic("cache: empty victim range")
 	}
 	base := set * c.ways
+	vm := c.valid[set]
 	for {
 		bestLoop := -1
 		for w := lo; w < hi; w++ {
 			l := &c.lines[base+w]
-			if !l.Valid {
+			if vm&(1<<uint(w)) == 0 {
 				return w
 			}
 			if l.rrpv >= rrpvMax {

@@ -5,6 +5,9 @@ package cache
 // LRU non-loop-block, and only as a last resort the LRU loop-block. The
 // baseline is plain LRU. Both are provided as range-restricted primitives
 // so the hybrid LLC can apply them within its SRAM or STT-RAM way regions.
+//
+// Selectors consult the valid bitmask and the per-set recency ordering;
+// only the loop-aware variants read the cold Line metadata.
 
 // VictimIn returns the victim way in [lo, hi) of the given set using plain
 // LRU: an invalid way if one exists, otherwise the least recently used.
@@ -13,18 +16,16 @@ func (c *Cache) VictimIn(set, lo, hi int) int {
 	if lo >= hi {
 		panic("cache: empty victim range")
 	}
+	if w := c.invalidIn(set, lo, hi); w >= 0 {
+		return w
+	}
 	base := set * c.ways
-	best, bestStamp := -1, ^uint64(0)
-	for w := lo; w < hi; w++ {
-		l := &c.lines[base+w]
-		if !l.Valid {
-			return w
-		}
-		if l.stamp < bestStamp {
-			best, bestStamp = w, l.stamp
+	for _, w := range c.order[base : base+c.ways] {
+		if int(w) >= lo && int(w) < hi {
+			return int(w)
 		}
 	}
-	return best
+	panic("cache: victim range missing from recency ordering")
 }
 
 // LoopAwareVictimIn returns the victim way in [lo, hi) using the paper's
@@ -33,26 +34,23 @@ func (c *Cache) LoopAwareVictimIn(set, lo, hi int) int {
 	if lo >= hi {
 		panic("cache: empty victim range")
 	}
+	if w := c.invalidIn(set, lo, hi); w >= 0 {
+		return w
+	}
 	base := set * c.ways
-	bestNonLoop, bestNonLoopStamp := -1, ^uint64(0)
-	bestLoop, bestLoopStamp := -1, ^uint64(0)
-	for w := lo; w < hi; w++ {
-		l := &c.lines[base+w]
-		if !l.Valid {
-			return w
+	lruLoop := -1
+	for _, w := range c.order[base : base+c.ways] {
+		if int(w) < lo || int(w) >= hi {
+			continue
 		}
-		if l.Loop {
-			if l.stamp < bestLoopStamp {
-				bestLoop, bestLoopStamp = w, l.stamp
-			}
-		} else if l.stamp < bestNonLoopStamp {
-			bestNonLoop, bestNonLoopStamp = w, l.stamp
+		if !c.lines[base+int(w)].Loop {
+			return int(w)
+		}
+		if lruLoop < 0 {
+			lruLoop = int(w)
 		}
 	}
-	if bestNonLoop >= 0 {
-		return bestNonLoop
-	}
-	return bestLoop
+	return lruLoop
 }
 
 // LRUVictim returns the plain-LRU victim across all ways of a set.
@@ -66,28 +64,20 @@ func (c *Cache) LoopAwareVictim(set int) int { return c.LoopAwareVictimIn(set, 0
 // MRU loop-block to migrate from SRAM to STT-RAM (Fig. 11b).
 func (c *Cache) MRUWhere(set, lo, hi int, pred func(*Line) bool) int {
 	base := set * c.ways
-	best := -1
-	var bestStamp uint64
-	for w := lo; w < hi; w++ {
-		l := &c.lines[base+w]
-		if !l.Valid || !pred(l) {
+	vm := c.valid[set]
+	ord := c.order[base : base+c.ways]
+	for i := c.ways - 1; i >= 0; i-- {
+		w := int(ord[i])
+		if w < lo || w >= hi || vm&(1<<uint(w)) == 0 {
 			continue
 		}
-		if best < 0 || l.stamp > bestStamp {
-			best, bestStamp = w, l.stamp
-		}
-	}
-	return best
-}
-
-// InvalidWayIn returns an invalid way in [lo, hi), or -1 if the range is
-// fully occupied.
-func (c *Cache) InvalidWayIn(set, lo, hi int) int {
-	base := set * c.ways
-	for w := lo; w < hi; w++ {
-		if !c.lines[base+w].Valid {
+		if pred(&c.lines[base+w]) {
 			return w
 		}
 	}
 	return -1
 }
+
+// InvalidWayIn returns an invalid way in [lo, hi), or -1 if the range is
+// fully occupied.
+func (c *Cache) InvalidWayIn(set, lo, hi int) int { return c.invalidIn(set, lo, hi) }

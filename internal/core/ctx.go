@@ -11,6 +11,7 @@ import (
 // long-latency writes can *improve* performance.
 type Banks struct {
 	next []uint64
+	ops  []uint64
 	mask uint64
 }
 
@@ -19,7 +20,7 @@ func NewBanks(n int) *Banks {
 	if n <= 0 || n&(n-1) != 0 {
 		panic("core: bank count must be a positive power of two")
 	}
-	return &Banks{next: make([]uint64, n), mask: uint64(n - 1)}
+	return &Banks{next: make([]uint64, n), ops: make([]uint64, n), mask: uint64(n - 1)}
 }
 
 // BankOf maps a set index to its bank.
@@ -31,6 +32,7 @@ func (b *Banks) BankOf(set int) int { return int(uint64(set) & b.mask) }
 // internally sub-banked, so occ is typically a fraction of lat.
 func (b *Banks) Access(set int, now, occ, lat uint64) uint64 {
 	bank := b.BankOf(set)
+	b.ops[bank]++
 	start := now
 	if b.next[bank] > start {
 		start = b.next[bank]
@@ -38,6 +40,10 @@ func (b *Banks) Access(set int, now, occ, lat uint64) uint64 {
 	b.next[bank] = start + occ
 	return start - now + lat
 }
+
+// Ops returns the per-bank access counts accumulated so far (the bank
+// utilization profile exported through Result.BankOps and /metrics).
+func (b *Banks) Ops() []uint64 { return b.ops }
 
 // Ctx is the environment a Controller operates in: the LLC itself, the
 // energy meter, metrics, optional profiler, the bank timing model, and
@@ -68,6 +74,10 @@ type Ctx struct {
 	// row-buffer model in internal/dram); it receives the block number,
 	// the current cycle, and whether the access is a write.
 	MemAccess func(block, now uint64, write bool) uint64
+	// MSHR, when non-nil, bounds outstanding LLC misses: concurrent
+	// misses to the same block merge with the in-flight fill, and a full
+	// table stalls new misses (Config.MSHREntries).
+	MSHR *cache.MSHR
 	// Now is the requesting core's current cycle.
 	Now uint64
 	// BackInvalidate, set by the simulator, removes the block from every
@@ -116,8 +126,29 @@ func (x *Ctx) dataWrite(set, way int) uint64 {
 	return x.Banks.Access(set, x.Now, x.occ(x.WriteOcc[r], x.WriteCyc[r]), x.WriteCyc[r])
 }
 
-// memRead fetches a block from main memory, returning its latency.
+// memRead fetches a block from main memory, returning its latency. With
+// an MSHR attached, a miss to a block already in flight merges with the
+// outstanding fill (no new memory read), and a full table delays the
+// issue until the earliest outstanding fill retires.
 func (x *Ctx) memRead(block uint64) uint64 {
+	if t := x.MSHR; t != nil {
+		if wait, ok := t.Merge(block, x.Now); ok {
+			x.Met.MSHRMerges++
+			return wait
+		}
+		delay, stalled := t.Reserve(x.Now)
+		if stalled {
+			x.Met.MSHRStalls++
+		}
+		issue := x.Now + delay
+		x.Met.MemReads++
+		lat := x.MemCycles
+		if x.MemAccess != nil {
+			lat = x.MemAccess(block, issue, false)
+		}
+		t.Fill(block, issue+lat)
+		return delay + lat
+	}
 	x.Met.MemReads++
 	if x.MemAccess != nil {
 		return x.MemAccess(block, x.Now, false)

@@ -79,9 +79,49 @@ type Metrics struct {
 	// around the LLC (DeadWriteBypass).
 	BypassedWrites uint64
 
+	// MSHRMerges counts LLC misses that merged with an outstanding fill
+	// of the same block instead of issuing a redundant memory read;
+	// MSHRStalls counts misses that waited for a free miss register.
+	// Both are zero unless Config.MSHREntries is set.
+	MSHRMerges uint64
+	MSHRStalls uint64
+
 	// Instructions and Cycles summarise the run.
 	Instructions uint64
 	Cycles       uint64
+}
+
+// Add accumulates o's counts into m. The banked simulator uses it to fold
+// per-core counter shards back into the run's metrics; all counters are
+// event counts, so addition is exact regardless of interleaving.
+func (m *Metrics) Add(o *Metrics) {
+	m.L3Accesses += o.L3Accesses
+	m.L3Hits += o.L3Hits
+	m.L3Misses += o.L3Misses
+	m.WritesFill += o.WritesFill
+	m.WritesDirty += o.WritesDirty
+	m.WritesClean += o.WritesClean
+	m.MigrationWrites += o.MigrationWrites
+	m.TagOnlyUpdates += o.TagOnlyUpdates
+	m.L3Evictions += o.L3Evictions
+	m.L3DirtyEvictions += o.L3DirtyEvictions
+	m.MemReads += o.MemReads
+	m.MemWrites += o.MemWrites
+	m.BackInvalidations += o.BackInvalidations
+	m.L1Accesses += o.L1Accesses
+	m.L1Misses += o.L1Misses
+	m.L2Accesses += o.L2Accesses
+	m.L2Misses += o.L2Misses
+	m.L2Evictions += o.L2Evictions
+	m.L2CleanEvictions += o.L2CleanEvictions
+	m.L2DirtyEvictions += o.L2DirtyEvictions
+	m.SnoopProbes += o.SnoopProbes
+	m.SnoopDirtyTransfers += o.SnoopDirtyTransfers
+	m.SnoopTraffic += o.SnoopTraffic
+	m.Prefetches += o.Prefetches
+	m.BypassedWrites += o.BypassedWrites
+	m.MSHRMerges += o.MSHRMerges
+	m.MSHRStalls += o.MSHRStalls
 }
 
 // AddWrite records a data-array write by source.

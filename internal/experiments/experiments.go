@@ -37,6 +37,13 @@ type Options struct {
 	// (runtime.GOMAXPROCS), 1 forces the fully serial path. Tables are
 	// byte-identical for any value; Jobs only changes wall-clock.
 	Jobs int
+	// Banks sets sim.Config.Banks on every run: intra-run parallelism
+	// width for the banked execution engine. Like Jobs it is a pure
+	// scheduling knob — results are byte-identical for any value — so it
+	// is excluded from memo keys. Jobs parallelises across runs, Banks
+	// within one; they compose, but oversubscribing both on a small
+	// machine wastes time in the banked engine's spin gate.
+	Banks int
 	// Trace optionally records per-cell wall-clock spans (and the memo's
 	// compute-vs-recall provenance) into a span tracer. Nil — the default
 	// — is fully off; tables are byte-identical either way, the tracer

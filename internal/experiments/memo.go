@@ -46,9 +46,11 @@ type memoKey struct {
 }
 
 // runKey builds the memo key. Options contributes only the knobs that
-// change a run's outcome; scheduling knobs (Jobs) are deliberately
-// excluded so serial and parallel invocations share entries.
+// change a run's outcome; scheduling knobs (Jobs, Banks) are deliberately
+// excluded — and Config.Banks normalised away — so serial and parallel
+// invocations share entries.
 func runKey(cfg sim.Config, policy string, mix workload.Mix, threaded bool, opt Options) memoKey {
+	cfg.Banks = 0
 	return memoKey{
 		Cfg:        cfg,
 		Policy:     policy,
@@ -71,6 +73,9 @@ var memo = memocache.New[memoKey, sim.Result](0)
 // either way nothing is cached (a retry recomputes). policyName must
 // uniquely identify the controller the factory builds.
 func runE(cfg sim.Config, policyName string, ctrl sim.Controller, mix workload.Mix, opt Options) (sim.Result, error) {
+	if opt.Banks > 0 {
+		cfg.Banks = opt.Banks
+	}
 	key := runKey(cfg, policyName, mix, false, opt)
 	cell := key.Mix + "|" + policyName
 	ctx, sp := cellSpan(opt, cell)
@@ -115,6 +120,9 @@ func run(cfg sim.Config, policyName string, ctrl sim.Controller, mix workload.Mi
 // runThreadedE executes (or recalls) one coherent multi-threaded run,
 // with the same failure containment as runE.
 func runThreadedE(cfg sim.Config, policyName string, ctrl sim.Controller, b workload.Benchmark, opt Options) (sim.Result, error) {
+	if opt.Banks > 0 {
+		cfg.Banks = opt.Banks
+	}
 	key := runKey(cfg, policyName, workload.Mix{Name: b.Name}, true, opt)
 	cell := key.Mix + "|" + policyName
 	ctx, sp := cellSpan(opt, cell)

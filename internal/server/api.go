@@ -309,6 +309,9 @@ func (s *Server) resolveRun(req RunRequest) (*runSpec, error) {
 		Accesses: sp.accesses,
 		Seed:     seed,
 	}
+	// Banks only changes how a run is scheduled, never its result, so
+	// requests differing only in Banks coalesce onto one cache entry.
+	sp.key.Cfg.Banks = 0
 	return sp, nil
 }
 

@@ -1,6 +1,10 @@
 package server
 
 import (
+	"strconv"
+	"sync"
+
+	lap "repro"
 	"repro/internal/obs"
 	"repro/internal/pool"
 )
@@ -29,6 +33,16 @@ type serverMetrics struct {
 	latComputed   *obs.Histogram
 	latRecalled   *obs.Histogram
 	queueWait     *obs.Histogram
+
+	// accessRate is the most recent computed run's simulated-access
+	// throughput (accesses simulated per wall-clock second of execution)
+	// — the simulator-speed series the banked engine's speedups move.
+	accessRate *obs.Gauge
+	// bankOps accumulates each computed run's per-LLC-bank access counts
+	// (Result.BankOps). Series materialise lazily because the bank count
+	// is a per-run Config knob, not a server constant.
+	bankOpsMu sync.Mutex
+	bankOps   map[int]*obs.Counter
 }
 
 // cellErrorKinds is the closed failure taxonomy of the wire (see
@@ -53,6 +67,9 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 		m.cellErrors[kind] = reg.Counter("lapserved_cell_errors_total",
 			"Failed run/sweep cells by failure kind.", obs.L("kind", kind))
 	}
+	m.accessRate = reg.Gauge("lapsim_accesses_per_second",
+		"Simulated accesses per wall-clock second of the most recent computed run (recalls do not move it).")
+	m.bankOps = map[int]*obs.Counter{}
 	m.latComputed = reg.Histogram("lapserved_run_duration_seconds",
 		"Run latency split by provenance: simulation execution time (computed) vs cached-answer delivery time (recalled).",
 		obs.RunLatencyBuckets, obs.L("source", "computed"))
@@ -101,6 +118,31 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 	s.memo.Register(reg, "lapserved_memo")
 	pool.Register(reg, "lapserved_pool")
 	return m
+}
+
+// recordRun feeds the simulation-throughput series from one computed
+// run: res is the run's result, seconds its execution wall-clock.
+func (m *serverMetrics) recordRun(res lap.Result, seconds float64) {
+	if seconds > 0 {
+		// L1Accesses counts every simulated access in the measurement
+		// window, across all cores.
+		m.accessRate.Set(float64(res.Met.L1Accesses) / seconds)
+	}
+	if len(res.BankOps) == 0 {
+		return
+	}
+	m.bankOpsMu.Lock()
+	defer m.bankOpsMu.Unlock()
+	for b, n := range res.BankOps {
+		c, ok := m.bankOps[b]
+		if !ok {
+			c = m.reg.Counter("lapsim_bank_ops_total",
+				"LLC accesses routed to each timing-model bank, summed over computed runs (bank utilization profile).",
+				obs.L("bank", strconv.Itoa(b)))
+			m.bankOps[b] = c
+		}
+		c.Add(n)
+	}
 }
 
 // cellError resolves the counter for one failure kind, falling back to

@@ -304,6 +304,7 @@ func (s *Server) runCell(ctx context.Context, sp *runSpec) (lap.Result, bool, er
 		d := time.Since(execStart).Seconds()
 		s.lat.add(d)
 		s.met.latComputed.Observe(d)
+		s.met.recordRun(res, d)
 		return res, nil
 	})
 	if err == nil && !computed {

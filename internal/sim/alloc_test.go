@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// The access loop must not allocate: every per-access allocation turns
+// into GC pressure multiplied by the hundreds of millions of accesses a
+// figure sweep simulates. These tests pin allocs/access at exactly zero
+// for every inclusion controller on the parallel-eligible fast path.
+// BenchmarkAccessAllocs is additionally parsed by the CI gate (`make ci`
+// greps its allocs/op), so renaming it requires updating the Makefile.
+
+// allocMachine builds a machine and fully warms its structures: the
+// steady state matters, not cold-start fills of lazily-grown maps.
+func allocMachine(ctrl core.Controller, b workload.Benchmark, hybrid bool) (*machine, *coreState, []trace.Access) {
+	cfg := smallCfg()
+	if hybrid {
+		cfg = cfg.WithHybridL3()
+	}
+	m := build(cfg, ctrl, sourcesFor(b, cfg.Cores, 40000))
+	m.loop()
+	c := m.cores[0]
+	c.done = false
+	accs := make([]trace.Access, 4096)
+	if n := trace.FillBatch(workload.New(b, 99), accs); n != len(accs) {
+		panic("workload source ended early")
+	}
+	return m, c, accs
+}
+
+func allocControllers() map[string]func() core.Controller {
+	return map[string]func() core.Controller{
+		"NonInclusive": func() core.Controller { return core.NewNonInclusive() },
+		"Exclusive":    func() core.Controller { return core.NewExclusive() },
+		"FLEXclusion":  func() core.Controller { return core.NewFLEXclusion() },
+		"LAP":          func() core.Controller { return core.NewLAP() },
+		"Lhybrid":      func() core.Controller { return core.NewLhybrid() },
+	}
+}
+
+// TestAccessAllocsZero fails if any controller's steady-state access
+// path allocates at all.
+func TestAccessAllocsZero(t *testing.T) {
+	for name, mk := range allocControllers() {
+		t.Run(name, func(t *testing.T) {
+			m, c, accs := allocMachine(mk(), loopy(), name == "Lhybrid")
+			i := 0
+			got := testing.AllocsPerRun(2000, func() {
+				m.step(c, accs[i%len(accs)])
+				i++
+			})
+			if got != 0 {
+				t.Fatalf("%s access path allocates %.2f times per access, want 0", name, got)
+			}
+		})
+	}
+}
+
+// BenchmarkAccessAllocs reports ns/op and allocs/op for a single
+// steady-state access on the LAP controller. CI requires its allocs/op
+// to be exactly 0.
+func BenchmarkAccessAllocs(b *testing.B) {
+	m, c, accs := allocMachine(core.NewLAP(), loopy(), false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.step(c, accs[i%len(accs)])
+	}
+}

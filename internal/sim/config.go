@@ -94,6 +94,27 @@ type Config struct {
 	// Profile enables the per-block redundancy/CTC profiler.
 	Profile bool
 
+	// Banks selects the intra-run parallelism width: when greater than 1,
+	// the run's cores are sharded across up to Banks worker goroutines
+	// (clamped to Cores) that walk their private L1/L2 hierarchies
+	// concurrently while every shared-LLC operation executes in exactly
+	// the serial simulation order, so results are byte-identical to the
+	// serial path. 0 or 1 selects the serial loop. Runs that are
+	// coherent, MOESI-tracked, profiled, telemetry-observed, or under the
+	// inclusive controller fall back to the serial loop automatically
+	// (their access walks touch cross-core state). Unlike L3Banks this is
+	// a host-execution knob, not a timing-model parameter: it never
+	// changes simulation results.
+	Banks int
+
+	// MSHREntries > 0 models a bounded table of miss-status holding
+	// registers in front of main memory: concurrent LLC misses to a block
+	// already in flight merge with the outstanding fill instead of
+	// issuing a redundant memory read, and a full table stalls new misses
+	// until the earliest fill retires. 0 (the default) gives every miss
+	// its own memory read, exactly the pre-MSHR behaviour.
+	MSHREntries int
+
 	// MaxAccessesPerCore bounds the run; 0 means run until every source
 	// is exhausted.
 	MaxAccessesPerCore uint64

@@ -1,0 +1,190 @@
+package sim
+
+// Banked intra-run parallelism (Config.Banks > 1).
+//
+// The serial loop executes accesses in a total order: ascending
+// (pre-access cycle count, core id). Per-core cycle counts are strictly
+// increasing, so that order is fixed by each core's own history — it can
+// be reproduced without a central scheduler. The banked mode exploits
+// the observation that most of an access is private to its core (trace
+// decode, L1/L2 walks) and only the section from the inclusion
+// controller down (LLC, energy meter, bank timing, DRAM, set-dueling)
+// touches shared state:
+//
+//   - Cores are sharded across up to Banks worker goroutines; each
+//     worker runs the serial scheduling discipline over its own subset.
+//   - Before processing an access, a worker publishes the access's key
+//     (the core's pre-advance cycle count plus core id) through a pair
+//     of atomics. Published keys are strictly increasing per worker.
+//   - Private work proceeds immediately. The first time an access needs
+//     shared state (enterShared), its worker spins until every other
+//     worker's published key exceeds its own — at that moment it holds
+//     the globally least pending key, so it may mutate shared state
+//     exclusively, and the sequence of shared sections across the run is
+//     exactly the serial execution order. The gate releases implicitly
+//     when the worker publishes its next (larger) key.
+//
+// Because every shared mutation happens in the serial order and private
+// state is only touched by its owning core, results are byte-identical
+// to the serial loop. Upper-level counters accumulate into per-core
+// shards merged after the run (integer sums are order-independent).
+//
+// Runs whose access walks reach across cores — coherent (bus snoops),
+// MOESI-tracked, profiled (shared profiler on private paths), telemetry
+// (reads shared metrics mid-run), or under the inclusive controller
+// (back-invalidation) — fall back to the serial loop.
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parDoneKey marks a worker with no pending accesses. It is the NaN bit
+// pattern ^0, which no real (non-negative) cycle count can produce and
+// which compares above every live key.
+const parDoneKey = ^uint64(0)
+
+// parProgress is one worker's published pending-access key. The id is
+// stored before the bits (both sequentially consistent), so a reader
+// that observes a bits value sees an id at least as new; stale reads are
+// conservative (they only delay the reader), never premature. Padding
+// keeps each worker's words off its neighbours' cache lines.
+type parProgress struct {
+	_    [8]uint64
+	bits atomic.Uint64
+	id   atomic.Int64
+	_    [7]uint64
+}
+
+// parEngine is the progress board shared by the run's workers.
+type parEngine struct {
+	workers []parProgress
+}
+
+// publish announces worker w's next pending access key: the owning
+// core's pre-advance cycle count and id.
+func (e *parEngine) publish(w int, cycles float64, id int) {
+	p := &e.workers[w]
+	p.id.Store(int64(id))
+	p.bits.Store(math.Float64bits(cycles))
+}
+
+// finish marks worker w as out of pending accesses.
+func (e *parEngine) finish(w int) { e.workers[w].bits.Store(parDoneKey) }
+
+// await spins until every worker other than w has published a key
+// strictly greater than (bits, id) — i.e. until (bits, id) is the least
+// pending key in the run. Non-negative IEEE-754 doubles compare like
+// their bit patterns, so the float comparison is exact.
+func (e *parEngine) await(w int, bits uint64, id int) {
+	for v := range e.workers {
+		if v == w {
+			continue
+		}
+		p := &e.workers[v]
+		for spins := 0; ; spins++ {
+			vb := p.bits.Load()
+			if vb > bits || (vb == bits && p.id.Load() > int64(id)) {
+				break
+			}
+			// Spin tight briefly (the blocking worker is usually about to
+			// advance), then yield every iteration: on a host with fewer
+			// CPUs than workers the blocking worker cannot run until we
+			// give up the processor, so burning long spin batches only
+			// delays it.
+			if spins >= 32 {
+				runtime.Gosched()
+			}
+		}
+	}
+}
+
+// parWorkers decides the banked mode's worker count: 0 selects the
+// serial loop.
+func (m *machine) parWorkers() int {
+	w := m.cfg.Banks
+	if w > m.cfg.Cores {
+		w = m.cfg.Cores
+	}
+	if w <= 1 {
+		return 0
+	}
+	if m.cfg.Coherent || m.cfg.TrackMOESI || m.cfg.Profile || m.tel != nil {
+		return 0
+	}
+	if m.ctx.BackInvalidate != nil {
+		return 0
+	}
+	return w
+}
+
+// enterShared gates entry into shared-machine state. In the serial loop
+// (m.par == nil) it is a nil check; in the banked mode the first call of
+// an access blocks until the access holds the least pending key.
+func (m *machine) enterShared(c *coreState) {
+	if m.par == nil || c.gateHeld {
+		return
+	}
+	c.gateHeld = true
+	m.par.await(c.worker, c.gateKey, c.id)
+}
+
+// runParallel executes the post-warmup region of the run on nw workers.
+func (m *machine) runParallel(nw int) {
+	eng := &parEngine{workers: make([]parProgress, nw)}
+	m.par = eng
+	groups := make([][]*coreState, nw)
+	for i, c := range m.cores {
+		w := i % nw
+		c.worker = w
+		groups[w] = append(groups[w], c)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int, mine []*coreState) {
+			defer wg.Done()
+			m.workerLoop(w, mine)
+		}(w, groups[w])
+	}
+	wg.Wait()
+	m.par = nil
+}
+
+// workerLoop is the serial scheduling discipline restricted to one
+// worker's cores: repeatedly pick the least-progressed active core
+// (ties to the lowest id, as in serialLoop), publish its key, and
+// process one access.
+func (m *machine) workerLoop(w int, mine []*coreState) {
+	eng := m.par
+	for {
+		var next *coreState
+		for _, c := range mine {
+			if c.done {
+				continue
+			}
+			if next == nil || c.cycles < next.cycles {
+				next = c
+			}
+		}
+		if next == nil {
+			eng.finish(w)
+			return
+		}
+		next.gateKey = math.Float64bits(next.cycles)
+		next.gateHeld = false
+		eng.publish(w, next.cycles, next.id)
+		acc, ok := next.next()
+		if !ok {
+			next.done = true
+			continue
+		}
+		m.step(next, acc)
+		next.nAcc++
+		if m.cfg.MaxAccessesPerCore > 0 && next.nAcc >= m.cfg.MaxAccessesPerCore+m.cfg.WarmupAccessesPerCore {
+			next.done = true
+		}
+	}
+}

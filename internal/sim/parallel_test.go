@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// bankedVariants is the configuration matrix the equivalence tests sweep:
+// every combination must produce results byte-identical to the serial
+// loop at any bank count.
+func bankedVariants() []struct {
+	name string
+	cfg  Config
+	ctrl func() core.Controller
+	b    workload.Benchmark
+} {
+	base := smallCfg()
+	base.Cores = 4
+
+	warm := base
+	warm.WarmupAccessesPerCore = 5000
+
+	pf := base
+	pf.PrefetchDegree = 2
+
+	dr := base
+	dr.UseDRAM = true
+
+	mshr := base
+	mshr.MSHREntries = 8
+
+	hyb := base.WithHybridL3()
+
+	return []struct {
+		name string
+		cfg  Config
+		ctrl func() core.Controller
+		b    workload.Benchmark
+	}{
+		{"noni", base, func() core.Controller { return core.NewNonInclusive() }, loopy()},
+		{"exclusive", base, func() core.Controller { return core.NewExclusive() }, loopy()},
+		{"flexclusion", base, func() core.Controller { return core.NewFLEXclusion() }, writy()},
+		{"lap", base, func() core.Controller { return core.NewLAP() }, loopy()},
+		{"lap-dwb", base, func() core.Controller { return core.NewDeadWriteBypass(core.NewLAP()) }, writy()},
+		{"lhybrid", hyb, func() core.Controller { return core.NewLhybrid() }, loopy()},
+		{"lap-warmup", warm, func() core.Controller { return core.NewLAP() }, loopy()},
+		{"lap-prefetch", pf, func() core.Controller { return core.NewLAP() }, loopy()},
+		{"exclusive-dram", dr, func() core.Controller { return core.NewExclusive() }, writy()},
+		{"lap-mshr", mshr, func() core.Controller { return core.NewLAP() }, loopy()},
+	}
+}
+
+// TestBankedMatchesSerial pins the banked engine's core guarantee: for
+// every eligible configuration, running with Banks=4 or Banks=8 yields a
+// Result deeply equal to the serial loop's.
+func TestBankedMatchesSerial(t *testing.T) {
+	const accesses = 20000
+	for _, v := range bankedVariants() {
+		t.Run(v.name, func(t *testing.T) {
+			serial := Run(v.cfg, v.ctrl(), sourcesFor(v.b, v.cfg.Cores, accesses))
+			for _, banks := range []int{4, 8} {
+				cfg := v.cfg
+				cfg.Banks = banks
+				got := Run(cfg, v.ctrl(), sourcesFor(v.b, cfg.Cores, accesses))
+				if !reflect.DeepEqual(serial, got) {
+					t.Fatalf("Banks=%d diverges from serial:\nserial: %+v\nbanked: %+v",
+						banks, serial, got)
+				}
+			}
+		})
+	}
+}
+
+// TestBankedIneligibleFallsBack checks that configurations the banked
+// engine cannot handle (cross-core access walks) still run and still
+// match their own serial results — the Banks knob must never change
+// behaviour, only scheduling.
+func TestBankedIneligibleFallsBack(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Cores = 4
+	cfg.Coherent = true
+	serial := Run(cfg, core.NewLAP(), sourcesFor(loopy(), cfg.Cores, 10000))
+	cfg.Banks = 4
+	banked := Run(cfg, core.NewLAP(), sourcesFor(loopy(), cfg.Cores, 10000))
+	if !reflect.DeepEqual(serial, banked) {
+		t.Fatal("coherent run changed under Banks=4 (fallback broken)")
+	}
+
+	// The inclusive controller registers a back-invalidation hook; it must
+	// fall back too.
+	cfg2 := smallCfg()
+	cfg2.Cores = 4
+	serial2 := Run(cfg2, core.NewInclusive(), sourcesFor(loopy(), cfg2.Cores, 10000))
+	cfg2.Banks = 4
+	banked2 := Run(cfg2, core.NewInclusive(), sourcesFor(loopy(), cfg2.Cores, 10000))
+	if !reflect.DeepEqual(serial2, banked2) {
+		t.Fatal("inclusive run changed under Banks=4 (fallback broken)")
+	}
+}
+
+// TestBankedRaceHammer runs many short banked simulations back to back.
+// Its value is under `go test -race`: the ordered-exclusion protocol's
+// atomics must establish happens-before for every shared-state access,
+// so any gate bug shows up as a detected race here.
+func TestBankedRaceHammer(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Cores = 8
+	cfg.Banks = 4
+	for round := 0; round < 6; round++ {
+		ctrl := core.Controller(core.NewLAP())
+		if round%2 == 1 {
+			ctrl = core.NewExclusive()
+		}
+		r := Run(cfg, ctrl, sourcesFor(loopy(), cfg.Cores, 4000))
+		if r.Met.L3Accesses == 0 {
+			t.Fatalf("round %d: banked run performed no LLC accesses", round)
+		}
+	}
+}
+
+// TestBankedManyBankCounts sweeps bank counts beyond the core count to
+// make sure clamping works and results stay pinned.
+func TestBankedManyBankCounts(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Cores = 3
+	serial := Run(cfg, core.NewLAP(), sourcesFor(loopy(), cfg.Cores, 8000))
+	for _, banks := range []int{2, 3, 5, 16} {
+		c := cfg
+		c.Banks = banks
+		got := Run(c, core.NewLAP(), sourcesFor(loopy(), cfg.Cores, 8000))
+		if !reflect.DeepEqual(serial, got) {
+			t.Fatalf("Banks=%d diverges from serial", banks)
+		}
+	}
+}
+
+func ExampleConfig_banks() {
+	cfg := DefaultConfig()
+	cfg.Cores = 4
+	cfg.Banks = 4
+	r := Run(cfg, core.NewLAP(), sourcesFor(loopy(), cfg.Cores, 2000))
+	fmt.Println(r.Policy)
+	// Output: LAP
+}

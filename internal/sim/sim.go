@@ -40,10 +40,18 @@ type Result struct {
 	MOESI          coherence.DirectoryStats
 	MOESIOccupancy map[coherence.MOESIState]int
 	MOESIViolation string
+	// BankOps is the per-bank access count of the LLC timing model
+	// (Config.L3Banks banks) — the bank utilization profile.
+	BankOps []uint64
 }
 
 // MPKI returns LLC misses per kilo-instruction.
 func (r Result) MPKI() float64 { return r.Met.MPKI() }
+
+// accessBatch is the per-core trace decode buffer length: sources are
+// drained in runs of this many accesses to amortise the Source interface
+// call overhead (trace.FillBatch) on the hot loop.
+const accessBatch = 256
 
 // coreState is one core's private hierarchy and progress.
 type coreState struct {
@@ -54,6 +62,45 @@ type coreState struct {
 	instrs uint64
 	nAcc   uint64
 	done   bool
+
+	// met receives the upper-level counters this core's walk produces.
+	// In the serial loop it aliases the machine's shared Metrics; the
+	// banked loop points it at a private shard merged after the run.
+	met *core.Metrics
+
+	// buf/bufPos/srcEOF implement the batched trace decode (see next).
+	buf    []trace.Access
+	bufPos int
+	srcEOF bool
+
+	// worker/gateKey/gateHeld belong to the banked execution mode: the
+	// worker that owns this core, the published pre-access progress key,
+	// and whether this access already acquired the shared-state gate.
+	worker   int
+	gateKey  uint64
+	gateHeld bool
+}
+
+// next returns the core's next access, refilling the decode buffer in
+// accessBatch-sized runs.
+func (c *coreState) next() (trace.Access, bool) {
+	if c.bufPos >= len(c.buf) {
+		if c.srcEOF {
+			return trace.Access{}, false
+		}
+		buf := c.buf[:cap(c.buf)]
+		n := trace.FillBatch(c.src, buf)
+		if n < len(buf) {
+			c.srcEOF = true
+		}
+		c.buf, c.bufPos = buf[:n], 0
+		if n == 0 {
+			return trace.Access{}, false
+		}
+	}
+	a := c.buf[c.bufPos]
+	c.bufPos++
+	return a, true
 }
 
 // machine is the assembled simulator.
@@ -72,14 +119,19 @@ type machine struct {
 	tel       *telemetryState
 	loopFills uint64
 
+	// par is the banked execution engine while the parallel phase runs
+	// (nil in the serial loop, so enterShared costs one nil check).
+	par *parEngine
+
 	// Warmup baselines, captured when the measurement window opens so
 	// that reported metrics cover only the post-warmup region.
-	warmupDone bool
-	baseMet    core.Metrics
-	baseSnoop  coherence.Stats
-	baseMeter  meterSnapshot
-	baseCycles []float64
-	baseInstrs []uint64
+	warmupDone  bool
+	baseMet     core.Metrics
+	baseSnoop   coherence.Stats
+	baseMeter   meterSnapshot
+	baseCycles  []float64
+	baseInstrs  []uint64
+	baseBankOps []uint64
 }
 
 // meterSnapshot freezes the energy meter's counters at a point in time.
@@ -161,6 +213,9 @@ func build(cfg Config, ctrl core.Controller, srcs []trace.Source) *machine {
 	if cfg.Profile {
 		ctx.Prof = core.NewProfiler()
 	}
+	if cfg.MSHREntries > 0 {
+		ctx.MSHR = cache.NewMSHR(cfg.MSHREntries)
+	}
 	m := &machine{cfg: cfg, ctx: ctx, ctrl: ctrl}
 	if cfg.UseDRAM {
 		dcfg := cfg.DRAM
@@ -181,6 +236,8 @@ func build(cfg Config, ctrl core.Controller, srcs []trace.Source) *machine {
 			l2: cache.New(cache.Config{Name: "L2", SizeBytes: cfg.L2SizeBytes,
 				Ways: cfg.L2Ways, BlockBytes: cfg.BlockBytes}),
 			src: srcs[i],
+			met: ctx.Met,
+			buf: make([]trace.Access, 0, accessBatch),
 		})
 	}
 	if cfg.Coherent {
@@ -199,9 +256,39 @@ func build(cfg Config, ctrl core.Controller, srcs []trace.Source) *machine {
 	return m
 }
 
-// loop advances the least-progressed active core one access at a time,
-// which interleaves the cores' LLC traffic in timestamp order.
+// loop drives the run to completion. The serial loop advances the
+// least-progressed active core one access at a time, which interleaves
+// the cores' LLC traffic in timestamp order; with Config.Banks > 1 (and
+// an eligible configuration) the same order is reproduced by the banked
+// engine in parallel.go, with the warmup phase always run serially so the
+// measurement window opens at exactly the serial boundary.
 func (m *machine) loop() {
+	if nw := m.parWorkers(); nw > 0 {
+		if m.cfg.WarmupAccessesPerCore > 0 {
+			m.serialLoop(true)
+		}
+		if !m.allDone() {
+			for _, c := range m.cores {
+				c.met = &core.Metrics{}
+			}
+			m.runParallel(nw)
+			for _, c := range m.cores {
+				m.ctx.Met.Add(c.met)
+				c.met = m.ctx.Met
+			}
+		}
+		return
+	}
+	m.serialLoop(false)
+	if m.ctx.Prof != nil {
+		m.ctx.Prof.Finish()
+	}
+}
+
+// serialLoop is the reference single-goroutine schedule. When
+// stopAfterWarmup is set it returns as soon as the measurement window
+// opens, leaving the rest of the run to the banked engine.
+func (m *machine) serialLoop(stopAfterWarmup bool) {
 	for {
 		var next *coreState
 		for _, c := range m.cores {
@@ -213,9 +300,9 @@ func (m *machine) loop() {
 			}
 		}
 		if next == nil {
-			break
+			return
 		}
-		acc, ok := next.src.Next()
+		acc, ok := next.next()
 		if !ok {
 			next.done = true
 			continue
@@ -231,10 +318,20 @@ func (m *machine) loop() {
 		if m.cfg.MaxAccessesPerCore > 0 && next.nAcc >= m.cfg.MaxAccessesPerCore+m.cfg.WarmupAccessesPerCore {
 			next.done = true
 		}
+		if stopAfterWarmup && m.warmupDone {
+			return
+		}
 	}
-	if m.ctx.Prof != nil {
-		m.ctx.Prof.Finish()
+}
+
+// allDone reports whether every core has exhausted its stream or quota.
+func (m *machine) allDone() bool {
+	for _, c := range m.cores {
+		if !c.done {
+			return false
+		}
 	}
+	return true
 }
 
 // maybeEndWarmup opens the measurement window once every core has
@@ -256,6 +353,7 @@ func (m *machine) maybeEndWarmup() {
 		m.baseMeter.reads[i] = m.ctx.E.Regions[i].Reads
 		m.baseMeter.writes[i] = m.ctx.E.Regions[i].Writes
 	}
+	m.baseBankOps = append([]uint64(nil), m.ctx.Banks.Ops()...)
 	m.baseCycles = make([]float64, len(m.cores))
 	m.baseInstrs = make([]uint64, len(m.cores))
 	for i, c := range m.cores {
@@ -300,6 +398,8 @@ func (m *machine) subtractBaselines() {
 	met.SnoopDirtyTransfers -= base.SnoopDirtyTransfers
 	met.Prefetches -= base.Prefetches
 	met.BypassedWrites -= base.BypassedWrites
+	met.MSHRMerges -= base.MSHRMerges
+	met.MSHRStalls -= base.MSHRStalls
 	if m.bus != nil {
 		m.bus.Stats.Probes -= m.baseSnoop.Probes
 		m.bus.Stats.Broadcasts -= m.baseSnoop.Broadcasts
@@ -314,12 +414,14 @@ func (m *machine) subtractBaselines() {
 	}
 }
 
-// step processes one access on core c.
+// step processes one access on core c. Ctx.Now is refreshed at each
+// shared-state entry point (access, prefetch, onL2Evict), never here: in
+// the banked mode this function runs concurrently across cores and only
+// the gated sections may touch the shared Ctx.
 func (m *machine) step(c *coreState, acc trace.Access) {
 	cfg := &m.cfg
 	c.instrs += uint64(acc.Instrs)
 	c.cycles += cfg.BaseCPI * float64(acc.Instrs)
-	m.ctx.Now = uint64(c.cycles)
 
 	block := acc.Addr / uint64(cfg.BlockBytes)
 	lat := m.access(c, block, acc.Write)
@@ -345,9 +447,12 @@ func (m *machine) step(c *coreState, acc trace.Access) {
 }
 
 // access performs the hierarchy walk and returns the access latency.
+// Upper-level counters go to c.met (the core's shard in banked mode);
+// everything from the coherence snoop down is shared state and runs
+// behind enterShared.
 func (m *machine) access(c *coreState, block uint64, write bool) uint64 {
 	cfg := &m.cfg
-	met := m.ctx.Met
+	met := c.met
 	met.L1Accesses++
 
 	if write && m.ctx.Prof != nil {
@@ -399,6 +504,7 @@ func (m *machine) access(c *coreState, block uint64, write bool) uint64 {
 	}
 
 	// LLC via the inclusion controller.
+	m.enterShared(c)
 	m.ctx.Now = uint64(c.cycles)
 	r := m.ctrl.Fetch(m.ctx, block)
 	if r.Loop {
@@ -425,6 +531,7 @@ func (m *machine) prefetch(c *coreState, block uint64) {
 		if c.l2.Probe(pb) >= 0 || c.l1.Probe(pb) >= 0 {
 			continue
 		}
+		m.enterShared(c)
 		m.ctx.Now = uint64(c.cycles)
 		r := m.ctrl.Fetch(m.ctx, pb)
 		if r.Loop {
@@ -434,7 +541,7 @@ func (m *machine) prefetch(c *coreState, block uint64) {
 			m.bus.OnLLCMiss()
 		}
 		m.installL2(c, pb, false, r.Loop, false)
-		m.ctx.Met.Prefetches++
+		c.met.Prefetches++
 	}
 }
 
@@ -512,12 +619,15 @@ func (m *machine) installL2(c *coreState, block uint64, dirty, loop, shared bool
 	c.l2.Line(set, way).Shared = shared
 }
 
-// onL2Evict routes an L2 victim to the inclusion controller.
+// onL2Evict routes an L2 victim to the inclusion controller. This is
+// reachable from otherwise-private walks (an L1 victim writeback can
+// allocate in the L2 and evict), so it is a shared-state entry point.
 func (m *machine) onL2Evict(c *coreState, v cache.Line) {
+	m.enterShared(c)
 	if m.moesi != nil && c.l1.Probe(v.Tag) < 0 {
 		m.moesi.Evict(c.id, v.Tag)
 	}
-	met := m.ctx.Met
+	met := c.met
 	met.L2Evictions++
 	if v.Dirty {
 		met.L2DirtyEvictions++
@@ -620,6 +730,12 @@ func (m *machine) result() Result {
 		Throughput: throughput,
 		Cycles:     met.Cycles,
 		Prof:       m.ctx.Prof,
+		BankOps:    append([]uint64(nil), m.ctx.Banks.Ops()...),
+	}
+	if m.warmupDone {
+		for i := range res.BankOps {
+			res.BankOps[i] -= m.baseBankOps[i]
+		}
 	}
 	if m.bus != nil {
 		res.Snoop = m.bus.Stats

@@ -24,6 +24,33 @@ type Source interface {
 	Next() (a Access, ok bool)
 }
 
+// BatchSource is an optional Source extension that decodes many accesses
+// per call, amortising the per-access interface-call overhead on the
+// simulator's hot loop. NextBatch fills dst from the front and returns
+// the number of accesses written; a short count (anything less than
+// len(dst)) means the source is exhausted.
+type BatchSource interface {
+	Source
+	NextBatch(dst []Access) int
+}
+
+// FillBatch fills dst from src, using the batched path when src supports
+// it and falling back to repeated Next calls otherwise. Like
+// BatchSource.NextBatch, it returns a short count only on exhaustion.
+func FillBatch(src Source, dst []Access) int {
+	if b, ok := src.(BatchSource); ok {
+		return b.NextBatch(dst)
+	}
+	for i := range dst {
+		a, ok := src.Next()
+		if !ok {
+			return i
+		}
+		dst[i] = a
+	}
+	return len(dst)
+}
+
 // SliceSource replays a fixed slice of accesses; useful in tests and for
 // traces loaded fully into memory.
 type SliceSource struct {
@@ -46,6 +73,13 @@ func (s *SliceSource) Next() (Access, bool) {
 
 // Reset rewinds the source to the beginning.
 func (s *SliceSource) Reset() { s.pos = 0 }
+
+// NextBatch implements BatchSource by copying a run of the slice.
+func (s *SliceSource) NextBatch(dst []Access) int {
+	n := copy(dst, s.accs[s.pos:])
+	s.pos += n
+	return n
+}
 
 // Limited wraps a source and truncates it after n accesses.
 type Limited struct {
@@ -70,6 +104,20 @@ func (l *Limited) Next() (Access, bool) {
 	return a, true
 }
 
+// NextBatch implements BatchSource, clipping the batch to the remaining
+// quota.
+func (l *Limited) NextBatch(dst []Access) int {
+	if uint64(len(dst)) > l.left {
+		dst = dst[:l.left]
+	}
+	n := FillBatch(l.src, dst)
+	l.left -= uint64(n)
+	if n < len(dst) {
+		l.left = 0
+	}
+	return n
+}
+
 // Offset shifts every address from src by a fixed base, giving each core
 // in a multi-programmed mix a disjoint address space (the paper runs
 // duplicate copies of SPEC2006 benchmarks, one per core).
@@ -89,6 +137,15 @@ func (o *Offset) Next() (Access, bool) {
 	}
 	a.Addr += o.base
 	return a, true
+}
+
+// NextBatch implements BatchSource, shifting the batch in place.
+func (o *Offset) NextBatch(dst []Access) int {
+	n := FillBatch(o.src, dst)
+	for i := range dst[:n] {
+		dst[i].Addr += o.base
+	}
+	return n
 }
 
 // Drain reads every access from src into a slice (test helper and codec

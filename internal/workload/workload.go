@@ -226,6 +226,15 @@ func (g *generator) Next() (trace.Access, bool) {
 	}, true
 }
 
+// NextBatch implements trace.BatchSource; the stream is infinite, so the
+// batch is always filled completely.
+func (g *generator) NextBatch(dst []trace.Access) int {
+	for i := range dst {
+		dst[i], _ = g.Next()
+	}
+	return len(dst)
+}
+
 func (g *generator) pick() int {
 	x := g.rng.Float64()
 	for i, c := range g.cum {
