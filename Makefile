@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json alloc-gate chaos ci quick serve serve-smoke trace-smoke
+.PHONY: all build test race bench bench-json alloc-gate chaos ci quick sample-smoke serve serve-smoke trace-smoke
 
 all: build
 
@@ -23,22 +23,32 @@ bench:
 	$(GO) test -bench=BenchmarkFig14 -benchtime=1x -run '^$$' .
 
 # Capture the simulator benchmark suite into the committed BENCH_sim.json
-# snapshot (label "after" by default; override with LABEL=before to
-# record a baseline before starting a perf change).
+# trajectory (label "after" by default; override with LABEL=before to
+# record a baseline before starting a perf change). Each capture is
+# stamped with the current git revision; same label+rev replaces the
+# latest entry, anything else appends a new trajectory point.
 LABEL ?= after
-BENCH_SUITE = 'BenchmarkSim|BenchmarkCacheLookup|BenchmarkLoopAwareVictim|BenchmarkWorkloadGen|BenchmarkFig14$$|BenchmarkFig14Banks4'
+BENCH_SUITE = 'BenchmarkSim|BenchmarkCacheLookup|BenchmarkLoopAwareVictim|BenchmarkWorkloadGen|BenchmarkFig14$$|BenchmarkFig14Banks4|BenchmarkFig14Sampled'
 bench-json:
 	( $(GO) test -bench $(BENCH_SUITE) -benchmem -benchtime=1x -run '^$$' . && \
 	  $(GO) test -bench BenchmarkAccessAllocs -benchmem -benchtime=200000x -run '^$$' ./internal/sim ) \
-		| $(GO) run ./cmd/benchjson -label $(LABEL) -o BENCH_sim.json
+		| $(GO) run ./cmd/benchjson -label $(LABEL) -rev $$(git rev-parse --short HEAD) -o BENCH_sim.json
 
 # The zero-alloc regression gate: the steady-state access path must not
-# allocate. TestAccessAllocsZero enforces it per controller; the grep on
-# BenchmarkAccessAllocs double-checks the reported allocs/op is exactly 0.
+# allocate. TestAccessAllocsZero enforces it per controller; the awk pass
+# double-checks that every reported BenchmarkAccessAllocs* line says
+# exactly 0 allocs/op (and that at least one such line was produced).
 alloc-gate:
 	$(GO) test -run TestAccessAllocsZero ./internal/sim
 	$(GO) test -bench BenchmarkAccessAllocs -benchmem -benchtime=100000x -run '^$$' ./internal/sim \
-		| grep -E 'BenchmarkAccessAllocs.*\s0 allocs/op'
+		| awk '/^BenchmarkAccessAllocs/ { n++; if ($$0 !~ / 0 allocs\/op/) { bad = 1; print "FAIL:", $$0 } else print } END { exit (n == 0 || bad) }'
+
+# Sampled-simulation speed/accuracy gate: one Fig. 14 mix, exact vs
+# interval-sampled across the six STT-RAM policies, asserting the
+# measured speedup floor and per-policy error bound (see cmd/samplesmoke
+# and the "Sampled simulation" section of EXPERIMENTS.md).
+sample-smoke:
+	$(GO) run ./cmd/samplesmoke
 
 # Race-enabled failure-domain suite: fault injection, panic isolation,
 # typed corruption errors, retry/breaker/drain chaos scenarios.
@@ -55,6 +65,7 @@ ci:
 	$(MAKE) bench-json
 	$(GO) run ./cmd/lapserved -smoke
 	$(MAKE) trace-smoke
+	$(MAKE) sample-smoke
 
 # Boot lapserved on an ephemeral port, hit /healthz and /v1/run, fire a
 # coalesced duplicate pair and assert the recalled counter advanced,

@@ -2,15 +2,18 @@
 // JSON snapshot, so benchmark history rides along with the code it
 // measures.
 //
-// It reads benchmark output on stdin and upserts one labelled snapshot
-// into a JSON file:
+// It reads benchmark output on stdin and appends one labelled capture to
+// a trajectory file:
 //
-//	go test -bench=. -benchmem -run '^$' ./... | benchjson -label after -o BENCH_sim.json
+//	go test -bench=. -benchmem -run '^$' ./... | benchjson -label after -rev $(git rev-parse --short HEAD) -o BENCH_sim.json
 //
-// The file maps label -> benchmark name -> {ns_per_op, bytes_per_op,
-// allocs_per_op}. Re-running with an existing label replaces that
-// snapshot and leaves the others untouched, so a "before" capture
-// survives the "after" update and the diff is reviewable in the PR.
+// The file holds an ordered trajectory of captures, each tagged with a
+// label and the git revision it measured, so the history reads as a
+// perf timeline across PRs rather than a single before/after pair.
+// Re-running with the same label AND revision replaces the latest
+// capture in place (iterating on one machine does not spam the
+// trajectory); any other (label, rev) appends. Files in the pre-
+// trajectory format (label -> benchmarks) are migrated on read.
 package main
 
 import (
@@ -33,8 +36,22 @@ type Benchmark struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
-// Snapshot is one labelled capture of the benchmark suite.
+// Snapshot is one capture of the benchmark suite.
 type Snapshot map[string]Benchmark
+
+// Capture is one trajectory entry: a snapshot plus its provenance.
+type Capture struct {
+	Label string `json:"label"`
+	// Rev is the git revision the capture measured ("" when unknown,
+	// e.g. entries migrated from the pre-trajectory format).
+	Rev        string   `json:"rev,omitempty"`
+	Benchmarks Snapshot `json:"benchmarks"`
+}
+
+// File is the on-disk document.
+type File struct {
+	Trajectory []Capture `json:"trajectory"`
+}
 
 // parseBench extracts benchmark lines from `go test -bench` output.
 // A benchmark line looks like:
@@ -86,22 +103,68 @@ func parseBench(r io.Reader) (Snapshot, error) {
 	return snap, nil
 }
 
-func run(label, out string, in io.Reader) error {
+// load reads an existing trajectory file, migrating the pre-trajectory
+// format (label -> benchmarks map) into ordered captures with no rev.
+// "before" sorts ahead of "after" so a migrated pair keeps its causal
+// order; other labels follow alphabetically.
+func load(path string) (File, error) {
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return File{}, nil
+	}
+	if err != nil {
+		return File{}, err
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err == nil && f.Trajectory != nil {
+		return f, nil
+	}
+	var old map[string]Snapshot
+	if err := json.Unmarshal(raw, &old); err != nil {
+		return File{}, fmt.Errorf("existing %s is not a benchjson file: %w", path, err)
+	}
+	labels := make([]string, 0, len(old))
+	for l := range old {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool {
+		rank := func(l string) int {
+			switch l {
+			case "before":
+				return 0
+			case "after":
+				return 1
+			}
+			return 2
+		}
+		if ri, rj := rank(labels[i]), rank(labels[j]); ri != rj {
+			return ri < rj
+		}
+		return labels[i] < labels[j]
+	})
+	for _, l := range labels {
+		f.Trajectory = append(f.Trajectory, Capture{Label: l, Benchmarks: old[l]})
+	}
+	return f, nil
+}
+
+func run(label, rev, out string, in io.Reader) error {
 	snap, err := parseBench(in)
 	if err != nil {
 		return err
 	}
-	all := map[string]Snapshot{}
-	if raw, err := os.ReadFile(out); err == nil {
-		if err := json.Unmarshal(raw, &all); err != nil {
-			return fmt.Errorf("existing %s is not a benchjson file: %w", out, err)
-		}
-	} else if !errors.Is(err, os.ErrNotExist) {
+	f, err := load(out)
+	if err != nil {
 		return err
 	}
-	all[label] = snap
+	entry := Capture{Label: label, Rev: rev, Benchmarks: snap}
+	if n := len(f.Trajectory); n > 0 && f.Trajectory[n-1].Label == label && f.Trajectory[n-1].Rev == rev {
+		f.Trajectory[n-1] = entry
+	} else {
+		f.Trajectory = append(f.Trajectory, entry)
+	}
 
-	buf, err := json.MarshalIndent(all, "", "  ")
+	buf, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -114,7 +177,8 @@ func run(label, out string, in io.Reader) error {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	fmt.Fprintf(os.Stderr, "benchjson: %s[%q] <- %d benchmarks\n", out, label, len(snap))
+	fmt.Fprintf(os.Stderr, "benchjson: %s <- capture %d (%s@%s), %d benchmarks\n",
+		out, len(f.Trajectory), label, rev, len(snap))
 	for _, n := range names {
 		b := snap[n]
 		fmt.Fprintf(os.Stderr, "  %-40s %14.1f ns/op %8.0f allocs/op\n", n, b.NsPerOp, b.AllocsPerOp)
@@ -123,10 +187,11 @@ func run(label, out string, in io.Reader) error {
 }
 
 func main() {
-	label := flag.String("label", "after", "snapshot label to write (replaces an existing snapshot with the same label)")
-	out := flag.String("o", "BENCH_sim.json", "snapshot file to update")
+	label := flag.String("label", "after", "capture label (same label+rev as the latest capture replaces it; otherwise appends)")
+	rev := flag.String("rev", "", "git revision the capture measures (e.g. `git rev-parse --short HEAD`)")
+	out := flag.String("o", "BENCH_sim.json", "trajectory file to update")
 	flag.Parse()
-	if err := run(*label, *out, os.Stdin); err != nil {
+	if err := run(*label, *rev, *out, os.Stdin); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}

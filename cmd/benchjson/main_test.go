@@ -44,32 +44,96 @@ func TestParseBenchEmpty(t *testing.T) {
 	}
 }
 
-// TestRunUpsert checks the label-upsert contract: writing a second label
-// keeps the first, rewriting a label replaces only that snapshot.
-func TestRunUpsert(t *testing.T) {
-	out := filepath.Join(t.TempDir(), "bench.json")
-	if err := run("before", out, strings.NewReader(sample)); err != nil {
-		t.Fatal(err)
-	}
-	after := strings.ReplaceAll(sample, "219220926", "100000000")
-	if err := run("after", out, strings.NewReader(after)); err != nil {
-		t.Fatal(err)
-	}
-	raw, err := os.ReadFile(out)
+// readFile decodes a trajectory file for assertions.
+func readFile(t *testing.T, path string) File {
+	t.Helper()
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var all map[string]Snapshot
-	if err := json.Unmarshal(raw, &all); err != nil {
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
 		t.Fatal(err)
 	}
-	if len(all) != 2 {
-		t.Fatalf("want 2 snapshots, got %d", len(all))
+	return f
+}
+
+// TestRunTrajectory checks the append contract: distinct (label, rev)
+// pairs accumulate in order, and re-running the latest pair replaces it
+// in place instead of appending a duplicate.
+func TestRunTrajectory(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run("before", "aaa1111", out, strings.NewReader(sample)); err != nil {
+		t.Fatal(err)
 	}
-	if all["before"]["BenchmarkSimLAP"].NsPerOp != 219220926 {
-		t.Fatalf("before snapshot mutated: %+v", all["before"]["BenchmarkSimLAP"])
+	after := strings.ReplaceAll(sample, "219220926", "100000000")
+	if err := run("after", "bbb2222", out, strings.NewReader(after)); err != nil {
+		t.Fatal(err)
 	}
-	if all["after"]["BenchmarkSimLAP"].NsPerOp != 100000000 {
-		t.Fatalf("after snapshot wrong: %+v", all["after"]["BenchmarkSimLAP"])
+	f := readFile(t, out)
+	if len(f.Trajectory) != 2 {
+		t.Fatalf("want 2 captures, got %d", len(f.Trajectory))
+	}
+	if f.Trajectory[0].Label != "before" || f.Trajectory[0].Rev != "aaa1111" ||
+		f.Trajectory[0].Benchmarks["BenchmarkSimLAP"].NsPerOp != 219220926 {
+		t.Fatalf("first capture mutated: %+v", f.Trajectory[0])
+	}
+	if f.Trajectory[1].Benchmarks["BenchmarkSimLAP"].NsPerOp != 100000000 {
+		t.Fatalf("second capture wrong: %+v", f.Trajectory[1])
+	}
+
+	// Same label+rev as the latest capture: replace in place.
+	again := strings.ReplaceAll(sample, "219220926", "50000000")
+	if err := run("after", "bbb2222", out, strings.NewReader(again)); err != nil {
+		t.Fatal(err)
+	}
+	f = readFile(t, out)
+	if len(f.Trajectory) != 2 {
+		t.Fatalf("re-run appended instead of replacing: %d captures", len(f.Trajectory))
+	}
+	if f.Trajectory[1].Benchmarks["BenchmarkSimLAP"].NsPerOp != 50000000 {
+		t.Fatalf("replacement not applied: %+v", f.Trajectory[1])
+	}
+
+	// Same label at a new rev: append (the trajectory is the history).
+	if err := run("after", "ccc3333", out, strings.NewReader(sample)); err != nil {
+		t.Fatal(err)
+	}
+	if f = readFile(t, out); len(f.Trajectory) != 3 {
+		t.Fatalf("new rev should append: %d captures", len(f.Trajectory))
+	}
+}
+
+// TestRunMigratesLegacyFormat checks that a pre-trajectory file
+// (label -> benchmarks) converts into ordered captures, before ahead of
+// after, and the new capture appends after them.
+func TestRunMigratesLegacyFormat(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	legacy := map[string]Snapshot{
+		"after":  {"BenchmarkSimLAP": {NsPerOp: 2}},
+		"before": {"BenchmarkSimLAP": {NsPerOp: 1}},
+	}
+	raw, err := json.Marshal(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("after", "ddd4444", out, strings.NewReader(sample)); err != nil {
+		t.Fatal(err)
+	}
+	f := readFile(t, out)
+	if len(f.Trajectory) != 3 {
+		t.Fatalf("want 3 captures after migration, got %d", len(f.Trajectory))
+	}
+	if f.Trajectory[0].Label != "before" || f.Trajectory[1].Label != "after" {
+		t.Fatalf("migrated order wrong: %q, %q", f.Trajectory[0].Label, f.Trajectory[1].Label)
+	}
+	if f.Trajectory[0].Rev != "" || f.Trajectory[1].Rev != "" {
+		t.Fatalf("migrated captures should have no rev: %+v", f.Trajectory[:2])
+	}
+	if f.Trajectory[2].Rev != "ddd4444" {
+		t.Fatalf("new capture rev: %q", f.Trajectory[2].Rev)
 	}
 }

@@ -284,22 +284,25 @@ func smokeMetrics(c *http.Client, base string) error {
 	}
 
 	for series, typ := range map[string]string{
-		"lapserved_breaker_state":             "gauge",
-		"lapserved_queue_depth":               "gauge",
-		"lapserved_queue_limit":               "gauge",
-		"lapserved_inflight_runs":             "gauge",
-		"lapserved_trace_store_entries":       "gauge",
-		"lapserved_breaker_shed_total":        "counter",
-		"lapserved_admit_rejected_total":      "counter",
-		"lapserved_runs_failed_total":         "counter",
-		"lapserved_memo_computed_total":       "counter",
-		"lapserved_memo_recalled_total":       "counter",
-		"lapserved_breaker_transitions_total": "counter",
-		"lapserved_retry_attempts_total":      "counter",
-		"lapserved_run_duration_seconds":      "histogram",
-		"lapserved_queue_wait_seconds":        "histogram",
-		"lapsim_accesses_per_second":          "gauge",
-		"lapsim_bank_ops_total":               "counter",
+		"lapserved_breaker_state":               "gauge",
+		"lapserved_queue_depth":                 "gauge",
+		"lapserved_queue_limit":                 "gauge",
+		"lapserved_inflight_runs":               "gauge",
+		"lapserved_trace_store_entries":         "gauge",
+		"lapserved_breaker_shed_total":          "counter",
+		"lapserved_admit_rejected_total":        "counter",
+		"lapserved_runs_failed_total":           "counter",
+		"lapserved_memo_computed_total":         "counter",
+		"lapserved_memo_recalled_total":         "counter",
+		"lapserved_profile_memo_computed_total": "counter",
+		"lapserved_sample_runs_total":           "counter",
+		"lapserved_sample_last_work_reduction":  "gauge",
+		"lapserved_breaker_transitions_total":   "counter",
+		"lapserved_retry_attempts_total":        "counter",
+		"lapserved_run_duration_seconds":        "histogram",
+		"lapserved_queue_wait_seconds":          "histogram",
+		"lapsim_accesses_per_second":            "gauge",
+		"lapsim_bank_ops_total":                 "counter",
 	} {
 		if got := exp.types[series]; got != typ {
 			return fmt.Errorf("family %s: type %q, want %q", series, got, typ)

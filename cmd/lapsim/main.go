@@ -58,6 +58,9 @@ func main() {
 	mshr := flag.Int("mshr", 0, "MSHR entries per LLC miss path (0 = unbounded, the pre-MSHR model)")
 	configPath := flag.String("config", "", "JSON machine configuration to start from")
 	metricsFile := flag.String("metrics", "", "write a Prometheus text exposition of the run's counters to this file")
+	mode := flag.String("mode", "exact", "simulation mode: exact (default) or sampled — interval-sampled simulation; -interval is then the window length in accesses per core")
+	clusters := flag.Int("clusters", 0, "sampled mode: detailed intervals per run (0 = ~sqrt(intervals))")
+	sampleWarmup := flag.Int("sample-warmup", 1, "sampled mode: functional re-warm intervals before each representative")
 	flag.Parse()
 
 	cfg := lap.DefaultConfig()
@@ -108,6 +111,26 @@ func main() {
 	if *mshr > 0 {
 		cfg.MSHREntries = *mshr
 	}
+	sampled := false
+	switch *mode {
+	case "exact":
+	case "sampled":
+		sampled = true
+		if *replayFile != "" {
+			fatal("-mode sampled does not support -replay (profile a mix or bench workload instead)")
+		}
+		if *threads > 0 {
+			fatal("-mode sampled cannot run threaded workloads (coherent state does not survive interval jumps)")
+		}
+		if *traceOut != "" {
+			fatal("-mode sampled does not record telemetry timelines; drop -trace or use -mode exact")
+		}
+		cfg.SampleInterval = *interval
+		cfg.SampleClusters = *clusters
+		cfg.SampleWarmup = *sampleWarmup
+	default:
+		fatal("unknown -mode %q (want exact or sampled)", *mode)
+	}
 	if err := lap.ValidateConfig(cfg); err != nil {
 		fatal("%v", err)
 	}
@@ -116,12 +139,29 @@ func main() {
 	if *bench != "" && *threads > 0 {
 		cfg.Cores = *threads
 	}
+	// In sampled mode one functional profile serves every policy: the
+	// signatures and checkpoints are policy-independent, so the sweep
+	// pays the profiling pass once.
+	var prof *lap.SampleProfile
+	if sampled {
+		mix, err := sampledMix(*bench, *mixArg, cfg.Cores)
+		if err != nil {
+			fatal("%v", err)
+		}
+		prof, err = lap.BuildSampleProfile(cfg, mix, *accesses, *seed)
+		if err != nil {
+			fatal("%v", err)
+		}
+	}
 	// One shared tracer; each policy's run renders onto its own track.
 	var tracer *lap.Tracer
 	if *traceOut != "" {
 		tracer = lap.NewTracer(0)
 	}
 	runOne := func(p lap.Policy) (lap.Result, error) {
+		if sampled {
+			return lap.RunSampledProfile(cfg, p, prof)
+		}
 		tel := lap.TraceTelemetry(tracer, string(p), *interval)
 		switch {
 		case *replayFile != "":
@@ -360,6 +400,28 @@ func report(r lap.Result) {
 		fmt.Printf(" %.3f", ipc)
 	}
 	fmt.Println()
+	if s := r.Sample; s != nil {
+		fmt.Printf("sampled           %d/%d intervals detailed (+%d warmup), %d clusters, %.1fx work reduction\n",
+			s.IntervalsDetailed, s.IntervalsProfiled, s.IntervalsWarmup, s.Clusters, s.WorkReduction)
+		fmt.Printf("confidence        miss rate ±%.2f%%, EPI ±%.2f%% (95%% CI)\n",
+			100*s.MissRateRelCI, 100*s.EPIRelCI)
+	}
+}
+
+// sampledMix resolves the workload for a sampled run: -bench duplicates
+// one benchmark per core, -mix resolves as usual.
+func sampledMix(bench, mixArg string, cores int) (lap.Mix, error) {
+	switch {
+	case bench != "":
+		if _, err := lap.BenchmarkByName(bench); err != nil {
+			return lap.Mix{}, err
+		}
+		return lap.DuplicateMix(bench, cores), nil
+	case mixArg != "":
+		return resolveMix(mixArg, cores)
+	default:
+		return lap.Mix{}, fmt.Errorf("one of -mix or -bench is required in sampled mode")
+	}
 }
 
 func fatal(format string, args ...any) {

@@ -49,6 +49,21 @@ type Options struct {
 	// — is fully off; tables are byte-identical either way, the tracer
 	// only observes. Scheduling-only, like Jobs: not part of memo keys.
 	Trace *trace.Tracer
+	// SampleInterval > 0 switches eligible runs to sampled interval
+	// simulation (internal/sample) with this window length in accesses
+	// per core. Runs that sampling cannot represent — coherent, MOESI-
+	// tracked, profiled, or warmup-bounded configurations — silently stay
+	// exact, so one flag can accelerate a whole artifact sweep. Unlike
+	// Jobs/Banks this changes results (they become estimates), so the
+	// sampling knobs ARE part of memo keys: sampled and exact runs never
+	// share cache entries.
+	SampleInterval uint64
+	// SampleClusters is the detailed-interval budget per sampled run
+	// (0 = ~sqrt(intervals) automatically).
+	SampleClusters int
+	// SampleWarmup is the functional re-warm depth before each
+	// representative interval.
+	SampleWarmup int
 }
 
 // Defaults returns the standard experiment scale.

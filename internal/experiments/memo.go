@@ -10,6 +10,7 @@ import (
 	"repro/internal/obs"
 	otrace "repro/internal/obs/trace"
 	"repro/internal/pool"
+	"repro/internal/sample"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -76,6 +77,11 @@ func runE(cfg sim.Config, policyName string, ctrl sim.Controller, mix workload.M
 	if opt.Banks > 0 {
 		cfg.Banks = opt.Banks
 	}
+	if sampleEligible(cfg, opt) {
+		cfg.SampleInterval = opt.SampleInterval
+		cfg.SampleClusters = opt.SampleClusters
+		cfg.SampleWarmup = opt.SampleWarmup
+	}
 	key := runKey(cfg, policyName, mix, false, opt)
 	cell := key.Mix + "|" + policyName
 	ctx, sp := cellSpan(opt, cell)
@@ -88,10 +94,64 @@ func runE(cfg sim.Config, policyName string, ctrl sim.Controller, mix workload.M
 		if err := fault.Inject(fault.PointExpRun, cell); err != nil {
 			return sim.Result{}, err
 		}
+		if cfg.SampleInterval > 0 {
+			prof, err := profileFor(cfg, mix, opt)
+			if err != nil {
+				return sim.Result{}, err
+			}
+			sr, err := sample.Run(cfg, ctrl(), prof)
+			return sr.Sim, err
+		}
 		return sim.RunMix(cfg, ctrl, mix, opt.Accesses, opt.Seed)
 	})
 	sp.End()
 	return res, err
+}
+
+// sampleEligible reports whether sampled mode applies to this run:
+// the sweep asked for it and the configuration has none of the features
+// sampling cannot represent (cross-interval coherent state, the
+// redundancy profiler, or explicit warmup/length bounds). Ineligible
+// runs silently stay exact so artifact code never has to special-case.
+func sampleEligible(cfg sim.Config, opt Options) bool {
+	return opt.SampleInterval > 0 &&
+		!cfg.Coherent && !cfg.TrackMOESI && !cfg.Profile &&
+		cfg.WarmupAccessesPerCore == 0 && cfg.MaxAccessesPerCore == 0
+}
+
+// profileKey identifies one functional profile. Policy is absent —
+// profiles are policy-independent — and the cluster/warmup knobs are
+// normalised away: they shape the replay, not the profile.
+type profileKey struct {
+	Cfg      sim.Config
+	Mix      string
+	Accesses uint64
+	Seed     uint64
+}
+
+// profiles caches one functional profile per (config, mix, scale); a
+// Fig. 14-style sweep then pays one profiling pass for its six-plus
+// policies per mix.
+var profiles = memocache.New[profileKey, *sample.Profile](0)
+
+func profileFor(cfg sim.Config, mix workload.Mix, opt Options) (*sample.Profile, error) {
+	kcfg := cfg
+	kcfg.Banks = 0
+	kcfg.SampleClusters = 0
+	kcfg.SampleWarmup = 0
+	key := profileKey{
+		Cfg:      kcfg,
+		Mix:      mix.Name + "[" + strings.Join(mix.Members, ",") + "]",
+		Accesses: opt.Accesses,
+		Seed:     opt.Seed,
+	}
+	return profiles.DoErr(context.Background(), key, func() (*sample.Profile, error) {
+		srcs, err := sim.MixSources(mix, opt.Accesses, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return sample.BuildProfile(cfg, srcs, cfg.SampleInterval)
+	})
 }
 
 // cellSpan opens a per-cell root span on opt.Trace (nil-safe, zero cost
@@ -156,13 +216,18 @@ func runThreaded(cfg sim.Config, policyName string, ctrl sim.Controller, b workl
 // series names). A nil registry is a no-op.
 func RegisterMetrics(r *obs.Registry, ns string) {
 	memo.Register(r, ns+"_memo")
+	profiles.Register(r, ns+"_profile_memo")
 	pool.Register(r, ns+"_pool")
+	sample.RegisterMetrics(r, ns)
 }
 
 // ResetMemo clears the run cache (tests and benchmarks use it to bound
 // memory and force recomputation). See memo.Cache.Reset for the contract
 // under concurrency; the Stats counters survive a reset.
-func ResetMemo() { memo.Reset() }
+func ResetMemo() {
+	memo.Reset()
+	profiles.Reset()
+}
 
 // MemoStats counts run-cache activity since process start: Computed is
 // the number of simulations actually executed, Recalled the number of

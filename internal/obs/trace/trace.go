@@ -59,10 +59,10 @@ type Attr struct {
 }
 
 // Str, Int, Uint, Bool, and Float construct Attrs.
-func Str(k, v string) Attr        { return Attr{Key: k, Value: v} }
-func Int(k string, v int64) Attr  { return Attr{Key: k, Value: v} }
-func Uint(k string, v uint64) Attr { return Attr{Key: k, Value: v} }
-func Bool(k string, v bool) Attr  { return Attr{Key: k, Value: v} }
+func Str(k, v string) Attr           { return Attr{Key: k, Value: v} }
+func Int(k string, v int64) Attr     { return Attr{Key: k, Value: v} }
+func Uint(k string, v uint64) Attr   { return Attr{Key: k, Value: v} }
+func Bool(k string, v bool) Attr     { return Attr{Key: k, Value: v} }
 func Float(k string, v float64) Attr { return Attr{Key: k, Value: v} }
 
 // Event is one recorded trace event. Spans (PhaseSpan) carry Dur and the

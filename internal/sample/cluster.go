@@ -1,0 +1,250 @@
+package sample
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// sigDims is the number of signature dimensions used for clustering.
+// Each interval is embedded as a point in this space, z-score
+// normalized per dimension so no single counter dominates distance.
+const sigDims = 6
+
+// signature embeds one interval's telemetry as a feature vector. The
+// dimensions are the per-interval event series that distinguish program
+// phases in this simulator: LLC pressure, miss intensity, write-path
+// composition, and LAP-specific loop behavior.
+func signature(iv sim.Interval) [sigDims]float64 {
+	return [sigDims]float64{
+		float64(iv.L3Accesses),
+		float64(iv.L3Misses),
+		float64(iv.Writebacks),
+		float64(iv.Fills),
+		float64(iv.LoopBlocks),
+		float64(iv.TagOnlyUpdates),
+	}
+}
+
+// Rep is one cluster of the sampling plan: the representative interval
+// simulated in detail, and the member intervals it stands in for.
+type Rep struct {
+	// Interval is the representative's index into Profile.Intervals.
+	Interval int
+	// Weight is the cluster size — the representative's delta is
+	// extrapolated by this factor.
+	Weight uint64
+	// Members lists every interval in the cluster (including the
+	// representative), for the error model's dispersion estimate.
+	Members []int
+}
+
+// Plan is a complete sampling plan: which intervals to simulate in
+// detail and how to weight them. Reps are ordered by representative
+// interval index, so an executor replays them in trace order.
+type Plan struct {
+	Reps []Rep
+	// Clusters is the number of k-means clusters used for the full
+	// intervals (excludes singleton clusters for partial windows).
+	Clusters int
+}
+
+// autoClusters picks ~sqrt(n) clusters, clamped to 1..16 — enough to
+// separate the major phases of our synthetic workloads without eroding
+// the sampling speedup.
+func autoClusters(n int) int {
+	k := int(math.Round(math.Sqrt(float64(n))))
+	if k < 1 {
+		k = 1
+	}
+	if k > 16 {
+		k = 16
+	}
+	return k
+}
+
+// BuildPlan clusters the profile's full intervals into k groups
+// (k = Config.SampleClusters, or ~sqrt(intervals) when 0) and picks one
+// member of each as its representative. Selection is medoid-like but
+// snapshot-aware: among a cluster's members the planner first minimizes
+// the functional gap between the member's warmup window (warm intervals
+// wide) and the nearest cache-state snapshot, then the distance to the
+// cluster centroid. Cluster members are behaviorally interchangeable by
+// construction, so trading a little centroid proximity for a gap of
+// zero is cheap — and a zero gap means the replay restores exact warm
+// state instead of re-simulating bridge intervals. Partial (short)
+// trailing intervals become singleton clusters that are always
+// simulated. The procedure is fully deterministic: maximin seeding from
+// interval 0, ties broken by lowest index, no randomness.
+func BuildPlan(p *Profile, k, warm int) Plan {
+	var fullIdx, partIdx []int
+	for i := range p.Intervals {
+		if p.full(i) {
+			fullIdx = append(fullIdx, i)
+		} else {
+			partIdx = append(partIdx, i)
+		}
+	}
+	if k <= 0 {
+		k = autoClusters(len(fullIdx))
+	}
+	if k > len(fullIdx) {
+		k = len(fullIdx)
+	}
+
+	var reps []Rep
+	if len(fullIdx) > 0 {
+		pts := normalize(p, fullIdx)
+		assign := kmeans(pts, k)
+		for c := 0; c < k; c++ {
+			var members []int
+			for j, a := range assign {
+				if a == c {
+					members = append(members, j)
+				}
+			}
+			if len(members) == 0 {
+				continue
+			}
+			med := medoid(pts, members, func(j int) int { return p.warmGap(fullIdx[j], warm) })
+			rep := Rep{Interval: fullIdx[med], Weight: uint64(len(members))}
+			for _, j := range members {
+				rep.Members = append(rep.Members, fullIdx[j])
+			}
+			reps = append(reps, rep)
+		}
+	}
+	for _, i := range partIdx {
+		reps = append(reps, Rep{Interval: i, Weight: 1, Members: []int{i}})
+	}
+	sort.Slice(reps, func(a, b int) bool { return reps[a].Interval < reps[b].Interval })
+	return Plan{Reps: reps, Clusters: k}
+}
+
+// normalize embeds the selected intervals and z-scores each dimension
+// (constant dimensions collapse to 0).
+func normalize(p *Profile, idx []int) [][sigDims]float64 {
+	pts := make([][sigDims]float64, len(idx))
+	for j, i := range idx {
+		pts[j] = signature(p.Intervals[i])
+	}
+	for d := 0; d < sigDims; d++ {
+		var mean float64
+		for j := range pts {
+			mean += pts[j][d]
+		}
+		mean /= float64(len(pts))
+		var varSum float64
+		for j := range pts {
+			dv := pts[j][d] - mean
+			varSum += dv * dv
+		}
+		std := math.Sqrt(varSum / float64(len(pts)))
+		for j := range pts {
+			if std > 0 {
+				pts[j][d] = (pts[j][d] - mean) / std
+			} else {
+				pts[j][d] = 0
+			}
+		}
+	}
+	return pts
+}
+
+func dist2(a, b [sigDims]float64) float64 {
+	var s float64
+	for d := 0; d < sigDims; d++ {
+		dv := a[d] - b[d]
+		s += dv * dv
+	}
+	return s
+}
+
+// kmeans runs deterministic Lloyd iterations: centers seeded by
+// farthest-point traversal starting at point 0, assignment ties broken
+// by lowest center index, at most 64 iterations (it converges far
+// sooner on our interval counts).
+func kmeans(pts [][sigDims]float64, k int) []int {
+	centers := make([][sigDims]float64, 0, k)
+	centers = append(centers, pts[0])
+	minD := make([]float64, len(pts))
+	for j := range pts {
+		minD[j] = dist2(pts[j], centers[0])
+	}
+	for len(centers) < k {
+		far, farD := 0, -1.0
+		for j := range pts {
+			if minD[j] > farD {
+				far, farD = j, minD[j]
+			}
+		}
+		centers = append(centers, pts[far])
+		for j := range pts {
+			if d := dist2(pts[j], pts[far]); d < minD[j] {
+				minD[j] = d
+			}
+		}
+	}
+
+	assign := make([]int, len(pts))
+	for iter := 0; iter < 64; iter++ {
+		changed := false
+		for j := range pts {
+			best, bestD := 0, dist2(pts[j], centers[0])
+			for c := 1; c < len(centers); c++ {
+				if d := dist2(pts[j], centers[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[j] != best {
+				assign[j] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		var sums [][sigDims]float64 = make([][sigDims]float64, len(centers))
+		counts := make([]int, len(centers))
+		for j := range pts {
+			c := assign[j]
+			counts[c]++
+			for d := 0; d < sigDims; d++ {
+				sums[c][d] += pts[j][d]
+			}
+		}
+		for c := range centers {
+			if counts[c] == 0 {
+				continue // empty cluster keeps its old center
+			}
+			for d := 0; d < sigDims; d++ {
+				centers[c][d] = sums[c][d] / float64(counts[c])
+			}
+		}
+	}
+	return assign
+}
+
+// medoid returns the member (an index into pts) minimizing, in order:
+// the snapshot gap reported by gap, then the distance to the members'
+// centroid, then the index.
+func medoid(pts [][sigDims]float64, members []int, gap func(j int) int) int {
+	var cen [sigDims]float64
+	for _, j := range members {
+		for d := 0; d < sigDims; d++ {
+			cen[d] += pts[j][d]
+		}
+	}
+	for d := 0; d < sigDims; d++ {
+		cen[d] /= float64(len(members))
+	}
+	best, bestG, bestD := members[0], gap(members[0]), math.Inf(1)
+	for _, j := range members {
+		g, d := gap(j), dist2(pts[j], cen)
+		if g < bestG || (g == bestG && d < bestD) {
+			best, bestG, bestD = j, g, d
+		}
+	}
+	return best
+}

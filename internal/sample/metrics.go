@@ -1,0 +1,61 @@
+package sample
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Package-level sampled-run telemetry. Counters accumulate across every
+// sampled run in the process; the two gauges report the most recent
+// run's headline figures. Package-level (rather than per-run) state
+// matches how internal/experiments exposes its memo metrics: the obs
+// registry is process-wide and sampled runs happen deep inside memoized
+// closures.
+var (
+	runs              atomic.Uint64
+	intervalsProfiled atomic.Uint64
+	intervalsDetailed atomic.Uint64
+	intervalsWarmup   atomic.Uint64
+	intervalsSkipped  atomic.Uint64
+	lastWorkReduction atomic.Uint64 // float64 bits
+	lastMissRelCI     atomic.Uint64 // float64 bits
+	lastEPIRelCI      atomic.Uint64 // float64 bits
+)
+
+// recordRun folds one finished run's estimate into the package
+// telemetry.
+func recordRun(est *Estimate) {
+	runs.Add(1)
+	intervalsProfiled.Add(uint64(est.IntervalsProfiled))
+	intervalsDetailed.Add(uint64(est.IntervalsDetailed))
+	intervalsWarmup.Add(uint64(est.IntervalsWarmup))
+	intervalsSkipped.Add(uint64(est.IntervalsSkipped))
+	lastWorkReduction.Store(math.Float64bits(est.WorkReduction))
+	lastMissRelCI.Store(math.Float64bits(est.MissRateRelCI))
+	lastEPIRelCI.Store(math.Float64bits(est.EPIRelCI))
+}
+
+// RegisterMetrics exposes the sampled-run telemetry on r under the
+// ns_sample_* prefix. A nil registry is a no-op.
+func RegisterMetrics(r *obs.Registry, ns string) {
+	if r == nil {
+		return
+	}
+	p := ns + "_sample_"
+	r.CounterFunc(p+"runs_total", "sampled simulation runs completed", runs.Load)
+	r.CounterFunc(p+"intervals_profiled_total", "trace intervals fingerprinted by profiling passes", intervalsProfiled.Load)
+	r.CounterFunc(p+"intervals_detailed_total", "intervals simulated under the full timing model", intervalsDetailed.Load)
+	r.CounterFunc(p+"intervals_warmup_total", "intervals re-run functionally for cache warmup", intervalsWarmup.Load)
+	r.CounterFunc(p+"intervals_skipped_total", "intervals extrapolated without simulation", intervalsSkipped.Load)
+	r.GaugeFunc(p+"last_work_reduction", "last run's profiled/(detailed+warmup) interval ratio", func() float64 {
+		return math.Float64frombits(lastWorkReduction.Load())
+	})
+	r.GaugeFunc(p+"last_miss_rate_rel_ci", "last run's relative 95% CI half-width for miss rate", func() float64 {
+		return math.Float64frombits(lastMissRelCI.Load())
+	})
+	r.GaugeFunc(p+"last_epi_rel_ci", "last run's relative 95% CI half-width for EPI", func() float64 {
+		return math.Float64frombits(lastEPIRelCI.Load())
+	})
+}

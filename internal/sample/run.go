@@ -1,0 +1,125 @@
+package sample
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Estimate is the error model's report for one sampled run. It is
+// sim.SampleEstimate (defined there so it can travel inside
+// sim.Result.Sample through memo and cache layers).
+type Estimate = sim.SampleEstimate
+
+// Result pairs the extrapolated simulation result with its error
+// estimate.
+type Result struct {
+	Sim sim.Result
+	Est Estimate
+}
+
+// Run replays a profile against one policy: for each representative
+// interval (in trace order) it restores the nearest cache-state
+// snapshot, jumps the sources to match, re-runs the bridge and
+// SampleWarmup intervals functionally so the target policy reshapes the
+// restored hierarchy, simulates the representative in detail, and
+// extrapolates its delta by cluster weight. Exact and sampled runs
+// share the machine, the controllers, and the Result assembly; only the
+// schedule differs.
+func Run(cfg sim.Config, ctrl core.Controller, p *Profile) (Result, error) {
+	warm := cfg.SampleWarmup
+	plan := BuildPlan(p, cfg.SampleClusters, warm)
+
+	eng := sim.NewEngine(cfg, ctrl, p.forkAt(0), nil)
+	var total sim.Counters
+	est := Estimate{
+		Clusters:          plan.Clusters,
+		IntervalsProfiled: len(p.Intervals),
+	}
+	for _, rep := range plan.Reps {
+		start := rep.Interval - warm
+		if start < 0 {
+			start = 0
+		}
+		pos, st := p.stateFor(start)
+		eng.RestoreState(st)
+		eng.SetSources(p.forkAt(pos))
+		for i := pos; i < rep.Interval; i++ {
+			eng.RunFunctional(p.PerCore)
+			est.IntervalsWarmup++
+		}
+		before := eng.Counters()
+		eng.RunDetailed(p.PerCore)
+		est.IntervalsDetailed++
+		delta := eng.Counters()
+		delta.Sub(&before)
+		total.AddScaled(&delta, rep.Weight)
+	}
+	est.IntervalsSkipped = est.IntervalsProfiled - est.IntervalsDetailed - est.IntervalsWarmup
+	if est.IntervalsSkipped < 0 {
+		est.IntervalsSkipped = 0
+	}
+	if work := est.IntervalsDetailed + est.IntervalsWarmup; work > 0 {
+		est.WorkReduction = float64(est.IntervalsProfiled) / float64(work)
+	}
+	est.MissRateRelCI, est.EPIRelCI = p.confidence(plan)
+
+	sr := eng.Finalize(total)
+	attached := est
+	sr.Sample = &attached
+	recordRun(&est)
+	return Result{Sim: sr, Est: est}, nil
+}
+
+// confidence propagates within-cluster dispersion of the profile's
+// per-interval series into relative 95% confidence half-widths for the
+// miss rate and EPI. The estimator simulates one draw per cluster and
+// scales it by the cluster's weight share, so
+// Var(μ̂) = Σ_c (N_c/n)² σ_c², with σ_c the member dispersion of
+// cluster c measured on the profiling pass.
+func (p *Profile) confidence(plan Plan) (missRel, epiRel float64) {
+	miss := func(iv sim.Interval) float64 {
+		if iv.L3Accesses == 0 {
+			return 0
+		}
+		return float64(iv.L3Misses) / float64(iv.L3Accesses)
+	}
+	reads := func(iv sim.Interval) float64 { return float64(iv.L3Accesses) }
+	writes := func(iv sim.Interval) float64 { return float64(iv.Fills + iv.Writebacks) }
+
+	missRel = p.seriesRelCI(plan, miss)
+	// EPI's dynamic term is driven by LLC read and write activity;
+	// combine the two series' independent relative errors in quadrature.
+	r, w := p.seriesRelCI(plan, reads), p.seriesRelCI(plan, writes)
+	epiRel = math.Hypot(r, w)
+	return missRel, epiRel
+}
+
+// seriesRelCI computes the relative 95% CI half-width of the
+// cluster-weighted estimator for one per-interval series.
+func (p *Profile) seriesRelCI(plan Plan, f func(sim.Interval) float64) float64 {
+	n := float64(len(p.Intervals))
+	if n == 0 {
+		return 0
+	}
+	var means, weights []float64
+	var varSum float64
+	for _, rep := range plan.Reps {
+		xs := make([]float64, len(rep.Members))
+		ws := make([]float64, len(rep.Members))
+		for i, m := range rep.Members {
+			xs[i] = f(p.Intervals[m])
+			ws[i] = 1
+		}
+		mu := stats.WeightedMean(xs, ws)
+		sigma2 := stats.WeightedVariance(xs, ws)
+		share := float64(rep.Weight) / n
+		means = append(means, mu)
+		weights = append(weights, float64(rep.Weight))
+		varSum += share * share * sigma2
+	}
+	mu := stats.WeightedMean(means, weights)
+	return stats.RelCI95(mu, math.Sqrt(varSum))
+}

@@ -1,0 +1,225 @@
+package sample
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func testCfg() sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Cores = 2
+	cfg.L1SizeBytes = 4 << 10
+	cfg.L2SizeBytes = 16 << 10
+	cfg.L3SizeBytes = 64 << 10
+	return cfg
+}
+
+// phasey alternates loop-friendly and streaming behavior so the trace
+// has genuinely distinct interval signatures to cluster.
+func phasey() workload.Benchmark {
+	return workload.Benchmark{
+		Name: "phasey", InstrPerAccess: 2,
+		Regions: []workload.Region{
+			{Kind: workload.Loop, Blocks: 300, Weight: 0.5},
+			{Kind: workload.StreamRMW, Weight: 0.3},
+			{Kind: workload.Hot, Blocks: 16, Weight: 0.2, WriteFrac: 0.4},
+		},
+	}
+}
+
+func testSources(cores int, n uint64) []trace.Source {
+	srcs := make([]trace.Source, cores)
+	for i := 0; i < cores; i++ {
+		srcs[i] = trace.Limit(trace.WithOffset(workload.New(phasey(), uint64(i+3)), uint64(i+1)<<50), n)
+	}
+	return srcs
+}
+
+func TestBuildProfileShape(t *testing.T) {
+	cfg := testCfg()
+	const perCore, total = 2000, 21000 // deliberately not a multiple
+	p, err := BuildProfile(cfg, testSources(2, total), perCore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFull := total / perCore
+	if len(p.Intervals) != wantFull+1 {
+		t.Fatalf("got %d intervals, want %d full + 1 partial", len(p.Intervals), wantFull)
+	}
+	var acc uint64
+	for i, iv := range p.Intervals {
+		acc += iv.Accesses
+		if i < wantFull && !p.full(i) {
+			t.Fatalf("interval %d should be full, has %d accesses", i, iv.Accesses)
+		}
+	}
+	if p.full(wantFull) {
+		t.Fatalf("trailing interval should be partial")
+	}
+	if acc != 2*total {
+		t.Fatalf("profile covers %d accesses, want %d", acc, 2*total)
+	}
+}
+
+func TestBuildProfileDeterministic(t *testing.T) {
+	cfg := testCfg()
+	a, err := BuildProfile(cfg, testSources(2, 20000), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildProfile(cfg, testSources(2, 20000), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Intervals) != len(b.Intervals) {
+		t.Fatalf("interval counts differ: %d vs %d", len(a.Intervals), len(b.Intervals))
+	}
+	for i := range a.Intervals {
+		if a.Intervals[i] != b.Intervals[i] {
+			t.Fatalf("interval %d signatures differ:\n%+v\n%+v", i, a.Intervals[i], b.Intervals[i])
+		}
+	}
+}
+
+func TestBuildProfileRejectsUnforkable(t *testing.T) {
+	cfg := testCfg()
+	// Wrapping a source in a type that does not implement Forker makes
+	// the whole stack unforkable.
+	srcs := testSources(2, 1000)
+	for i := range srcs {
+		srcs[i] = unforkable{srcs[i]}
+	}
+	if _, err := BuildProfile(cfg, srcs, 1000); err == nil {
+		t.Fatal("expected ErrNotForkable")
+	}
+}
+
+type unforkable struct{ trace.Source }
+
+func TestBuildPlanDeterministicAndComplete(t *testing.T) {
+	cfg := testCfg()
+	p, err := BuildProfile(cfg, testSources(2, 40000), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := BuildPlan(p, 0, 0)
+	b := BuildPlan(p, 0, 0)
+	if len(a.Reps) != len(b.Reps) {
+		t.Fatalf("plans differ in size: %d vs %d", len(a.Reps), len(b.Reps))
+	}
+	seen := make(map[int]bool)
+	var weight uint64
+	for i, rep := range a.Reps {
+		br := b.Reps[i]
+		if rep.Interval != br.Interval || rep.Weight != br.Weight {
+			t.Fatalf("rep %d differs: %+v vs %+v", i, rep, br)
+		}
+		if i > 0 && rep.Interval <= a.Reps[i-1].Interval {
+			t.Fatalf("reps not in trace order at %d", i)
+		}
+		weight += rep.Weight
+		if uint64(len(rep.Members)) != rep.Weight {
+			t.Fatalf("rep %d weight %d != member count %d", i, rep.Weight, len(rep.Members))
+		}
+		for _, m := range rep.Members {
+			if seen[m] {
+				t.Fatalf("interval %d assigned to two clusters", m)
+			}
+			seen[m] = true
+		}
+	}
+	if weight != uint64(len(p.Intervals)) {
+		t.Fatalf("cluster weights sum to %d, want %d intervals", weight, len(p.Intervals))
+	}
+}
+
+// TestSampledTracksExact is the accuracy contract at unit-test scale:
+// a sampled run must land within a few percent of the exact run on the
+// headline metrics, and its estimate must report the work split
+// coherently.
+func TestSampledTracksExact(t *testing.T) {
+	cfg := testCfg()
+	const perCore, total = 2000, 60000
+
+	exact := sim.Run(cfg, core.NewLAP(), testSources(2, total))
+
+	scfg := cfg
+	scfg.SampleInterval = perCore
+	scfg.SampleClusters = 8
+	scfg.SampleWarmup = 1
+	p, err := BuildProfile(scfg, testSources(2, total), perCore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(scfg, core.NewLAP(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	relErr := func(a, b float64) float64 {
+		if b == 0 {
+			return math.Abs(a)
+		}
+		return math.Abs(a-b) / math.Abs(b)
+	}
+	missExact := float64(exact.Met.L3Misses) / float64(exact.Met.L3Accesses)
+	missSampled := float64(got.Sim.Met.L3Misses) / float64(got.Sim.Met.L3Accesses)
+	if e := relErr(missSampled, missExact); e > 0.05 {
+		t.Fatalf("miss rate off by %.1f%%: sampled %.4f vs exact %.4f", 100*e, missSampled, missExact)
+	}
+	if e := relErr(got.Sim.EPI.Total(), exact.EPI.Total()); e > 0.05 {
+		t.Fatalf("EPI off by %.1f%%: sampled %.4f vs exact %.4f", 100*e, got.Sim.EPI, exact.EPI)
+	}
+	if e := relErr(float64(got.Sim.Met.Instructions), float64(exact.Met.Instructions)); e > 0.01 {
+		t.Fatalf("instructions off by %.2f%%: sampled %d vs exact %d", 100*e, got.Sim.Met.Instructions, exact.Met.Instructions)
+	}
+
+	est := got.Est
+	if est.IntervalsProfiled != len(p.Intervals) {
+		t.Fatalf("estimate reports %d profiled intervals, profile has %d", est.IntervalsProfiled, len(p.Intervals))
+	}
+	if est.IntervalsDetailed != len(BuildPlan(p, scfg.SampleClusters, scfg.SampleWarmup).Reps) {
+		t.Fatalf("estimate reports %d detailed intervals, plan has %d reps", est.IntervalsDetailed, len(BuildPlan(p, scfg.SampleClusters, scfg.SampleWarmup).Reps))
+	}
+	if est.IntervalsDetailed >= est.IntervalsProfiled {
+		t.Fatalf("sampling simulated %d of %d intervals — no reduction", est.IntervalsDetailed, est.IntervalsProfiled)
+	}
+	if est.WorkReduction <= 1 {
+		t.Fatalf("work reduction %.2f, want > 1", est.WorkReduction)
+	}
+	if est.MissRateRelCI < 0 || est.EPIRelCI < 0 {
+		t.Fatalf("negative confidence half-widths: %+v", est)
+	}
+}
+
+// TestSampledDeterministic: two sampled runs of the same profile and
+// policy must agree exactly.
+func TestSampledDeterministic(t *testing.T) {
+	cfg := testCfg()
+	cfg.SampleInterval = 2000
+	cfg.SampleClusters = 4
+	cfg.SampleWarmup = 1
+	p, err := BuildProfile(cfg, testSources(2, 30000), cfg.SampleInterval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run(cfg, core.NewLAP(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, core.NewLAP(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Sim.Met != b.Sim.Met || a.Sim.EPI != b.Sim.EPI {
+		t.Fatalf("sampled runs of one profile diverged")
+	}
+	if a.Est != b.Est {
+		t.Fatalf("estimates diverged: %+v vs %+v", a.Est, b.Est)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	lap "repro"
 	"repro/internal/obs"
 	"repro/internal/pool"
+	"repro/internal/sample"
 )
 
 // serverMetrics is lapserved's first-class observability layer: every
@@ -114,9 +115,13 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 			"Requests refused with 503 while the breaker was open or probing."),
 	}
 
-	// Memo and pool counters ride along under the lapserved namespace.
+	// Memo and pool counters ride along under the lapserved namespace,
+	// as do the sampled-simulation series (profile cache activity plus
+	// the interval/work-reduction telemetry from internal/sample).
 	s.memo.Register(reg, "lapserved_memo")
+	s.profiles.Register(reg, "lapserved_profile_memo")
 	pool.Register(reg, "lapserved_pool")
+	sample.RegisterMetrics(reg, "lapserved")
 	return m
 }
 

@@ -117,17 +117,23 @@ const (
 	defaultBreakerThreshold = 5
 	defaultBreakerCooldown  = 5 * time.Second
 	defaultTraceRequests    = 64
+	// Profiles carry cache-hierarchy snapshots (~70 MB each at the
+	// paper's default geometry — see sample.Profile), so the profile
+	// cache is kept much smaller than the result memo: 8 entries bound
+	// it near half a gigabyte while still covering a sweep's mix set.
+	defaultProfileEntries = 8
 )
 
 // Server is the lapserved HTTP core. Construct with New; serve
 // Handler() with net/http.
 type Server struct {
-	cfg     Config
-	memo    *memo.Cache[runKey, lap.Result]
-	store   *traceStore
-	traces  *traceLog // per-request trace exports; nil when disabled
-	sem     chan struct{}
-	breaker *breaker
+	cfg      Config
+	memo     *memo.Cache[runKey, lap.Result]
+	profiles *memo.Cache[profileKey, *lap.SampleProfile]
+	store    *traceStore
+	traces   *traceLog // per-request trace exports; nil when disabled
+	sem      chan struct{}
+	breaker  *breaker
 
 	queued   atomic.Int64
 	inflight atomic.Int64
@@ -178,12 +184,13 @@ func New(cfg Config) *Server {
 		cfg.BreakerCooldown = defaultBreakerCooldown
 	}
 	s := &Server{
-		cfg:     cfg,
-		memo:    memo.New[runKey, lap.Result](cfg.MemoEntries),
-		store:   newTraceStore(),
-		sem:     make(chan struct{}, cfg.Jobs),
-		breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
-		lat:     latRing{buf: make([]float64, 0, latencyWindow)},
+		cfg:      cfg,
+		memo:     memo.New[runKey, lap.Result](cfg.MemoEntries),
+		profiles: memo.New[profileKey, *lap.SampleProfile](defaultProfileEntries),
+		store:    newTraceStore(),
+		sem:      make(chan struct{}, cfg.Jobs),
+		breaker:  newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		lat:      latRing{buf: make([]float64, 0, latencyWindow)},
 	}
 	if cfg.TraceRequests >= 0 {
 		n := cfg.TraceRequests
@@ -528,11 +535,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	for _, mix := range req.Mixes {
 		for _, pol := range req.Policies {
 			sp, err := s.resolveRun(RunRequest{
-				Config:   req.Config,
-				Policy:   pol,
-				Mix:      mix,
-				Accesses: req.Accesses,
-				Seed:     req.Seed,
+				Config:         req.Config,
+				Policy:         pol,
+				Mix:            mix,
+				Accesses:       req.Accesses,
+				Seed:           req.Seed,
+				Mode:           req.Mode,
+				SampleInterval: req.SampleInterval,
+				SampleClusters: req.SampleClusters,
+				SampleWarmup:   req.SampleWarmup,
 			})
 			if err != nil {
 				writeError(w, err)

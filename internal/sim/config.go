@@ -124,6 +124,26 @@ type Config struct {
 	// fast-forward-then-measure methodology. Warmup accesses change cache
 	// state but are excluded from every reported metric.
 	WarmupAccessesPerCore uint64
+
+	// SampleInterval > 0 selects sampled interval simulation
+	// (internal/sample): the trace is split into windows of this many
+	// accesses per core, windows are clustered by behavior signature, and
+	// only one representative per cluster is simulated in detail — the
+	// rest are fast-forwarded in functional warmup mode and extrapolated
+	// by cluster weight. 0 (the default) is exact mode. Sampled runs
+	// require forkable trace sources (workload surrogates, in-memory
+	// traces) and are incompatible with Coherent, TrackMOESI, Profile,
+	// WarmupAccessesPerCore, and MaxAccessesPerCore (bound the sources
+	// instead); Validate reports which knob conflicts.
+	SampleInterval uint64
+	// SampleClusters is the number of k-means clusters (= detailed
+	// intervals simulated per run) in sampled mode. 0 picks
+	// ~sqrt(intervals) automatically.
+	SampleClusters int
+	// SampleWarmup is the number of preceding intervals re-run in
+	// functional mode before each representative interval, restoring
+	// recency/loop-block state after a fast-forward jump.
+	SampleWarmup int
 }
 
 // DefaultConfig returns the paper's Table II system with an STT-RAM LLC:

@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestTelemetryDeterministicAcrossBanks pins the contract the sampled
+// simulator's profiling pass depends on: interval signatures must be
+// byte-identical regardless of the Config.Banks host-parallelism
+// setting, and must sum exactly to the full run's totals. Banks > 1
+// shards cores across worker goroutines for exact runs; telemetry-
+// observed runs take the serial path, and that fallback (plus the
+// shared-LLC ordering guarantee behind it) is what keeps signatures
+// stable. A diff here means interval fingerprints — and therefore
+// cluster assignments and sampled results — would depend on a knob
+// that is documented never to change simulation results.
+func TestTelemetryDeterministicAcrossBanks(t *testing.T) {
+	const perCore = 20000
+	collect := func(banks int) ([]Interval, Result) {
+		cfg := smallCfg()
+		cfg.Banks = banks
+		var ivs []Interval
+		tel := &Telemetry{
+			Interval:   4000,
+			OnInterval: func(iv Interval) { ivs = append(ivs, iv) },
+		}
+		r := RunObserved(cfg, core.NewLAP(), sourcesFor(loopy(), 2, perCore), tel)
+		return ivs, r
+	}
+
+	ivsSerial, resSerial := collect(0)
+	for _, banks := range []int{1, 2, 4} {
+		ivs, res := collect(banks)
+		if len(ivs) != len(ivsSerial) {
+			t.Fatalf("banks=%d emitted %d intervals, serial emitted %d", banks, len(ivs), len(ivsSerial))
+		}
+		for i := range ivs {
+			if ivs[i] != ivsSerial[i] {
+				t.Fatalf("banks=%d interval %d differs:\n got %+v\nwant %+v", banks, i, ivs[i], ivsSerial[i])
+			}
+		}
+		if res.Met != resSerial.Met {
+			t.Fatalf("banks=%d metrics differ from serial run", banks)
+		}
+	}
+
+	// The signatures must also tile the run exactly: per-series sums
+	// equal the full-run totals the sampled extrapolation reconstructs.
+	var acc, l3acc, misses, wb, fills, loops, tagOnly uint64
+	for _, iv := range ivsSerial {
+		acc += iv.Accesses
+		l3acc += iv.L3Accesses
+		misses += iv.L3Misses
+		wb += iv.Writebacks
+		fills += iv.Fills
+		loops += iv.LoopBlocks
+		tagOnly += iv.TagOnlyUpdates
+	}
+	if acc != 2*perCore {
+		t.Fatalf("interval accesses sum to %d, want %d", acc, 2*perCore)
+	}
+	m := resSerial.Met
+	for _, c := range []struct {
+		name      string
+		got, want uint64
+	}{
+		{"L3Accesses", l3acc, m.L3Accesses},
+		{"L3Misses", misses, m.L3Misses},
+		{"Writebacks", wb, m.WritesDirty + m.WritesClean},
+		{"Fills", fills, m.WritesFill},
+		{"TagOnlyUpdates", tagOnly, m.TagOnlyUpdates},
+	} {
+		if c.got != c.want {
+			t.Fatalf("%s: interval sum %d != run total %d", c.name, c.got, c.want)
+		}
+	}
+}

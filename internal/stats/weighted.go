@@ -1,0 +1,64 @@
+package stats
+
+import "math"
+
+// Weighted helpers for frequency-weighted samples: weight w_i means
+// "x_i was observed w_i times". The sampled simulator uses them to
+// extrapolate cluster-representative measurements (weight = cluster
+// size) and to turn cluster dispersion into per-metric confidence.
+
+// WeightedMean returns Σ w_i x_i / Σ w_i, or 0 when the total weight is
+// zero. It panics when the slices differ in length.
+func WeightedMean(xs []float64, ws []float64) float64 {
+	if len(xs) != len(ws) {
+		panic("stats: WeightedMean length mismatch")
+	}
+	var sum, wsum float64
+	for i, x := range xs {
+		sum += ws[i] * x
+		wsum += ws[i]
+	}
+	if wsum == 0 {
+		return 0
+	}
+	return sum / wsum
+}
+
+// WeightedVariance returns the frequency-weighted unbiased sample
+// variance Σ w_i (x_i − μ)² / (Σ w_i − 1), where μ is the weighted
+// mean. It returns 0 when the total weight is ≤ 1 (a single effective
+// observation has no dispersion).
+func WeightedVariance(xs []float64, ws []float64) float64 {
+	if len(xs) != len(ws) {
+		panic("stats: WeightedVariance length mismatch")
+	}
+	var wsum float64
+	for _, w := range ws {
+		wsum += w
+	}
+	if wsum <= 1 {
+		return 0
+	}
+	mu := WeightedMean(xs, ws)
+	var m2 float64
+	for i, x := range xs {
+		d := x - mu
+		m2 += ws[i] * d * d
+	}
+	return m2 / (wsum - 1)
+}
+
+// WeightedStd returns the square root of WeightedVariance.
+func WeightedStd(xs []float64, ws []float64) float64 {
+	return math.Sqrt(WeightedVariance(xs, ws))
+}
+
+// RelCI95 converts a standard error into a relative 95% half-width:
+// 1.96·se/|mean|. It returns 0 when the mean is zero (no meaningful
+// relative scale) or the standard error is not finite.
+func RelCI95(mean, se float64) float64 {
+	if mean == 0 || math.IsNaN(se) || math.IsInf(se, 0) {
+		return 0
+	}
+	return 1.96 * se / math.Abs(mean)
+}

@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("%s = %.12f, want %.12f", name, got, want)
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	// By hand: (2·1 + 3·10 + 5·4) / (2+3+5) = (2+30+20)/10 = 5.2.
+	got := WeightedMean([]float64{1, 10, 4}, []float64{2, 3, 5})
+	approx(t, "WeightedMean", got, 5.2)
+
+	// Unit weights reduce to the plain mean.
+	approx(t, "WeightedMean(unit)", WeightedMean([]float64{1, 2, 3}, []float64{1, 1, 1}), 2)
+
+	// Zero total weight is defined as 0.
+	approx(t, "WeightedMean(zero)", WeightedMean([]float64{7}, []float64{0}), 0)
+}
+
+func TestWeightedVariance(t *testing.T) {
+	// By hand with xs={1,10,4}, ws={2,3,5}: μ=5.2,
+	// Σw(x−μ)² = 2·(−4.2)² + 3·4.8² + 5·(−1.2)²
+	//          = 2·17.64 + 3·23.04 + 5·1.44 = 35.28 + 69.12 + 7.2 = 111.6,
+	// variance = 111.6 / (10−1) = 12.4.
+	got := WeightedVariance([]float64{1, 10, 4}, []float64{2, 3, 5})
+	approx(t, "WeightedVariance", got, 12.4)
+	approx(t, "WeightedStd", WeightedStd([]float64{1, 10, 4}, []float64{2, 3, 5}), math.Sqrt(12.4))
+
+	// Unit weights reduce to the unbiased sample variance:
+	// xs={2,4,6}: μ=4, Σ(x−μ)²=8, 8/2=4.
+	approx(t, "WeightedVariance(unit)", WeightedVariance([]float64{2, 4, 6}, []float64{1, 1, 1}), 4)
+
+	// A single effective observation has no dispersion.
+	approx(t, "WeightedVariance(w=1)", WeightedVariance([]float64{9}, []float64{1}), 0)
+}
+
+func TestWeightedExpansionEquivalence(t *testing.T) {
+	// Integer weights must agree with literally repeating each sample.
+	xs, ws := []float64{1.5, -2, 0.25}, []float64{3, 1, 2}
+	var s Stream
+	for i, x := range xs {
+		for k := 0; k < int(ws[i]); k++ {
+			s.Add(x)
+		}
+	}
+	approx(t, "mean vs expansion", WeightedMean(xs, ws), s.Mean())
+	approx(t, "variance vs expansion", WeightedVariance(xs, ws), s.Variance())
+}
+
+func TestRelCI95(t *testing.T) {
+	// By hand: 1.96·0.5/|−4| = 0.245.
+	approx(t, "RelCI95", RelCI95(-4, 0.5), 0.245)
+	approx(t, "RelCI95(zero mean)", RelCI95(0, 1), 0)
+	approx(t, "RelCI95(NaN se)", RelCI95(2, math.NaN()), 0)
+}
+
+func TestWeightedPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WeightedMean did not panic on length mismatch")
+		}
+	}()
+	WeightedMean([]float64{1}, []float64{1, 2})
+}
