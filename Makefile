@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json alloc-gate chaos ci quick sample-smoke serve serve-smoke trace-smoke
+.PHONY: all build test race bench bench-json alloc-gate chaos ci quick resume-smoke sample-smoke serve serve-smoke trace-smoke
 
 all: build
 
@@ -50,6 +50,14 @@ alloc-gate:
 sample-smoke:
 	$(GO) run ./cmd/samplesmoke
 
+# Crash-safe checkpointing gate: boot lapserved with -checkpoint-dir,
+# SIGKILL it mid-simulation, restart on the same directory, re-issue the
+# run, and require the response byte-identical to an uninterrupted
+# reference with at least one warm-start restore (see cmd/resumesmoke).
+resume-smoke:
+	$(GO) build -o /tmp/lap-resume-smoke-lapserved ./cmd/lapserved
+	$(GO) run ./cmd/resumesmoke -server /tmp/lap-resume-smoke-lapserved
+
 # Race-enabled failure-domain suite: fault injection, panic isolation,
 # typed corruption errors, retry/breaker/drain chaos scenarios.
 chaos:
@@ -66,6 +74,7 @@ ci:
 	$(GO) run ./cmd/lapserved -smoke
 	$(MAKE) trace-smoke
 	$(MAKE) sample-smoke
+	$(MAKE) resume-smoke
 
 # Boot lapserved on an ephemeral port, hit /healthz and /v1/run, fire a
 # coalesced duplicate pair and assert the recalled counter advanced,

@@ -36,6 +36,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/obs"
@@ -102,6 +103,8 @@ func main() {
 	interval := flag.Uint64("interval", 0, "sampled mode: interval length in accesses per core (0 = accesses/50, min 1000)")
 	clusters := flag.Int("clusters", 0, "sampled mode: detailed intervals per run (0 = ~sqrt(intervals))")
 	sampleWarmup := flag.Int("sample-warmup", 1, "sampled mode: functional re-warm intervals before each representative")
+	checkpointDir := flag.String("checkpoint-dir", "", "durable checkpoint store: runs snapshot and resume across invocations (tables byte-identical either way)")
+	checkpointEvery := flag.Uint64("checkpoint-every", 1_000_000, "checkpoint spacing in accesses, summed over cores (with -checkpoint-dir)")
 	flag.Parse()
 
 	opt := experiments.Defaults()
@@ -136,6 +139,15 @@ func main() {
 		// Tables stay byte-identical; the tracer only observes the cells
 		// (wall-clock spans, memo compute-vs-recall provenance).
 		opt.Trace = trace.New(0)
+	}
+	if *checkpointDir != "" {
+		st, err := checkpoint.Open(*checkpointDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lapexp: -checkpoint-dir: %v\n", err)
+			os.Exit(1)
+		}
+		opt.Checkpoints = st
+		opt.CheckpointEvery = *checkpointEvery
 	}
 
 	all := experiments.Registry(opt)

@@ -16,6 +16,17 @@
 // SIGINT/SIGTERM drain gracefully: /healthz flips to 503, new work is
 // refused, and in-flight requests get -drain-timeout to finish.
 //
+// -checkpoint-dir attaches a durable checkpoint store: exact mix runs
+// snapshot machine state every -checkpoint-every accesses, and a
+// re-issued run after a crash (even SIGKILL) warm-starts from the
+// latest valid snapshot — at most one checkpoint interval of work is
+// lost per started run, and results are byte-identical to an
+// uninterrupted run. -trace-store-dir persists /v1/traces uploads
+// across restarts through the same temp-file + atomic-rename
+// discipline. Corrupt or stale files are quarantined and counted
+// (lap_checkpoint_corrupt_total); durability failures degrade to cold
+// starts, never request failures.
+//
 // Failed runs are never cached; conclusive failures are retried with
 // exponential backoff (-retry-max, -retry-backoff), and a streak of
 // -breaker-threshold consecutive failures opens a circuit breaker that
@@ -56,6 +67,7 @@ import (
 	"syscall"
 	"time"
 
+	lap "repro"
 	"repro/internal/fault"
 	"repro/internal/server"
 )
@@ -81,12 +93,24 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	traceRequests := flag.Int("trace-requests", 0, "recent per-request traces kept for GET /v1/trace/{id} (0 = 64; negative disables tracing)")
 	traceDir := flag.String("trace-dir", "", "also write each request's Chrome trace-event JSON into this directory")
+	traceStoreDir := flag.String("trace-store-dir", "", "durably persist /v1/traces uploads in this directory (reloaded at boot)")
+	checkpointDir := flag.String("checkpoint-dir", "", "durable checkpoint store: runs snapshot and warm-start across restarts")
+	checkpointEvery := flag.Uint64("checkpoint-every", 0, "checkpoint spacing in accesses, summed over cores (0 = 1,000,000 with -checkpoint-dir)")
 	smoke := flag.Bool("smoke", false, "self-test against a loopback instance and exit")
 	flag.Parse()
 
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "lapserved: -trace-dir: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	var ckpt *lap.CheckpointStore
+	if *checkpointDir != "" {
+		var err error
+		ckpt, err = lap.OpenCheckpointStore(*checkpointDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lapserved: -checkpoint-dir: %v\n", err)
 			os.Exit(1)
 		}
 	}
@@ -102,6 +126,9 @@ func main() {
 		BreakerCooldown:  *breakerCooldown,
 		TraceRequests:    *traceRequests,
 		TraceDir:         *traceDir,
+		TraceStoreDir:    *traceStoreDir,
+		Checkpoints:      ckpt,
+		CheckpointEvery:  *checkpointEvery,
 	}
 
 	if *smoke {

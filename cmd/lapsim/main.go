@@ -61,6 +61,8 @@ func main() {
 	mode := flag.String("mode", "exact", "simulation mode: exact (default) or sampled — interval-sampled simulation; -interval is then the window length in accesses per core")
 	clusters := flag.Int("clusters", 0, "sampled mode: detailed intervals per run (0 = ~sqrt(intervals))")
 	sampleWarmup := flag.Int("sample-warmup", 1, "sampled mode: functional re-warm intervals before each representative")
+	checkpointDir := flag.String("checkpoint-dir", "", "durable checkpoint store: snapshot runs and resume interrupted invocations (mix/bench workloads)")
+	checkpointEvery := flag.Uint64("checkpoint-every", 1_000_000, "checkpoint spacing in accesses, summed over cores (with -checkpoint-dir)")
 	flag.Parse()
 
 	cfg := lap.DefaultConfig()
@@ -131,6 +133,22 @@ func main() {
 	default:
 		fatal("unknown -mode %q (want exact or sampled)", *mode)
 	}
+	var ckpt *lap.CheckpointStore
+	if *checkpointDir != "" {
+		if *replayFile != "" || *threads > 0 {
+			fatal("-checkpoint-dir supports mix and bench workloads only")
+		}
+		if *traceOut != "" {
+			fatal("-checkpoint-dir does not combine with -trace (the checkpointed engine runs unobserved)")
+		}
+		var err error
+		if ckpt, err = lap.OpenCheckpointStore(*checkpointDir); err != nil {
+			fatal("%v", err)
+		}
+		if !sampled {
+			cfg.CheckpointEvery = *checkpointEvery
+		}
+	}
 	if err := lap.ValidateConfig(cfg); err != nil {
 		fatal("%v", err)
 	}
@@ -148,7 +166,15 @@ func main() {
 		if err != nil {
 			fatal("%v", err)
 		}
-		prof, err = lap.BuildSampleProfile(cfg, mix, *accesses, *seed)
+		if ckpt != nil {
+			var built bool
+			prof, built, err = lap.LoadOrBuildSampleProfile(cfg, mix, *accesses, *seed, ckpt)
+			if err == nil && !built {
+				fmt.Fprintln(os.Stderr, "lapsim: [profile restored from checkpoint store]")
+			}
+		} else {
+			prof, err = lap.BuildSampleProfile(cfg, mix, *accesses, *seed)
+		}
 		if err != nil {
 			fatal("%v", err)
 		}
@@ -173,11 +199,17 @@ func main() {
 			}
 			return lap.RunThreadedObserved(cfg, p, b, *accesses, *seed, tel)
 		case *bench != "":
+			if ckpt != nil {
+				return lap.RunResumable(cfg, p, lap.DuplicateMix(*bench, cfg.Cores), *accesses, *seed, ckpt)
+			}
 			return lap.RunObserved(cfg, p, lap.DuplicateMix(*bench, cfg.Cores), *accesses, *seed, tel)
 		case *mixArg != "":
 			mix, err := resolveMix(*mixArg, cfg.Cores)
 			if err != nil {
 				return lap.Result{}, err
+			}
+			if ckpt != nil {
+				return lap.RunResumable(cfg, p, mix, *accesses, *seed, ckpt)
 			}
 			return lap.RunObserved(cfg, p, mix, *accesses, *seed, tel)
 		default:

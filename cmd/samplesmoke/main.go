@@ -164,7 +164,72 @@ func run(mixName string, accesses, seed, interval uint64, clusters, warmup int, 
 	if len(failures) > 0 {
 		return fmt.Errorf("%d check(s) failed:\n  %s", len(failures), strings.Join(failures, "\n  "))
 	}
+
+	// Profile persistence: a second sweep over the same workload must
+	// restore the profile from the checkpoint store — skipping the
+	// functional pass entirely — and replay to identical results.
+	want := make(map[lap.Policy]sampledOut, len(policies))
+	for p, s := range sampled {
+		want[p] = sampledOut{missRate: s.missRate, epi: s.epi}
+	}
+	if err := checkProfilePersistence(scfg, mix, accesses, seed, policies, want); err != nil {
+		return fmt.Errorf("profile persistence: %w", err)
+	}
+
 	fmt.Println("samplesmoke: OK")
+	return nil
+}
+
+// sampledOut is the comparable slice of one sampled run's outcome.
+type sampledOut struct {
+	missRate float64
+	epi      float64
+}
+
+// checkProfilePersistence builds the profile once through a checkpoint
+// store, loads it back in a simulated second process, and requires (a)
+// the reload to skip the functional pass (built=false) and (b) every
+// policy's replay over the restored profile to match the in-process
+// sweep bit for bit.
+func checkProfilePersistence(scfg lap.Config, mix lap.Mix, accesses, seed uint64, policies []lap.Policy, want map[lap.Policy]sampledOut) error {
+	dir, err := os.MkdirTemp("", "samplesmoke-ckpt-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	st, err := lap.OpenCheckpointStore(dir)
+	if err != nil {
+		return err
+	}
+	if _, built, err := lap.LoadOrBuildSampleProfile(scfg, mix, accesses, seed, st); err != nil {
+		return fmt.Errorf("first build: %w", err)
+	} else if !built {
+		return fmt.Errorf("first build reported a cache hit in an empty store")
+	}
+	start := time.Now()
+	prof, built, err := lap.LoadOrBuildSampleProfile(scfg, mix, accesses, seed, st)
+	if err != nil {
+		return fmt.Errorf("reload: %w", err)
+	}
+	if built {
+		return fmt.Errorf("second sweep re-ran the functional pass instead of restoring the persisted profile")
+	}
+	for _, p := range policies {
+		r, err := lap.RunSampledProfile(scfg, p, prof)
+		if err != nil {
+			return fmt.Errorf("replay %s: %w", p, err)
+		}
+		got := sampledOut{
+			missRate: float64(r.Met.L3Misses) / float64(r.Met.L3Accesses),
+			epi:      r.EPI.Total(),
+		}
+		if got != want[p] {
+			return fmt.Errorf("%s replay over the restored profile diverged: miss %v vs %v, EPI %v vs %v",
+				p, got.missRate, want[p].missRate, got.epi, want[p].epi)
+		}
+	}
+	fmt.Printf("  profile persistence: restored in %.2fs, %d policies replay identical\n",
+		time.Since(start).Seconds(), len(policies))
 	return nil
 }
 

@@ -1,0 +1,195 @@
+package cache
+
+// Durable-state codecs. Checkpointing serializes live caches, dueling
+// monitors, and MSHR tables into the wire format; the codecs live here
+// because State's arrays and Line.rrpv are unexported by design. The
+// layout is pinned by the checkpoint format version one level up — no
+// per-structure versioning is needed.
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint/wire"
+)
+
+// Line flag bits in the encoded form. rrpv (2 bits) occupies bits 4-5.
+const (
+	lineValid  = 1 << 0
+	lineDirty  = 1 << 1
+	lineLoop   = 1 << 2
+	lineShared = 1 << 3
+	lineRRPVSh = 4
+)
+
+// encodeCacheArrays is the shared layout behind Cache.EncodeSnapshot
+// and State.Encode: live caches and detached snapshots hold the same
+// arrays.
+func encodeCacheArrays(e *wire.Encoder, tags, valid []uint64, order []uint8, lines []Line, fills int, hits, misses uint64) {
+	e.U64s(tags)
+	e.U64s(valid)
+	e.Raw(order)
+	e.U64(uint64(len(lines)))
+	for i := range lines {
+		l := &lines[i]
+		e.U64(l.Tag)
+		var f byte
+		if l.Valid {
+			f |= lineValid
+		}
+		if l.Dirty {
+			f |= lineDirty
+		}
+		if l.Loop {
+			f |= lineLoop
+		}
+		if l.Shared {
+			f |= lineShared
+		}
+		f |= l.rrpv << lineRRPVSh
+		e.Byte(f)
+	}
+	e.I64(int64(fills))
+	e.U64(hits)
+	e.U64(misses)
+}
+
+func decodeLines(d *wire.Decoder) []Line {
+	n := d.Length(2) // each line is ≥ 2 bytes (tag uvarint + flags)
+	if d.Err() != nil {
+		return nil
+	}
+	lines := make([]Line, n)
+	for i := range lines {
+		l := &lines[i]
+		l.Tag = d.U64()
+		f := d.Byte()
+		l.Valid = f&lineValid != 0
+		l.Dirty = f&lineDirty != 0
+		l.Loop = f&lineLoop != 0
+		l.Shared = f&lineShared != 0
+		l.rrpv = f >> lineRRPVSh
+	}
+	if d.Err() != nil {
+		return nil
+	}
+	return lines
+}
+
+// EncodeSnapshot appends the cache's full contents — tags, valid bits,
+// recency order, line metadata, and hit/miss counters — to e.
+func (c *Cache) EncodeSnapshot(e *wire.Encoder) {
+	encodeCacheArrays(e, c.tags, c.valid, c.order, c.lines, c.fills, c.Hits, c.Misses)
+}
+
+// RestoreSnapshot overwrites the cache's contents from a snapshot
+// written by EncodeSnapshot on a cache of identical geometry. A
+// geometry mismatch or malformed input returns an error and may leave
+// the cache partially restored; callers discard the machine on error.
+func (c *Cache) RestoreSnapshot(d *wire.Decoder) error {
+	s, err := DecodeSnapshotState(d)
+	if err != nil {
+		return err
+	}
+	if len(s.tags) != len(c.tags) || len(s.valid) != len(c.valid) ||
+		len(s.order) != len(c.order) || len(s.lines) != len(c.lines) {
+		return fmt.Errorf("cache %q: snapshot geometry mismatch", c.cfg.Name)
+	}
+	c.Restore(s)
+	return nil
+}
+
+// Encode appends a detached snapshot to e in the same layout as
+// Cache.EncodeSnapshot.
+func (s *State) Encode(e *wire.Encoder) {
+	encodeCacheArrays(e, s.tags, s.valid, s.order, s.lines, s.fills, s.hits, s.misses)
+}
+
+// DecodeSnapshotState reads one cache snapshot into a detached State.
+func DecodeSnapshotState(d *wire.Decoder) (*State, error) {
+	s := &State{
+		tags:  d.U64s(),
+		valid: d.U64s(),
+		order: d.Raw(),
+		lines: decodeLines(d),
+	}
+	s.fills = int(d.I64())
+	s.hits = d.U64()
+	s.misses = d.U64()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// DuelState is the mutable portion of a set-dueling monitor, exported
+// so checkpoints can round-trip it (Stride and PeriodCycles are
+// configuration, rebuilt from the controller constructor).
+type DuelState struct {
+	CostA, CostB float64
+	NextFlip     uint64
+	Winner       Role
+}
+
+// State returns the duel's current mutable state.
+func (d *Duel) State() DuelState {
+	return DuelState{CostA: d.costA, CostB: d.costB, NextFlip: d.nextFlip, Winner: d.winner}
+}
+
+// SetState overwrites the duel's mutable state.
+func (d *Duel) SetState(s DuelState) {
+	d.costA, d.costB, d.nextFlip, d.winner = s.CostA, s.CostB, s.NextFlip, s.Winner
+}
+
+// EncodeState appends the duel's mutable state to e.
+func (d *Duel) EncodeState(e *wire.Encoder) {
+	e.F64(d.costA)
+	e.F64(d.costB)
+	e.U64(d.nextFlip)
+	e.Byte(byte(d.winner))
+}
+
+// DecodeState restores the duel's mutable state from e.
+func (d *Duel) DecodeState(dec *wire.Decoder) error {
+	s := DuelState{
+		CostA:    dec.F64(),
+		CostB:    dec.F64(),
+		NextFlip: dec.U64(),
+		Winner:   Role(dec.Byte()),
+	}
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if s.Winner != LeaderA && s.Winner != LeaderB {
+		return fmt.Errorf("cache: duel winner %d out of range", s.Winner)
+	}
+	d.SetState(s)
+	return nil
+}
+
+// EncodeState appends the MSHR table's outstanding-fill state to e.
+func (t *MSHR) EncodeState(e *wire.Encoder) {
+	e.U64s(t.blocks)
+	e.U64s(t.readyAt)
+	e.I64(int64(t.pending))
+}
+
+// DecodeState restores the table from e. The register count must match
+// the table's configured size.
+func (t *MSHR) DecodeState(d *wire.Decoder) error {
+	blocks := d.U64s()
+	readyAt := d.U64s()
+	pending := int(d.I64())
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if len(blocks) != len(t.blocks) || len(readyAt) != len(t.readyAt) {
+		return fmt.Errorf("cache: MSHR size mismatch (%d regs, snapshot has %d)", len(t.blocks), len(blocks))
+	}
+	if pending < -1 || pending >= len(t.blocks) {
+		return fmt.Errorf("cache: MSHR pending slot %d out of range", pending)
+	}
+	copy(t.blocks, blocks)
+	copy(t.readyAt, readyAt)
+	t.pending = pending
+	return nil
+}

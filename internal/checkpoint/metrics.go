@@ -1,0 +1,66 @@
+package checkpoint
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Metrics are the store's atomic durability counters. They exist even
+// when no registry is attached (tests read them directly); Register
+// exports them as Prometheus-style series.
+type Metrics struct {
+	writes          atomic.Uint64
+	writeErrors     atomic.Uint64
+	restores        atomic.Uint64
+	corrupt         atomic.Uint64
+	versionMismatch atomic.Uint64
+	bytesWritten    atomic.Uint64
+	bytesRead       atomic.Uint64
+	intervalsSaved  atomic.Uint64
+}
+
+// Metrics returns the store's counters.
+func (s *Store) Metrics() *Metrics { return &s.met }
+
+// Writes is the number of checkpoint files durably published.
+func (m *Metrics) Writes() uint64 { return m.writes.Load() }
+
+// WriteErrors counts failed durability writes (the runs continued).
+func (m *Metrics) WriteErrors() uint64 { return m.writeErrors.Load() }
+
+// Restores counts successful resumes from a stored checkpoint.
+func (m *Metrics) Restores() uint64 { return m.restores.Load() }
+
+// Corrupt counts entries rejected as corrupt and quarantined.
+func (m *Metrics) Corrupt() uint64 { return m.corrupt.Load() }
+
+// VersionMismatches counts intact entries from other format versions.
+func (m *Metrics) VersionMismatches() uint64 { return m.versionMismatch.Load() }
+
+// BytesWritten is the total bytes durably written.
+func (m *Metrics) BytesWritten() uint64 { return m.bytesWritten.Load() }
+
+// BytesRead is the total bytes read back from valid entries.
+func (m *Metrics) BytesRead() uint64 { return m.bytesRead.Load() }
+
+// IntervalsSaved is the total checkpoint intervals of simulation work
+// that resumes skipped.
+func (m *Metrics) IntervalsSaved() uint64 { return m.intervalsSaved.Load() }
+
+// Register exports the store's counters on reg under ns (series
+// "<ns>_checkpoint_*").
+func (s *Store) Register(reg *obs.Registry, ns string) {
+	m := &s.met
+	counter := func(name, help string, f func() uint64) {
+		reg.CounterFunc(ns+"_checkpoint_"+name, help, f)
+	}
+	counter("writes_total", "Checkpoint files durably published.", m.Writes)
+	counter("write_errors_total", "Checkpoint writes that failed (runs continued).", m.WriteErrors)
+	counter("restores_total", "Runs successfully resumed from a checkpoint.", m.Restores)
+	counter("corrupt_total", "Checkpoint entries rejected as corrupt and quarantined.", m.Corrupt)
+	counter("version_mismatch_total", "Intact checkpoint entries from another format version.", m.VersionMismatches)
+	counter("bytes_written_total", "Bytes durably written to the checkpoint store.", m.BytesWritten)
+	counter("bytes_read_total", "Bytes read back from valid checkpoint entries.", m.BytesRead)
+	counter("resume_intervals_saved_total", "Checkpoint intervals of simulation work skipped by resumes.", m.IntervalsSaved)
+}

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"repro/internal/cache"
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/obs/trace"
@@ -64,6 +65,18 @@ type Options struct {
 	// SampleWarmup is the functional re-warm depth before each
 	// representative interval.
 	SampleWarmup int
+	// Checkpoints optionally attaches a durable checkpoint store: exact
+	// runs snapshot their machine state every CheckpointEvery accesses
+	// and resume from the latest valid snapshot when the same cell is
+	// re-run after a crash, and sampling profiles persist across
+	// processes. Results are byte-identical with or without a store, so
+	// like Jobs/Banks neither field is part of memo keys; checkpoint
+	// durability failures degrade to cold starts, never run failures.
+	Checkpoints *checkpoint.Store
+	// CheckpointEvery is the snapshot spacing in accesses (summed over
+	// cores) for checkpointed runs; 0 disables run snapshots even with a
+	// store attached (profiles still persist).
+	CheckpointEvery uint64
 }
 
 // Defaults returns the standard experiment scale.

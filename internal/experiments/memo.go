@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/checkpoint"
 	"repro/internal/fault"
 	memocache "repro/internal/memo"
 	"repro/internal/obs"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/pool"
 	"repro/internal/sample"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -52,6 +54,7 @@ type memoKey struct {
 // invocations share entries.
 func runKey(cfg sim.Config, policy string, mix workload.Mix, threaded bool, opt Options) memoKey {
 	cfg.Banks = 0
+	cfg.CheckpointEvery = 0
 	return memoKey{
 		Cfg:        cfg,
 		Policy:     policy,
@@ -77,6 +80,9 @@ func runE(cfg sim.Config, policyName string, ctrl sim.Controller, mix workload.M
 	if opt.Banks > 0 {
 		cfg.Banks = opt.Banks
 	}
+	if opt.Checkpoints != nil && opt.CheckpointEvery > 0 {
+		cfg.CheckpointEvery = opt.CheckpointEvery
+	}
 	if sampleEligible(cfg, opt) {
 		cfg.SampleInterval = opt.SampleInterval
 		cfg.SampleClusters = opt.SampleClusters
@@ -101,6 +107,19 @@ func runE(cfg sim.Config, policyName string, ctrl sim.Controller, mix workload.M
 			}
 			sr, err := sample.Run(cfg, ctrl(), prof)
 			return sr.Sim, err
+		}
+		if opt.Checkpoints != nil && cfg.CheckpointEvery > 0 {
+			if len(mix.Members) != cfg.Cores {
+				return sim.Result{}, fmt.Errorf("experiments: mix %s has %d members for %d cores", mix.Name, len(mix.Members), cfg.Cores)
+			}
+			// The policy descriptor must pin everything the controller
+			// factory bakes in beyond the name; DuelPeriod is the one
+			// knob registry closures vary.
+			wl := checkpoint.MixWorkload(mix.Name, mix.Members, cfg.Cores, opt.Accesses, opt.Seed)
+			pol := fmt.Sprintf("%s|duel=%d", policyName, opt.DuelPeriod)
+			return checkpoint.ResumableRun(opt.Checkpoints, cfg, wl, pol, ctrl, func() ([]trace.Source, error) {
+				return sim.MixSources(mix, opt.Accesses, opt.Seed)
+			})
 		}
 		return sim.RunMix(cfg, ctrl, mix, opt.Accesses, opt.Seed)
 	})
@@ -146,11 +165,35 @@ func profileFor(cfg sim.Config, mix workload.Mix, opt Options) (*sample.Profile,
 		Seed:     opt.Seed,
 	}
 	return profiles.DoErr(context.Background(), key, func() (*sample.Profile, error) {
-		srcs, err := sim.MixSources(mix, opt.Accesses, opt.Seed)
-		if err != nil {
-			return nil, err
+		build := func() (*sample.Profile, error) {
+			srcs, err := sim.MixSources(mix, opt.Accesses, opt.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return sample.BuildProfile(cfg, srcs, cfg.SampleInterval)
 		}
-		return sample.BuildProfile(cfg, srcs, cfg.SampleInterval)
+		if opt.Checkpoints == nil {
+			return build()
+		}
+		// With a store attached, a digest-matching persisted profile
+		// replaces the functional pass (replay positions are rebuilt from
+		// fresh sources); a freshly built one is persisted for the next
+		// process. Store failures degrade to build().
+		ck := checkpoint.ProfileKey(kcfg,
+			checkpoint.MixWorkload(mix.Name, mix.Members, cfg.Cores, opt.Accesses, opt.Seed))
+		codec := checkpoint.ProfileCodec[*sample.Profile]{
+			Encode: func(p *sample.Profile) []byte { return p.Encode() },
+			Decode: func(b []byte) (*sample.Profile, error) {
+				srcs, err := sim.MixSources(mix, opt.Accesses, opt.Seed)
+				if err != nil {
+					return nil, err
+				}
+				return sample.DecodeProfile(b, srcs)
+			},
+		}
+		prof, _, err := checkpoint.LoadOrBuildProfile(opt.Checkpoints, ck,
+			func(p *sample.Profile) uint64 { return uint64(len(p.Intervals)) }, codec, build)
+		return prof, err
 	})
 }
 

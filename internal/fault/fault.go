@@ -51,6 +51,15 @@ const (
 	// PointTraceDecode fires once per binary trace stream, at header
 	// decode time.
 	PointTraceDecode = "trace.decode"
+	// PointCheckpointWrite fires before each checkpoint store write
+	// (key "kind/config/workload").
+	PointCheckpointWrite = "checkpoint.write"
+	// PointCheckpointRead fires before each checkpoint file read (same
+	// key as writes).
+	PointCheckpointRead = "checkpoint.read"
+	// PointCheckpointRestore fires before a loaded checkpoint is applied
+	// to a machine, after it passed CRC validation.
+	PointCheckpointRestore = "checkpoint.restore"
 )
 
 // Mode selects what an armed spec does when it fires.

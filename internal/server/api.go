@@ -168,6 +168,31 @@ type StatsResponse struct {
 	BreakerState string `json:"breaker_state"`
 	BreakerOpens uint64 `json:"breaker_opens"`
 	BreakerShed  uint64 `json:"breaker_shed"`
+	// Checkpoint reports the attached checkpoint store's durability
+	// counters; absent when no store is configured, so storeless
+	// responses stay byte-identical to pre-checkpoint versions.
+	Checkpoint *CheckpointStats `json:"checkpoint,omitempty"`
+}
+
+// CheckpointStats is the checkpoint store's counter snapshot on the
+// wire (see internal/checkpoint.Metrics for semantics).
+type CheckpointStats struct {
+	// Writes/WriteErrors count checkpoint persist attempts and failures;
+	// a write failure never fails the run it was snapshotting.
+	Writes      uint64 `json:"writes"`
+	WriteErrors uint64 `json:"write_errors,omitempty"`
+	// Restores counts runs warm-started from a stored checkpoint;
+	// IntervalsSaved sums the checkpoint intervals those restores skipped
+	// re-simulating.
+	Restores       uint64 `json:"restores"`
+	IntervalsSaved uint64 `json:"resume_intervals_saved"`
+	// Corrupt and VersionMismatch count quarantined entries (CRC or key
+	// echo failures, and intact files from another format version).
+	Corrupt         uint64 `json:"corrupt,omitempty"`
+	VersionMismatch uint64 `json:"version_mismatch,omitempty"`
+	// BytesWritten/BytesRead meter store I/O volume.
+	BytesWritten uint64 `json:"bytes_written"`
+	BytesRead    uint64 `json:"bytes_read"`
 }
 
 // HealthzResponse is the GET /healthz payload: liveness plus the
@@ -230,6 +255,13 @@ func (s *Server) profileFor(sp *runSpec) (*lap.SampleProfile, error) {
 	kcfg.SampleWarmup = 0
 	key := profileKey{Cfg: kcfg, Workload: sp.key.Workload, Accesses: sp.accesses, Seed: sp.seed}
 	return s.profiles.DoErr(context.Background(), key, func() (*lap.SampleProfile, error) {
+		if s.cfg.Checkpoints != nil {
+			// A digest-matching persisted profile replaces the functional
+			// profiling pass across restarts; store failures degrade to a
+			// fresh build inside LoadOrBuildSampleProfile.
+			prof, _, err := lap.LoadOrBuildSampleProfile(sp.cfg, sp.mix, sp.accesses, sp.seed, s.cfg.Checkpoints)
+			return prof, err
+		}
 		return lap.BuildSampleProfile(sp.cfg, sp.mix, sp.accesses, sp.seed)
 	})
 }
@@ -261,6 +293,10 @@ type runSpec struct {
 	// profile cache, so every policy replaying the same workload shares
 	// one profiling pass.
 	profile func() (*lap.SampleProfile, error)
+	// ckpt is the server's checkpoint store when this run should snapshot
+	// and warm-start (exact mix runs only); nil runs cold. cfg's
+	// CheckpointEvery carries the spacing.
+	ckpt *lap.CheckpointStore
 }
 
 // badRequestError marks resolution failures the client caused (400, as
@@ -403,6 +439,17 @@ func (s *Server) resolveRun(req RunRequest) (*runSpec, error) {
 		sp.profile = func() (*lap.SampleProfile, error) { return s.profileFor(sp) }
 	}
 
+	// Exact mix runs pick up the checkpoint store: snapshots every
+	// CheckpointEvery accesses, and a re-issued run matching a stored
+	// prefix warm-starts instead of simulating from access zero. Results
+	// are byte-identical either way.
+	if s.cfg.Checkpoints != nil && sp.kind == kindMix && !sampled {
+		sp.ckpt = s.cfg.Checkpoints
+		if sp.cfg.CheckpointEvery == 0 {
+			sp.cfg.CheckpointEvery = s.cfg.CheckpointEvery
+		}
+	}
+
 	// The Sample* fields ride inside Cfg, so sampled results key — and
 	// cache — separately from exact results of the same workload.
 	sp.key = runKey{
@@ -412,9 +459,11 @@ func (s *Server) resolveRun(req RunRequest) (*runSpec, error) {
 		Accesses: sp.accesses,
 		Seed:     seed,
 	}
-	// Banks only changes how a run is scheduled, never its result, so
-	// requests differing only in Banks coalesce onto one cache entry.
+	// Banks only changes how a run is scheduled, never its result, and
+	// CheckpointEvery only changes durability, so requests differing in
+	// either coalesce onto one cache entry.
 	sp.key.Cfg.Banks = 0
+	sp.key.Cfg.CheckpointEvery = 0
 	return sp, nil
 }
 
@@ -475,6 +524,9 @@ func (sp *runSpec) execute() (res lap.Result, err error) {
 				return lap.Result{}, err
 			}
 			return lap.RunSampledProfile(sp.cfg, sp.policy, prof)
+		}
+		if sp.ckpt != nil && sp.cfg.CheckpointEvery > 0 {
+			return lap.RunResumable(sp.cfg, sp.policy, sp.mix, sp.accesses, sp.seed, sp.ckpt)
 		}
 		return lap.Run(sp.cfg, sp.policy, sp.mix, sp.accesses, sp.seed)
 	}

@@ -1,0 +1,252 @@
+package server
+
+// Crash-safety end-to-end: warm starts across server restarts, durable
+// trace uploads surviving reboots, and the chaos half of the contract —
+// checkpoint write failures and corrupted checkpoint files must degrade
+// to cold starts (counted, quarantined) without ever failing a request.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	lap "repro"
+	"repro/internal/fault"
+	"repro/internal/trace"
+)
+
+// ckptAccesses gives the small test runs a few checkpoint intervals:
+// 2000 accesses/core x 4 cores = 8000 total, 8 intervals at the
+// validator's minimum spacing of 1000.
+const ckptAccesses = smallAccesses
+
+func openTestStore(t *testing.T, dir string) *lap.CheckpointStore {
+	t.Helper()
+	st, err := lap.OpenCheckpointStore(dir)
+	if err != nil {
+		t.Fatalf("opening checkpoint store: %v", err)
+	}
+	return st
+}
+
+// runOnce posts one fixed WL1 run and returns the raw response bytes.
+func runOnce(t *testing.T, base string) []byte {
+	t.Helper()
+	status, body := post(t, base+"/v1/run", RunRequest{Mix: "WL1", Accesses: ckptAccesses})
+	if status != http.StatusOK {
+		t.Fatalf("run: %d %s", status, body)
+	}
+	return body
+}
+
+func TestCheckpointWarmStartAcrossRestart(t *testing.T) {
+	// Ground truth: a server with no checkpointing at all.
+	_, plain := testServer(t, Config{})
+	ref := runOnce(t, plain.URL)
+
+	dir := t.TempDir()
+	_, first := testServer(t, Config{Checkpoints: openTestStore(t, dir), CheckpointEvery: 1000})
+	if got := runOnce(t, first.URL); !bytes.Equal(got, ref) {
+		t.Fatalf("checkpointed run diverged from plain run:\n ref %s\n got %s", ref, got)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.ckpt"))
+	if len(files) == 0 {
+		t.Fatal("no checkpoint file persisted")
+	}
+
+	// "Restart": a brand-new server and store over the same directory.
+	// The re-issued run must warm-start from the persisted checkpoint
+	// and reproduce the reference bytes.
+	st2 := openTestStore(t, dir)
+	_, second := testServer(t, Config{Checkpoints: st2, CheckpointEvery: 1000})
+	if got := runOnce(t, second.URL); !bytes.Equal(got, ref) {
+		t.Fatalf("warm-started run diverged:\n ref %s\n got %s", ref, got)
+	}
+	if r := st2.Metrics().Restores(); r != 1 {
+		t.Errorf("restores = %d, want 1", r)
+	}
+	if s := st2.Metrics().IntervalsSaved(); s == 0 {
+		t.Error("warm start saved no intervals")
+	}
+	stats := getStats(t, second.URL)
+	if stats.Checkpoint == nil || stats.Checkpoint.Restores != 1 {
+		t.Errorf("/v1/stats checkpoint block = %+v, want restores 1", stats.Checkpoint)
+	}
+
+	// The storeless server's stats must not grow a checkpoint block.
+	if st := getStats(t, plain.URL); st.Checkpoint != nil {
+		t.Errorf("storeless /v1/stats grew a checkpoint block: %+v", st.Checkpoint)
+	}
+}
+
+func TestChaosCheckpointWriteFaultDegradesToCold(t *testing.T) {
+	_, plain := testServer(t, Config{})
+	ref := runOnce(t, plain.URL)
+
+	if err := fault.Arm(fault.Spec{Point: fault.PointCheckpointWrite, Mode: fault.ModeError}); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fault.Reset)
+
+	st := openTestStore(t, t.TempDir())
+	_, ts := testServer(t, Config{Checkpoints: st, CheckpointEvery: 1000})
+	// A sweep, so several cells all hit the failing writes mid-flight.
+	status, body := post(t, ts.URL+"/v1/sweep", SweepRequest{
+		Mixes: []string{"WL1"}, Policies: []string{"LAP", "non-inclusive"}, Accesses: ckptAccesses,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("sweep under write faults: %d %s", status, body)
+	}
+	var resp SweepResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Failed != 0 || resp.Cancelled != 0 {
+		t.Fatalf("cells failed under checkpoint write faults: %+v", resp)
+	}
+	if got := runOnce(t, ts.URL); !bytes.Equal(got, ref) {
+		t.Fatalf("run under write faults diverged from plain run:\n ref %s\n got %s", ref, got)
+	}
+	if we := st.Metrics().WriteErrors(); we == 0 {
+		t.Error("write faults fired but write_errors stayed 0")
+	}
+	if w := st.Metrics().Writes(); w != 0 {
+		t.Errorf("writes = %d under a total write fault, want 0", w)
+	}
+}
+
+func TestChaosCorruptCheckpointFileDegradesToCold(t *testing.T) {
+	_, plain := testServer(t, Config{})
+	ref := runOnce(t, plain.URL)
+
+	dir := t.TempDir()
+	_, first := testServer(t, Config{Checkpoints: openTestStore(t, dir), CheckpointEvery: 1000})
+	runOnce(t, first.URL)
+	files, _ := filepath.Glob(filepath.Join(dir, "*.ckpt"))
+	if len(files) != 1 {
+		t.Fatalf("checkpoint files = %d, want 1", len(files))
+	}
+
+	// Flip one byte mid-file: the CRC must catch it on the next boot.
+	raw, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(files[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openTestStore(t, dir)
+	_, second := testServer(t, Config{Checkpoints: st2, CheckpointEvery: 1000})
+	if got := runOnce(t, second.URL); !bytes.Equal(got, ref) {
+		t.Fatalf("run over a corrupt checkpoint diverged:\n ref %s\n got %s", ref, got)
+	}
+	if c := st2.Metrics().Corrupt(); c == 0 {
+		t.Error("corrupt checkpoint consumed without incrementing the corrupt counter")
+	}
+	if r := st2.Metrics().Restores(); r != 0 {
+		t.Errorf("restores = %d from a corrupt-only store, want 0", r)
+	}
+	// The corrupt bytes were quarantined to *.bad; the cold re-run then
+	// legitimately published a fresh checkpoint at the same interval, so
+	// only the .bad file proves the quarantine happened.
+	bad, _ := filepath.Glob(filepath.Join(dir, "*.bad"))
+	if len(bad) != 1 {
+		t.Errorf("quarantined files = %d, want 1", len(bad))
+	}
+
+	// The required series, live on /metrics, after the corruption.
+	status, met := get(t, second.URL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("metrics: %d", status)
+	}
+	found := false
+	for _, line := range strings.Split(string(met), "\n") {
+		if f, ok := strings.CutPrefix(line, "lap_checkpoint_corrupt_total "); ok {
+			found = true
+			if f == "0" {
+				t.Errorf("lap_checkpoint_corrupt_total = %s, want >= 1", f)
+			}
+		}
+	}
+	if !found {
+		t.Error("lap_checkpoint_corrupt_total missing from /metrics")
+	}
+}
+
+func TestChaosCheckpointRestoreFaultFallsBackCold(t *testing.T) {
+	_, plain := testServer(t, Config{})
+	ref := runOnce(t, plain.URL)
+
+	dir := t.TempDir()
+	_, first := testServer(t, Config{Checkpoints: openTestStore(t, dir), CheckpointEvery: 1000})
+	runOnce(t, first.URL)
+
+	if err := fault.Arm(fault.Spec{Point: fault.PointCheckpointRestore, Mode: fault.ModeError}); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fault.Reset)
+
+	st2 := openTestStore(t, dir)
+	_, second := testServer(t, Config{Checkpoints: st2, CheckpointEvery: 1000})
+	if got := runOnce(t, second.URL); !bytes.Equal(got, ref) {
+		t.Fatalf("run under restore faults diverged:\n ref %s\n got %s", ref, got)
+	}
+	if r := st2.Metrics().Restores(); r != 0 {
+		t.Errorf("restores = %d under a restore fault, want 0", r)
+	}
+}
+
+func TestTraceStoreSurvivesRestartAndQuarantinesCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	accs := make([]trace.Access, 0, 256)
+	for i := 0; i < 256; i++ {
+		accs = append(accs, trace.Access{Addr: uint64(i) * 64, Write: i%5 == 0, Instrs: 1})
+	}
+	var buf bytes.Buffer
+	if _, err := trace.WriteAll(&buf, trace.NewSliceSource(accs)); err != nil {
+		t.Fatal(err)
+	}
+
+	_, first := testServer(t, Config{TraceStoreDir: dir})
+	resp, err := http.Post(first.URL+"/v1/traces?name=durable", "application/octet-stream", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload: %d", resp.StatusCode)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "durable.trace")); err != nil {
+		t.Fatalf("upload not persisted: %v", err)
+	}
+
+	// A crash mid-upload leaves at worst a temp file and a truncated
+	// garbage file under some other name — plant both and reboot.
+	if err := os.WriteFile(filepath.Join(dir, "upload-123.tmp"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "torn.trace"), buf.Bytes()[:11], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, second := testServer(t, Config{TraceStoreDir: dir})
+	if st := getStats(t, second.URL); st.Traces != 1 {
+		t.Errorf("reloaded traces = %d, want 1 (torn file must not load)", st.Traces)
+	}
+	status, body := post(t, second.URL+"/v1/run", RunRequest{Trace: "durable", Accesses: 256})
+	if status != http.StatusOK {
+		t.Fatalf("run on reloaded trace: %d %s", status, body)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "torn.trace.bad")); err != nil {
+		t.Errorf("torn trace not quarantined: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "torn.trace")); !os.IsNotExist(err) {
+		t.Error("torn trace still present under its live name")
+	}
+}

@@ -122,6 +122,12 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 	s.profiles.Register(reg, "lapserved_profile_memo")
 	pool.Register(reg, "lapserved_pool")
 	sample.RegisterMetrics(reg, "lapserved")
+	// Checkpoint durability counters (lap_checkpoint_*) join the scrape
+	// when a store is attached; the store owns the series, the server
+	// just exposes them.
+	if s.cfg.Checkpoints != nil {
+		s.cfg.Checkpoints.Register(reg, "lap")
+	}
 	return m
 }
 

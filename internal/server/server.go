@@ -99,6 +99,22 @@ type Config struct {
 	// TraceDir additionally writes each request's Chrome trace-event JSON
 	// to TraceDir/<id>.json; empty writes no files.
 	TraceDir string
+	// TraceStoreDir durably persists /v1/traces uploads (temp file +
+	// atomic rename per upload; reloaded at boot, corrupt files
+	// quarantined); empty keeps uploads in memory only. Distinct from
+	// TraceDir, which holds Chrome trace-event exports.
+	TraceStoreDir string
+	// Checkpoints optionally attaches a durable checkpoint store: exact
+	// mix runs snapshot machine state every CheckpointEvery accesses, a
+	// /v1/run matching a checkpointed prefix warm-starts from the latest
+	// valid snapshot, and sampling profiles persist across restarts. The
+	// store's counters join /metrics (lap_checkpoint_*) and /v1/stats.
+	// Durability failures degrade to cold starts, never run failures.
+	Checkpoints *lap.CheckpointStore
+	// CheckpointEvery is the snapshot spacing in accesses, summed over
+	// cores (0 = 1,000,000 when a store is attached). It is normalized
+	// out of cache keys: checkpointed and plain runs coalesce.
+	CheckpointEvery uint64
 	// Logger receives one structured line per request (method, path,
 	// status, duration, trace/span IDs); nil logs nothing.
 	Logger *slog.Logger
@@ -117,6 +133,7 @@ const (
 	defaultBreakerThreshold = 5
 	defaultBreakerCooldown  = 5 * time.Second
 	defaultTraceRequests    = 64
+	defaultCheckpointEvery  = 1_000_000
 	// Profiles carry cache-hierarchy snapshots (~70 MB each at the
 	// paper's default geometry — see sample.Profile), so the profile
 	// cache is kept much smaller than the result memo: 8 entries bound
@@ -183,11 +200,23 @@ func New(cfg Config) *Server {
 	if cfg.BreakerCooldown <= 0 {
 		cfg.BreakerCooldown = defaultBreakerCooldown
 	}
+	if cfg.Checkpoints != nil && cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = defaultCheckpointEvery
+	}
+	store, err := newTraceStore(cfg.TraceStoreDir)
+	if err != nil {
+		// An unusable trace directory degrades to a memory-only store:
+		// the service stays up, uploads just stop surviving restarts.
+		if cfg.Logger != nil {
+			cfg.Logger.Error("trace store unavailable; uploads are memory-only", "err", err)
+		}
+		store, _ = newTraceStore("")
+	}
 	s := &Server{
 		cfg:      cfg,
 		memo:     memo.New[runKey, lap.Result](cfg.MemoEntries),
 		profiles: memo.New[profileKey, *lap.SampleProfile](defaultProfileEntries),
-		store:    newTraceStore(),
+		store:    store,
 		sem:      make(chan struct{}, cfg.Jobs),
 		breaker:  newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		lat:      latRing{buf: make([]float64, 0, latencyWindow)},
@@ -453,6 +482,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	sample := s.lat.snapshot()
 	sum := stats.Summarize(sample)
 	bs := s.breaker.snapshot()
+	var ck *CheckpointStats
+	if s.cfg.Checkpoints != nil {
+		m := s.cfg.Checkpoints.Metrics()
+		ck = &CheckpointStats{
+			Writes:          m.Writes(),
+			WriteErrors:     m.WriteErrors(),
+			Restores:        m.Restores(),
+			IntervalsSaved:  m.IntervalsSaved(),
+			Corrupt:         m.Corrupt(),
+			VersionMismatch: m.VersionMismatches(),
+			BytesWritten:    m.BytesWritten(),
+			BytesRead:       m.BytesRead(),
+		}
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Computed:          ms.Computed,
 		Recalled:          ms.Recalled,
@@ -470,6 +513,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		BreakerState:      bs.state,
 		BreakerOpens:      bs.opens,
 		BreakerShed:       bs.shed,
+		Checkpoint:        ck,
 	})
 }
 
@@ -648,7 +692,11 @@ func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "trace has no records"})
 		return
 	}
-	st := s.store.put(name, accs)
+	st, err := s.store.put(name, accs)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
 	writeJSON(w, http.StatusOK, TraceUploadResponse{
 		Name:    name,
 		Records: st.records,

@@ -2,8 +2,12 @@ package server
 
 import (
 	"encoding/binary"
+	"fmt"
 	"hash/fnv"
+	"os"
+	"path/filepath"
 	"regexp"
+	"strings"
 	"sync"
 
 	"repro/internal/trace"
@@ -13,8 +17,15 @@ import (
 // name. Traces are immutable once stored (re-uploading a name replaces
 // the whole entry), and run specs snapshot the slice at resolve time, so
 // readers never observe a torn trace.
+//
+// With a directory attached the store is also durable: every accepted
+// upload is written to dir/<name>.trace through a temp file and an
+// atomic rename — a crash mid-upload can never leave a truncated trace
+// under a live name — and the directory is reloaded at boot, with
+// undecodable files quarantined to *.bad rather than trusted.
 type traceStore struct {
 	mu     sync.Mutex
+	dir    string // "" = memory-only
 	traces map[string]storedTrace
 }
 
@@ -27,20 +38,104 @@ type storedTrace struct {
 	digest uint64
 }
 
-func newTraceStore() *traceStore {
-	return &traceStore{traces: map[string]storedTrace{}}
+const (
+	traceFileExt = ".trace"
+	traceBadExt  = ".bad"
+)
+
+// newTraceStore returns a store rooted at dir ("" = memory-only),
+// reloading every previously persisted trace. Files that fail to decode
+// are quarantined and skipped: one rotten file cannot keep the server
+// from booting.
+func newTraceStore(dir string) (*traceStore, error) {
+	ts := &traceStore{dir: dir, traces: map[string]storedTrace{}}
+	if dir == "" {
+		return ts, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: opening trace store: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("server: reading trace store: %w", err)
+	}
+	for _, de := range entries {
+		name, ok := strings.CutSuffix(de.Name(), traceFileExt)
+		if !ok || !traceNameRE.MatchString(name) {
+			continue
+		}
+		path := filepath.Join(dir, de.Name())
+		accs, err := loadTraceFile(path)
+		if err != nil || len(accs) == 0 {
+			os.Rename(path, path+traceBadExt)
+			continue
+		}
+		ts.traces[name] = storedTrace{accs: accs, records: uint64(len(accs)), digest: digest(accs)}
+	}
+	return ts, nil
+}
+
+// loadTraceFile decodes one persisted trace.
+func loadTraceFile(path string) ([]trace.Access, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tr := trace.NewReader(f)
+	accs := trace.Drain(tr)
+	return accs, tr.Err()
 }
 
 // traceNameRE bounds names to something path- and log-safe.
 var traceNameRE = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
 
-// put stores (or replaces) a named trace.
-func (ts *traceStore) put(name string, accs []trace.Access) storedTrace {
+// put stores (or replaces) a named trace, persisting it first when the
+// store is durable: the in-memory map only changes once the bytes are
+// safely renamed into place, so memory and disk cannot disagree after a
+// failed write.
+func (ts *traceStore) put(name string, accs []trace.Access) (storedTrace, error) {
 	st := storedTrace{accs: accs, records: uint64(len(accs)), digest: digest(accs)}
+	if ts.dir != "" {
+		if err := ts.persist(name, accs); err != nil {
+			return storedTrace{}, err
+		}
+	}
 	ts.mu.Lock()
 	ts.traces[name] = st
 	ts.mu.Unlock()
-	return st
+	return st, nil
+}
+
+// persist durably writes one trace: temp file in the store directory,
+// fsync, atomic rename onto <name>.trace.
+func (ts *traceStore) persist(name string, accs []trace.Access) error {
+	f, err := os.CreateTemp(ts.dir, "upload-*.tmp")
+	if err != nil {
+		return fmt.Errorf("server: creating trace temp file: %w", err)
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := trace.WriteAll(f, trace.NewSliceSource(accs)); err != nil {
+		return fail(fmt.Errorf("server: writing trace %s: %w", name, err))
+	}
+	if err := f.Sync(); err != nil {
+		return fail(fmt.Errorf("server: syncing trace %s: %w", name, err))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("server: closing trace %s: %w", name, err)
+	}
+	dst := filepath.Join(ts.dir, name+traceFileExt)
+	if err := os.Rename(tmp, dst); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("server: publishing trace %s: %w", name, err)
+	}
+	return nil
 }
 
 // get returns the named trace.

@@ -144,6 +144,17 @@ type Config struct {
 	// functional mode before each representative interval, restoring
 	// recency/loop-block state after a fast-forward jump.
 	SampleWarmup int
+
+	// CheckpointEvery, when positive, snapshots the full machine state
+	// every CheckpointEvery executed accesses (summed across cores) so an
+	// attached checkpoint sink can persist them (RunCheckpointed). Like
+	// Banks it is a host-execution knob with no effect on results — a
+	// checkpointed run is byte-identical to an uninterrupted one — so the
+	// memo layers normalize it out of their keys. Checkpointing forces
+	// the serial loop and silently disables itself on configurations
+	// whose state is not serialized (Coherent, TrackMOESI, Profile,
+	// UseDRAM, sampled mode, telemetry).
+	CheckpointEvery uint64
 }
 
 // DefaultConfig returns the paper's Table II system with an STT-RAM LLC:

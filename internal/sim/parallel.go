@@ -111,7 +111,7 @@ func (m *machine) parWorkers() int {
 	if w <= 1 {
 		return 0
 	}
-	if m.cfg.Coherent || m.cfg.TrackMOESI || m.cfg.Profile || m.tel != nil {
+	if m.cfg.Coherent || m.cfg.TrackMOESI || m.cfg.Profile || m.tel != nil || m.ck != nil {
 		return 0
 	}
 	if m.ctx.BackInvalidate != nil {

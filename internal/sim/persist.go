@@ -1,0 +1,70 @@
+package sim
+
+// Serialization of the engine-level snapshot types used by persistent
+// sampling profiles (internal/sample): detached cache-hierarchy states
+// and per-interval telemetry signatures. The run-level machine codec
+// lives in checkpoint.go; these are the pieces a profile stores instead
+// of a whole machine.
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/checkpoint/wire"
+)
+
+// NCores reports how many per-core cache pairs the snapshot holds.
+func (s *MachineState) NCores() int { return len(s.l1) }
+
+// Encode appends the snapshot to enc (per-core L1+L2 states, then L3).
+func (s *MachineState) Encode(enc *wire.Encoder) {
+	enc.U64(uint64(len(s.l1)))
+	for i := range s.l1 {
+		s.l1[i].Encode(enc)
+		s.l2[i].Encode(enc)
+	}
+	s.l3.Encode(enc)
+}
+
+// DecodeMachineState reads one snapshot back. Geometry is validated
+// against the decoded arrays' own framing; restoring into a machine of
+// a different geometry still panics at Restore time (profiles are
+// digest-keyed by config, so that is a caller bug, not data corruption).
+func DecodeMachineState(d *wire.Decoder) (*MachineState, error) {
+	n := d.Length(4)
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	s := &MachineState{
+		l1: make([]*cache.State, n),
+		l2: make([]*cache.State, n),
+	}
+	for i := 0; i < n; i++ {
+		var err error
+		if s.l1[i], err = cache.DecodeSnapshotState(d); err != nil {
+			return nil, fmt.Errorf("core %d L1: %w", i, err)
+		}
+		if s.l2[i], err = cache.DecodeSnapshotState(d); err != nil {
+			return nil, fmt.Errorf("core %d L2: %w", i, err)
+		}
+	}
+	l3, err := cache.DecodeSnapshotState(d)
+	if err != nil {
+		return nil, fmt.Errorf("L3: %w", err)
+	}
+	s.l3 = l3
+	return s, nil
+}
+
+// EncodeInterval appends one telemetry signature to enc. The reflection
+// codec pins the field set: adding a non-uint64 field to Interval
+// panics here (update the codec), and decoding an artifact written with
+// a different field count errors (the profile is rebuilt).
+func EncodeInterval(enc *wire.Encoder, iv *Interval) { enc.U64Struct(iv) }
+
+// DecodeInterval reads one telemetry signature.
+func DecodeInterval(d *wire.Decoder) (Interval, error) {
+	var iv Interval
+	d.U64Struct(&iv)
+	return iv, d.Err()
+}

@@ -160,6 +160,12 @@ type machine struct {
 	// (nil in the serial loop, so enterShared costs one nil check).
 	par *parEngine
 
+	// ck is the checkpoint schedule (nil on non-checkpointed runs — the
+	// hot loop then pays one nil check per access, like telemetry).
+	// Checkpointing forces the serial loop: snapshots are defined between
+	// two accesses of the reference schedule.
+	ck *ckState
+
 	// Warmup baselines, captured when the measurement window opens so
 	// that reported metrics cover only the post-warmup region.
 	warmupDone  bool
@@ -354,6 +360,13 @@ func (m *machine) serialLoop(stopAfterWarmup bool) {
 		}
 		if m.cfg.MaxAccessesPerCore > 0 && next.nAcc >= m.cfg.MaxAccessesPerCore+m.cfg.WarmupAccessesPerCore {
 			next.done = true
+		}
+		if m.ck != nil {
+			m.ck.seen++
+			if m.ck.seen == m.ck.next {
+				m.checkpointNow()
+				m.ck.next += m.ck.every
+			}
 		}
 		if stopAfterWarmup && m.warmupDone {
 			return

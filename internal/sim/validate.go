@@ -70,6 +70,8 @@ func (c Config) Validate() error {
 		return fieldErrf("WarmupAccessesPerCore", "sampled mode replaces access-count warmup with functional cluster warmup (SampleWarmup)")
 	case c.SampleInterval > 0 && c.MaxAccessesPerCore > 0:
 		return fieldErrf("MaxAccessesPerCore", "sampled mode derives run length from the profiled trace; bound the sources instead")
+	case c.CheckpointEvery > 0 && c.CheckpointEvery < 1000:
+		return fieldErrf("CheckpointEvery", "checkpoint interval must be at least 1000 accesses (got %d)", c.CheckpointEvery)
 	}
 	for _, geom := range []struct {
 		field      string

@@ -211,3 +211,25 @@ func Drain(src Source) []Access {
 		out = append(out, a)
 	}
 }
+
+// Skip discards up to n accesses from src and returns how many were
+// actually discarded (short only when the source exhausts first).
+// Checkpoint resume uses it to fast-forward a freshly rebuilt
+// deterministic source past the prefix a restored machine already
+// executed.
+func Skip(src Source, n uint64) uint64 {
+	var buf [256]Access
+	var done uint64
+	for done < n {
+		chunk := n - done
+		if chunk > uint64(len(buf)) {
+			chunk = uint64(len(buf))
+		}
+		got := FillBatch(src, buf[:chunk])
+		done += uint64(got)
+		if uint64(got) < chunk {
+			break
+		}
+	}
+	return done
+}
