@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json alloc-gate chaos ci quick resume-smoke sample-smoke serve serve-smoke trace-smoke
+.PHONY: all build test race bench bench-json alloc-gate chaos ci policy-smoke quick resume-smoke sample-smoke serve serve-smoke trace-smoke
 
 all: build
 
@@ -43,6 +43,14 @@ alloc-gate:
 	$(GO) test -bench BenchmarkAccessAllocs -benchmem -benchtime=100000x -run '^$$' ./internal/sim \
 		| awk '/^BenchmarkAccessAllocs/ { n++; if ($$0 !~ / 0 allocs\/op/) { bad = 1; print "FAIL:", $$0 } else print } END { exit (n == 0 || bad) }'
 
+# Policy-registry gate: regenerate the quick-scale policy-comparison
+# artifacts (fig14/15/18/19/24 — every pre-registry policy) and require
+# them byte-identical to the golden captured before the registry
+# refactor, then generate ext-stt and require the competitor policies
+# (reuse-detector, rd-copyback) present (see cmd/policysmoke).
+policy-smoke:
+	$(GO) run ./cmd/policysmoke
+
 # Sampled-simulation speed/accuracy gate: one Fig. 14 mix, exact vs
 # interval-sampled across the six STT-RAM policies, asserting the
 # measured speedup floor and per-policy error bound (see cmd/samplesmoke
@@ -69,6 +77,7 @@ ci:
 	$(GO) test -race -timeout 30m ./...
 	$(GO) test -race -timeout 10m -run 'Chaos|Fault|Corrupt' ./...
 	$(MAKE) alloc-gate
+	$(MAKE) policy-smoke
 	$(GO) test -bench=BenchmarkFig14 -benchtime=1x -run '^$$' .
 	$(MAKE) bench-json
 	$(GO) run ./cmd/lapserved -smoke
@@ -93,7 +102,7 @@ trace-smoke:
 		-accesses 20000 -warmup 2000 -trace /tmp/lap-trace-smoke.json -interval 1000 >/dev/null
 	$(GO) run ./cmd/tracecheck \
 		-span run,warmup,epoch \
-		-counter accesses,misses,writebacks,fills,redundant_fills,loop_blocks \
+		-counter accesses,misses,writebacks,fills,redundant_fills,loop_blocks,bypasses \
 		-nested warmup:run,epoch:run /tmp/lap-trace-smoke.json
 
 # Run the simulation server on :8080 (see README "Serving simulations").

@@ -153,7 +153,17 @@ func main() {
 		fatal("%v", err)
 	}
 
-	policies := resolvePolicies(*policy, cfg.L3SRAMWays > 0)
+	// The policy registry owns name resolution: canonicalisation, the
+	// "all" expansion, and the capability gates (hybrid-only policies on
+	// uniform LLCs, exact-only policies in sampled mode) behave exactly
+	// as in the library and the lapserved API.
+	policies, notices, err := lap.ResolvePolicies(cfg, *policy)
+	if err != nil {
+		fatal("%v", err)
+	}
+	for _, n := range notices {
+		fmt.Fprintln(os.Stderr, "lapsim: "+n)
+	}
 	if *bench != "" && *threads > 0 {
 		cfg.Cores = *threads
 	}
@@ -299,45 +309,6 @@ func writeMetrics(path string) error {
 		return err
 	}
 	return f.Close()
-}
-
-// resolvePolicies parses the -policy argument: one name, a
-// comma-separated list, or "all". Lhybrid steers blocks between SRAM
-// and STT-RAM partitions, so it only runs on a hybrid LLC: "all" drops
-// it on other configurations (with a note), an explicit request fails
-// fast instead of panicking mid-simulation.
-func resolvePolicies(arg string, hybrid bool) []lap.Policy {
-	if strings.EqualFold(arg, "all") {
-		all := lap.Policies()
-		if hybrid {
-			return all
-		}
-		kept := make([]lap.Policy, 0, len(all))
-		for _, p := range all {
-			if p == lap.PolicyLhybrid {
-				fmt.Fprintln(os.Stderr, "lapsim: skipping Lhybrid (needs -llc hybrid)")
-				continue
-			}
-			kept = append(kept, p)
-		}
-		return kept
-	}
-	var out []lap.Policy
-	for _, name := range strings.Split(arg, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
-			continue
-		}
-		p := lap.Policy(name)
-		if p == lap.PolicyLhybrid && !hybrid {
-			fatal("policy Lhybrid needs a hybrid LLC (pass -llc hybrid)")
-		}
-		out = append(out, p)
-	}
-	if len(out) == 0 {
-		fatal("no policy given")
-	}
-	return out
 }
 
 // compare prints EPI and throughput normalised to the first policy.

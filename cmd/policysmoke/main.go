@@ -1,0 +1,97 @@
+// Command policysmoke is the `make policy-smoke` CI gate for the policy
+// registry. It regenerates the quick-scale policy-comparison artifacts
+// that exercise every pre-registry policy — fig14/fig15/fig18 (STT-RAM
+// policy sweeps), fig19 (LAP replacement variants), and fig24 (the
+// hybrid LLC with Lhybrid) — and byte-compares them against a golden
+// captured before the registry refactor: registry dispatch must be
+// bit-for-bit invisible in every existing table. It then generates the
+// ext-stt competitor artifact and asserts the new registry policies
+// actually reach it, so the gate also fails if a policy half-joins the
+// system.
+package main
+
+import (
+	"bytes"
+	_ "embed"
+	"fmt"
+	"os"
+	"strings"
+
+	lap "repro"
+	"repro/internal/experiments"
+)
+
+//go:embed testdata/golden_quick.txt
+var golden []byte
+
+// goldenArtifacts are the artifacts pinned byte-identically, in golden
+// file order.
+var goldenArtifacts = []string{"fig14", "fig15", "fig18", "fig19", "fig24"}
+
+func main() {
+	opt := experiments.Quick()
+	reg := experiments.Registry(opt)
+
+	var buf bytes.Buffer
+	for _, id := range goldenArtifacts {
+		gen, ok := reg[id]
+		if !ok {
+			fatal("artifact %q missing from the experiment registry", id)
+		}
+		fmt.Fprintf(os.Stderr, "policysmoke: generating %s\n", id)
+		gen().Fprint(&buf)
+	}
+	if !bytes.Equal(buf.Bytes(), golden) {
+		reportDiff(buf.Bytes())
+		fatal("quick-scale tables differ from the pre-registry golden (cmd/policysmoke/testdata/golden_quick.txt)")
+	}
+	fmt.Fprintf(os.Stderr, "policysmoke: %d artifacts byte-identical to the golden (%d bytes)\n",
+		len(goldenArtifacts), len(golden))
+
+	// The new competitor policies must be reachable end to end: present
+	// in the registry-driven policy list and producing rows in the
+	// ext-stt head-to-head artifact.
+	for _, want := range []lap.Policy{lap.PolicyReuseDetector, lap.PolicyRDCopyback} {
+		found := false
+		for _, p := range lap.Policies() {
+			if p == want {
+				found = true
+			}
+		}
+		if !found {
+			fatal("policy %q missing from lap.Policies()", want)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "policysmoke: generating ext-stt")
+	var stt bytes.Buffer
+	reg["ext-stt"]().Fprint(&stt)
+	for _, name := range []string{"reuse-det", "rd-copyback", "LAP"} {
+		if !strings.Contains(stt.String(), name) {
+			fatal("ext-stt table lacks a %q column:\n%s", name, stt.String())
+		}
+	}
+	fmt.Fprintln(os.Stderr, "policysmoke: PASS")
+}
+
+// reportDiff prints the first differing line between got and the golden.
+func reportDiff(got []byte) {
+	gotLines := strings.Split(string(got), "\n")
+	wantLines := strings.Split(string(golden), "\n")
+	n := len(gotLines)
+	if len(wantLines) < n {
+		n = len(wantLines)
+	}
+	for i := 0; i < n; i++ {
+		if gotLines[i] != wantLines[i] {
+			fmt.Fprintf(os.Stderr, "policysmoke: first difference at line %d:\n  golden: %q\n  got:    %q\n",
+				i+1, wantLines[i], gotLines[i])
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "policysmoke: line count differs: golden %d, got %d\n", len(wantLines), len(gotLines))
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "policysmoke: FAIL: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+package lap
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+// TestEveryPolicyConforms walks the registry itself — not a hand-kept
+// list — so a policy registered tomorrow is automatically held to the
+// same contract: it runs end to end through lap.Run (with a hybrid LLC
+// when its capability flags demand one), labels its Result with the
+// canonical name, emits per-interval telemetry, and appears in the
+// lapexp policy-description table.
+func TestEveryPolicyConforms(t *testing.T) {
+	table4 := experiments.Table4(experiments.Quick())
+	var rendered bytes.Buffer
+	table4.Fprint(&rendered)
+
+	for _, info := range core.Policies() {
+		info := info
+		t.Run(info.Name, func(t *testing.T) {
+			cfg := smallConfig()
+			if info.NeedsHybridLLC {
+				cfg = cfg.WithHybridL3()
+			}
+			var intervals int
+			tel := &Telemetry{Interval: 4000, OnInterval: func(Interval) { intervals++ }}
+			res, err := RunObserved(cfg, Policy(info.Name), smallMix(), 20000, 1, tel)
+			if err != nil {
+				t.Fatalf("RunObserved(%s): %v", info.Name, err)
+			}
+			if res.Policy != info.Name {
+				t.Errorf("result labelled %q, want canonical %q", res.Policy, info.Name)
+			}
+			if res.Met.L3Accesses == 0 || res.Cycles == 0 {
+				t.Errorf("implausible result for %s: %+v", info.Name, res.Met)
+			}
+			if intervals == 0 {
+				t.Errorf("%s emitted no telemetry intervals", info.Name)
+			}
+			if !strings.Contains(rendered.String(), info.Name) {
+				t.Errorf("%s missing from the Table 4 policy listing", info.Name)
+			}
+		})
+	}
+}

@@ -197,3 +197,15 @@ func (c *Hybrid) installAt(x *Ctx, set, way int, block uint64, dirty, loop bool,
 		}
 	}
 }
+
+func init() {
+	RegisterPolicy(PolicyInfo{
+		Name:            "Lhybrid",
+		Description:     "LAP plus loop-block-aware SRAM/STT-RAM data placement",
+		NeedsHybridLLC:  true,
+		SampledEligible: true,
+		BankedEligible:  true,
+		Rank:            9,
+		New:             func(PolicyParams) Controller { return NewLhybrid() },
+	})
+}

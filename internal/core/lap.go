@@ -136,3 +136,30 @@ func (c *LAP) EvictL2(x *Ctx, v cache.Line) {
 	}
 	x.insert(v.Tag, v.Dirty, v.Loop, src, c.victimSelector(x))
 }
+
+func init() {
+	RegisterPolicy(PolicyInfo{
+		Name:            "LAP-LRU",
+		Description:     "LAP data flow with plain LRU replacement",
+		SampledEligible: true,
+		BankedEligible:  true,
+		Rank:            6,
+		New:             func(PolicyParams) Controller { return NewLAPVariant(AlwaysLRU) },
+	})
+	RegisterPolicy(PolicyInfo{
+		Name:            "LAP-Loop",
+		Description:     "LAP data flow, always evicting non-loop-blocks first",
+		SampledEligible: true,
+		BankedEligible:  true,
+		Rank:            7,
+		New:             func(PolicyParams) Controller { return NewLAPVariant(AlwaysLoopAware) },
+	})
+	RegisterPolicy(PolicyInfo{
+		Name:            "LAP",
+		Description:     "LAP with set-dueling between LRU and loop-aware replacement",
+		SampledEligible: true,
+		BankedEligible:  true,
+		Rank:            8,
+		New:             func(PolicyParams) Controller { return NewLAP() },
+	})
+}

@@ -75,9 +75,13 @@ type Metrics struct {
 	// Prefetches counts L2 prefetch fills (PrefetchDegree > 0).
 	Prefetches uint64
 
-	// BypassedWrites counts L2 victims a dead-write predictor diverted
-	// around the LLC (DeadWriteBypass).
+	// BypassedWrites counts L2 victims a bypass predictor diverted
+	// around the LLC (DeadWriteBypass, ReuseDetector, RDCopyback).
 	BypassedWrites uint64
+
+	// BypassedFills counts demand fills a bypass predictor served to the
+	// core without installing the block in the LLC (ReuseDetector).
+	BypassedFills uint64
 
 	// MSHRMerges counts LLC misses that merged with an outstanding fill
 	// of the same block instead of issuing a redundant memory read;
@@ -120,6 +124,7 @@ func (m *Metrics) Add(o *Metrics) {
 	m.SnoopTraffic += o.SnoopTraffic
 	m.Prefetches += o.Prefetches
 	m.BypassedWrites += o.BypassedWrites
+	m.BypassedFills += o.BypassedFills
 	m.MSHRMerges += o.MSHRMerges
 	m.MSHRStalls += o.MSHRStalls
 }
@@ -153,6 +158,7 @@ func (m *Metrics) Sub(o *Metrics) {
 	m.SnoopTraffic -= o.SnoopTraffic
 	m.Prefetches -= o.Prefetches
 	m.BypassedWrites -= o.BypassedWrites
+	m.BypassedFills -= o.BypassedFills
 	m.MSHRMerges -= o.MSHRMerges
 	m.MSHRStalls -= o.MSHRStalls
 	m.Instructions -= o.Instructions
@@ -189,6 +195,7 @@ func (m *Metrics) AddScaled(o *Metrics, k uint64) {
 	m.SnoopTraffic += o.SnoopTraffic * k
 	m.Prefetches += o.Prefetches * k
 	m.BypassedWrites += o.BypassedWrites * k
+	m.BypassedFills += o.BypassedFills * k
 	m.MSHRMerges += o.MSHRMerges * k
 	m.MSHRStalls += o.MSHRStalls * k
 	m.Instructions += o.Instructions * k

@@ -150,6 +150,48 @@ func (c *DeadWriteBypass) DecodeState(d *wire.Decoder) error {
 	return base.DecodeState(d)
 }
 
+// EncodeState implements StateCodec: the reuse signature table is the
+// only mutable state.
+func (c *ReuseDetector) EncodeState(e *wire.Encoder) { e.U64s(c.sig) }
+
+// DecodeState implements StateCodec.
+func (c *ReuseDetector) DecodeState(d *wire.Decoder) error {
+	sig := d.U64s()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if len(sig) != len(c.sig) {
+		return fmt.Errorf("core: reuse-detector table size mismatch (%d, snapshot has %d)", len(c.sig), len(sig))
+	}
+	copy(c.sig, sig)
+	return nil
+}
+
+// EncodeState implements StateCodec: the reuse clock, the derived
+// threshold, and the last-touch table.
+func (c *RDCopyback) EncodeState(e *wire.Encoder) {
+	e.U64(c.clock)
+	e.U64(c.threshold)
+	e.U64s(c.last)
+}
+
+// DecodeState implements StateCodec.
+func (c *RDCopyback) DecodeState(d *wire.Decoder) error {
+	clock := d.U64()
+	threshold := d.U64()
+	last := d.U64s()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if len(last) != len(c.last) {
+		return fmt.Errorf("core: rd-copyback table size mismatch (%d, snapshot has %d)", len(c.last), len(last))
+	}
+	c.clock = clock
+	c.threshold = threshold
+	copy(c.last, last)
+	return nil
+}
+
 // ensure the controllers actually satisfy the interface.
 var (
 	_ StateCodec = (*LAP)(nil)
@@ -159,6 +201,8 @@ var (
 	_ StateCodec = (*NonInclusive)(nil)
 	_ StateCodec = (*Exclusive)(nil)
 	_ StateCodec = (*Inclusive)(nil)
+	_ StateCodec = (*ReuseDetector)(nil)
+	_ StateCodec = (*RDCopyback)(nil)
 	_ StateCodec = (*Metrics)(nil)
 	_ StateCodec = (*Banks)(nil)
 	_ StateCodec = (*cache.Duel)(nil)

@@ -90,3 +90,22 @@ func (c *switching) EvictL2(x *Ctx, v cache.Line) {
 	}
 	c.charge(x, set, false, before)
 }
+
+func init() {
+	RegisterPolicy(PolicyInfo{
+		Name:            "FLEXclusion",
+		Description:     "duels non-inclusion vs exclusion on capacity/bandwidth demand",
+		SampledEligible: true,
+		BankedEligible:  true,
+		Rank:            4,
+		New:             func(PolicyParams) Controller { return NewFLEXclusion() },
+	})
+	RegisterPolicy(PolicyInfo{
+		Name:            "Dswitch",
+		Description:     "duels non-inclusion vs exclusion weighing LLC writes by energy",
+		SampledEligible: true,
+		BankedEligible:  true,
+		Rank:            5,
+		New:             func(p PolicyParams) Controller { return NewDswitch(p.MissNJ, p.WriteNJ) },
+	})
+}

@@ -142,3 +142,32 @@ func (c *Inclusive) Fetch(x *Ctx, block uint64) FetchResult {
 
 // EvictL2 implements Controller.
 func (c *Inclusive) EvictL2(x *Ctx, v cache.Line) { c.noni.EvictL2(x, v) }
+
+func init() {
+	RegisterPolicy(PolicyInfo{
+		Name:            "non-inclusive",
+		Description:     "baseline inclusion property; fills both levels, drops clean victims",
+		SampledEligible: true,
+		BankedEligible:  true,
+		Rank:            1,
+		New:             func(PolicyParams) Controller { return NewNonInclusive() },
+	})
+	RegisterPolicy(PolicyInfo{
+		Name:            "exclusive",
+		Description:     "fills upper level only, invalidates on hit, inserts all victims",
+		SampledEligible: true,
+		BankedEligible:  true,
+		Rank:            2,
+		New:             func(PolicyParams) Controller { return NewExclusive() },
+	})
+	// Inclusive back-invalidates upper-level copies on LLC eviction, a
+	// globally ordered cross-core side effect the banked engine cannot
+	// replay, so it is the one banked-ineligible policy.
+	RegisterPolicy(PolicyInfo{
+		Name:            "inclusive",
+		Description:     "non-inclusive flow plus back-invalidation of upper-level copies",
+		SampledEligible: true,
+		Rank:            3,
+		New:             func(PolicyParams) Controller { return NewInclusive() },
+	})
+}

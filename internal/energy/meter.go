@@ -65,7 +65,11 @@ func Hybrid(clockHz float64, sram, stt Tech, sramBytes, sttBytes int64) *Meter {
 }
 
 // AddTag records one tag-array access (lookup or tag-only update, such as
-// LAP's loop-bit refresh on a dropped clean victim).
+// LAP's loop-bit refresh on a dropped clean victim). Controllers also
+// charge their SRAM metadata structures here — the reuse-detector
+// signature table and the rd-copyback timestamp table probe at tag-array
+// cost per access, so predictor overhead shows up in EPI rather than
+// being modelled as free.
 func (m *Meter) AddTag() { m.TagAccesses++ }
 
 // AddRead records one data-array read in the given region.

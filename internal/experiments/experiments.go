@@ -14,7 +14,6 @@ import (
 	"repro/internal/cache"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
-	"repro/internal/energy"
 	"repro/internal/obs/trace"
 	"repro/internal/sim"
 )
@@ -157,16 +156,33 @@ func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
 func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
 
 // Policy factories. Each run needs a fresh controller because dueling
-// state is per-run.
+// state is per-run. Registered policies are constructed through the core
+// registry — the same path the CLI and the API use — so the experiment
+// tables cannot drift from the shipped dispatch; only the Fig. 25
+// ablation stages (not real policies) are built directly.
+
+// registered returns a fresh-controller factory for a registry policy.
+func registered(name string, params core.PolicyParams) sim.Controller {
+	if _, ok := core.LookupPolicy(name); !ok {
+		panic(fmt.Sprintf("experiments: unknown policy %q", name))
+	}
+	return func() core.Controller {
+		c, err := core.NewPolicy(name, params)
+		if err != nil {
+			panic(err)
+		}
+		return c
+	}
+}
 
 // Noni returns the non-inclusive baseline factory.
-func Noni() sim.Controller { return func() core.Controller { return core.NewNonInclusive() } }
+func Noni() sim.Controller { return registered("non-inclusive", core.PolicyParams{}) }
 
 // Ex returns the exclusive policy factory.
-func Ex() sim.Controller { return func() core.Controller { return core.NewExclusive() } }
+func Ex() sim.Controller { return registered("exclusive", core.PolicyParams{}) }
 
 // Incl returns the inclusive policy factory.
-func Incl() sim.Controller { return func() core.Controller { return core.NewInclusive() } }
+func Incl() sim.Controller { return registered("inclusive", core.PolicyParams{}) }
 
 // dueler is implemented by controllers with set-dueling state.
 type dueler interface{ Duel() *cache.Duel }
@@ -183,42 +199,45 @@ func withPeriod(c core.Controller, period uint64) core.Controller {
 
 // Flex returns the FLEXclusion factory.
 func Flex(opt Options) sim.Controller {
-	return func() core.Controller { return withPeriod(core.NewFLEXclusion(), opt.DuelPeriod) }
+	return registered("FLEXclusion", core.PolicyParams{DuelPeriod: opt.DuelPeriod})
 }
 
 // Dswitch returns the Dswitch factory for the LLC technology in cfg: the
 // duel weighs writes by the technology's write energy and misses by the
 // fill read plus the marginal leakage burned over the exposed (post-MLP)
-// portion of a memory access.
+// portion of a memory access (sim.Config.PolicyParams).
 func Dswitch(cfg sim.Config, opt Options) sim.Controller {
-	tech := cfg.L3Tech
-	leakMW := tech.LeakMWPerBank*float64(cfg.L3SizeBytes)/float64(energy.BankBytes) + energy.DefaultTag().LeakMW
-	// One miss lengthens only its own core's critical path by the exposed
-	// (post-MLP) memory latency, so it buys that share of chip leakage.
-	exposed := float64(cfg.MemCycles) / cfg.MLP / float64(cfg.Cores)
-	missNJ := tech.ReadNJ + leakMW*1e-3*exposed/cfg.ClockHz*1e9
-	writeNJ := tech.WriteNJ
-	return func() core.Controller { return withPeriod(core.NewDswitch(missNJ, writeNJ), opt.DuelPeriod) }
+	return registered("Dswitch", cfg.PolicyParams(opt.DuelPeriod))
 }
 
 // LAP returns the full LAP factory.
 func LAP(opt Options) sim.Controller {
-	return func() core.Controller { return withPeriod(core.NewLAP(), opt.DuelPeriod) }
+	return registered("LAP", core.PolicyParams{DuelPeriod: opt.DuelPeriod})
 }
 
 // LAPLRU returns the Fig. 19 always-LRU replacement variant.
 func LAPLRU() sim.Controller {
-	return func() core.Controller { return core.NewLAPVariant(core.AlwaysLRU) }
+	return registered("LAP-LRU", core.PolicyParams{})
 }
 
 // LAPLoop returns the always-loop-aware variant.
 func LAPLoop() sim.Controller {
-	return func() core.Controller { return core.NewLAPVariant(core.AlwaysLoopAware) }
+	return registered("LAP-Loop", core.PolicyParams{})
 }
 
 // Lhybrid returns the hybrid data-placement policy factory.
 func Lhybrid(opt Options) sim.Controller {
-	return func() core.Controller { return withPeriod(core.NewLhybrid(), opt.DuelPeriod) }
+	return registered("Lhybrid", core.PolicyParams{DuelPeriod: opt.DuelPeriod})
+}
+
+// ReuseDetector returns the STT-RAM reuse-detection bypass competitor.
+func ReuseDetector() sim.Controller {
+	return registered("reuse-detector", core.PolicyParams{})
+}
+
+// RDCopyback returns the reuse-distance copy-back competitor.
+func RDCopyback() sim.Controller {
+	return registered("rd-copyback", core.PolicyParams{})
 }
 
 // HybridStage returns a Fig. 25 ablation stage factory.

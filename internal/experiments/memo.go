@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/checkpoint"
+	"repro/internal/core"
 	"repro/internal/fault"
 	memocache "repro/internal/memo"
 	"repro/internal/obs"
@@ -83,7 +84,7 @@ func runE(cfg sim.Config, policyName string, ctrl sim.Controller, mix workload.M
 	if opt.Checkpoints != nil && opt.CheckpointEvery > 0 {
 		cfg.CheckpointEvery = opt.CheckpointEvery
 	}
-	if sampleEligible(cfg, opt) {
+	if sampleEligible(cfg, policyName, opt) {
 		cfg.SampleInterval = opt.SampleInterval
 		cfg.SampleClusters = opt.SampleClusters
 		cfg.SampleWarmup = opt.SampleWarmup
@@ -127,12 +128,19 @@ func runE(cfg sim.Config, policyName string, ctrl sim.Controller, mix workload.M
 	return res, err
 }
 
-// sampleEligible reports whether sampled mode applies to this run:
-// the sweep asked for it and the configuration has none of the features
-// sampling cannot represent (cross-interval coherent state, the
-// redundancy profiler, or explicit warmup/length bounds). Ineligible
-// runs silently stay exact so artifact code never has to special-case.
-func sampleEligible(cfg sim.Config, opt Options) bool {
+// sampleEligible reports whether sampled mode applies to this run: the
+// sweep asked for it, the policy's registry entry allows it (predictor
+// policies whose state cannot survive interval jumps are exact-only),
+// and the configuration has none of the features sampling cannot
+// represent (cross-interval coherent state, the redundancy profiler, or
+// explicit warmup/length bounds). Ineligible runs silently stay exact
+// so artifact code never has to special-case. policyName may be an
+// experiment-local display name ("noni", "LAP+Winv"); names the
+// registry does not know get no policy-level restriction.
+func sampleEligible(cfg sim.Config, policyName string, opt Options) bool {
+	if info, ok := core.LookupPolicy(policyName); ok && !info.SampledEligible {
+		return false
+	}
 	return opt.SampleInterval > 0 &&
 		!cfg.Coherent && !cfg.TrackMOESI && !cfg.Profile &&
 		cfg.WarmupAccessesPerCore == 0 && cfg.MaxAccessesPerCore == 0

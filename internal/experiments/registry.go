@@ -37,6 +37,7 @@ func Registry(opt Options) map[string]Generator {
 		"ext-dram":  func() *Table { return ExtDRAM(opt) },
 		"ext-pf":    func() *Table { return ExtPrefetch(opt) },
 		"ext-dwb":   func() *Table { return ExtDWB(opt) },
+		"ext-stt":   func() *Table { return ExtSTT(opt) },
 	}
 }
 
@@ -48,5 +49,6 @@ func Order() []string {
 		"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
 		"fig20", "fig21", "fig22", "fig23", "fig24", "fig25",
 		"ext-rrip", "ext-fnw", "ext-seeds", "ext-dram", "ext-pf", "ext-dwb",
+		"ext-stt",
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -71,13 +72,10 @@ func Table4(Options) *Table {
 		Title:  "Evaluated policies",
 		Header: []string{"policy", "description"},
 	}
-	t.AddRow("Non-inclusive", "baseline inclusion property; fills both levels, drops clean victims")
-	t.AddRow("Exclusive", "fills upper level only, invalidates on hit, inserts all victims")
-	t.AddRow("FLEXclusion", "duels non-inclusion vs exclusion on capacity/bandwidth demand")
-	t.AddRow("Dswitch", "duels non-inclusion vs exclusion weighing LLC writes by energy")
-	t.AddRow("LAP-LRU", "LAP data flow with plain LRU replacement")
-	t.AddRow("LAP-Loop", "LAP data flow, always evicting non-loop-blocks first")
-	t.AddRow("LAP", "LAP with set-dueling between LRU and loop-aware replacement")
-	t.AddRow("Lhybrid", "LAP plus loop-block-aware SRAM/STT-RAM data placement")
+	// The rows are the policy registry itself: a policy registered in
+	// internal/core appears here with no table edit.
+	for _, info := range core.Policies() {
+		t.AddRow(info.Name, info.Description)
+	}
 	return t
 }

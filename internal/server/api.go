@@ -127,6 +127,11 @@ type SweepResponse struct {
 	Results   []RunResult `json:"results"`
 	Failed    int         `json:"failed,omitempty"`
 	Cancelled int         `json:"cancelled,omitempty"`
+	// Skipped lists policies the default ("all") policy expansion
+	// dropped as ineligible under the request's configuration, with the
+	// reason. Empty — and omitted — when policies were named explicitly
+	// or nothing was skipped.
+	Skipped []string `json:"skipped,omitempty"`
 }
 
 // TraceUploadResponse acknowledges a stored trace.
@@ -313,6 +318,16 @@ func badReqf(format string, args ...any) error {
 	return badRequestError{msg: fmt.Sprintf(format, args...)}
 }
 
+// policyBadRequest shapes a registry policy-resolution failure into a
+// 400 carrying the "Policy" field, matching config validation errors.
+func policyBadRequest(err error) error {
+	var fe *lap.FieldError
+	if errors.As(err, &fe) {
+		return badRequestError{msg: err.Error(), field: fe.Field}
+	}
+	return badReqf("%v", err)
+}
+
 // resolveRun validates a RunRequest into an executable spec.
 func (s *Server) resolveRun(req RunRequest) (*runSpec, error) {
 	cfg, err := lap.ParseConfig(req.Config)
@@ -336,12 +351,16 @@ func (s *Server) resolveRun(req RunRequest) (*runSpec, error) {
 		return nil, badReqf("unknown mode %q (want %q or %q)", req.Mode, "exact", "sampled")
 	}
 
+	// Policy names resolve through the registry: the stored canonical
+	// spelling keys the run cache, so case variants of one policy hit
+	// the same cached result instead of simulating twice.
 	policy := lap.Policy(req.Policy)
 	if policy == "" {
 		policy = lap.PolicyLAP
 	}
-	if _, err := lap.NewController(policy, cfg); err != nil {
-		return nil, badReqf("%v", err)
+	policy, err = lap.ValidatePolicy(cfg, policy)
+	if err != nil {
+		return nil, policyBadRequest(err)
 	}
 
 	accesses := req.Accesses
@@ -435,6 +454,12 @@ func (s *Server) resolveRun(req RunRequest) (*runSpec, error) {
 				return nil, badRequestError{msg: err.Error(), field: fe.Field}
 			}
 			return nil, badReqf("%v", err)
+		}
+		// With SampleInterval now set, the registry's sampled-eligible
+		// gate applies: exact-only policies 400 here instead of running
+		// through a mode that would silently mis-predict.
+		if _, err := lap.ValidatePolicy(sp.cfg, policy); err != nil {
+			return nil, policyBadRequest(err)
 		}
 		sp.profile = func() (*lap.SampleProfile, error) { return s.profileFor(sp) }
 	}

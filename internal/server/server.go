@@ -564,10 +564,31 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if err := decodeJSON(w, r, &req); err != nil {
 		return
 	}
+	// The default policy set is the registry's configuration-aware "all"
+	// expansion: hybrid-only policies drop out on uniform LLCs and
+	// exact-only policies drop out of sampled sweeps, each skip reported
+	// in the response rather than silently running (or 400ing the grid).
+	var skipped []string
 	if len(req.Policies) == 0 {
-		for _, p := range lap.Policies() {
+		cfg, err := lap.ParseConfig(req.Config)
+		if err != nil {
+			writeError(w, policyBadRequest(err))
+			return
+		}
+		if req.Mode == "sampled" && cfg.SampleInterval == 0 {
+			// Any non-zero interval engages the sampled-eligibility
+			// gate; resolveRun derives the real interval per cell.
+			cfg.SampleInterval = 1000
+		}
+		policies, notices, err := lap.ResolvePolicies(cfg, "all")
+		if err != nil {
+			writeError(w, policyBadRequest(err))
+			return
+		}
+		for _, p := range policies {
 			req.Policies = append(req.Policies, string(p))
 		}
+		skipped = notices
 	}
 	if len(req.Mixes) == 0 {
 		for _, m := range lap.TableIII() {
@@ -597,7 +618,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if len(specs) == 0 {
-		writeJSON(w, http.StatusOK, SweepResponse{Results: []RunResult{}})
+		writeJSON(w, http.StatusOK, SweepResponse{Results: []RunResult{}, Skipped: skipped})
 		return
 	}
 	if !s.admit(len(specs)) {
@@ -640,7 +661,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// that stays failed after retries is reported in place with a typed
 	// error; the surviving cells carry their results byte-identically to
 	// a clean sweep.
-	resp := SweepResponse{Results: make([]RunResult, 0, len(specs))}
+	resp := SweepResponse{Results: make([]RunResult, 0, len(specs)), Skipped: skipped}
 	for _, sp := range specs {
 		res, err := s.runCellRetry(ctx, sp)
 		if err != nil {

@@ -249,9 +249,22 @@ func TestSweepByteIdenticalAcrossJobs(t *testing.T) {
 	if err := json.Unmarshal(bodies[0], &resp); err != nil {
 		t.Fatalf("decoding sweep: %v", err)
 	}
-	nPolicies := len(lap.Policies())
+	// The default expansion is configuration-aware: the default config
+	// has a uniform STT-RAM LLC, so hybrid-only policies are skipped
+	// (with a notice) instead of silently simulating a degenerate LLC.
+	eligible, notices, err := lap.ResolvePolicies(lap.DefaultConfig(), "all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nPolicies := len(eligible)
 	if wantCells := 3 * nPolicies; len(resp.Results) != wantCells {
 		t.Fatalf("sweep cells: got %d, want %d", len(resp.Results), wantCells)
+	}
+	if len(resp.Skipped) != len(notices) {
+		t.Fatalf("skipped notices: got %v, want %v", resp.Skipped, notices)
+	}
+	if len(resp.Skipped) == 0 || !strings.Contains(resp.Skipped[0], "Lhybrid") {
+		t.Fatalf("expected a Lhybrid skip notice, got %v", resp.Skipped)
 	}
 	// Mix-major request order: first block is WL1 under every policy.
 	for i, r := range resp.Results[:nPolicies] {
@@ -274,7 +287,11 @@ func TestSweepDefaultsCoverGrid(t *testing.T) {
 	if err := json.Unmarshal(body, &resp); err != nil {
 		t.Fatal(err)
 	}
-	want := 10 * len(lap.Policies())
+	eligible, _, err := lap.ResolvePolicies(lap.DefaultConfig(), "all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10 * len(eligible)
 	if len(resp.Results) != want {
 		t.Fatalf("default grid: got %d cells, want %d", len(resp.Results), want)
 	}

@@ -35,11 +35,13 @@ func allocMachine(ctrl core.Controller, b workload.Benchmark, hybrid bool) (*mac
 
 func allocControllers() map[string]func() core.Controller {
 	return map[string]func() core.Controller{
-		"NonInclusive": func() core.Controller { return core.NewNonInclusive() },
-		"Exclusive":    func() core.Controller { return core.NewExclusive() },
-		"FLEXclusion":  func() core.Controller { return core.NewFLEXclusion() },
-		"LAP":          func() core.Controller { return core.NewLAP() },
-		"Lhybrid":      func() core.Controller { return core.NewLhybrid() },
+		"NonInclusive":  func() core.Controller { return core.NewNonInclusive() },
+		"Exclusive":     func() core.Controller { return core.NewExclusive() },
+		"FLEXclusion":   func() core.Controller { return core.NewFLEXclusion() },
+		"LAP":           func() core.Controller { return core.NewLAP() },
+		"Lhybrid":       func() core.Controller { return core.NewLhybrid() },
+		"ReuseDetector": func() core.Controller { return core.NewReuseDetector() },
+		"RDCopyback":    func() core.Controller { return core.NewRDCopyback() },
 	}
 }
 
@@ -104,5 +106,28 @@ func BenchmarkAccessAllocsFunctional(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.stepFunctional(c, accs[i%len(accs)])
+	}
+}
+
+// BenchmarkAccessAllocsCompetitors pins the predictor-table competitor
+// policies (reuse-detector, rd-copyback) in the same CI alloc gate: the
+// sub-benchmark names keep the BenchmarkAccessAllocs prefix the gate
+// greps, so their allocs/op must also be exactly 0.
+func BenchmarkAccessAllocsCompetitors(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		mk   func() core.Controller
+	}{
+		{"ReuseDetector", func() core.Controller { return core.NewReuseDetector() }},
+		{"RDCopyback", func() core.Controller { return core.NewRDCopyback() }},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			m, c, accs := allocMachine(tc.mk(), loopy(), false)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.step(c, accs[i%len(accs)])
+			}
+		})
 	}
 }

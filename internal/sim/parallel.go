@@ -39,6 +39,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/core"
 )
 
 // parDoneKey marks a worker with no pending accesses. It is the NaN bit
@@ -112,6 +114,13 @@ func (m *machine) parWorkers() int {
 		return 0
 	}
 	if m.cfg.Coherent || m.cfg.TrackMOESI || m.cfg.Profile || m.tel != nil || m.ck != nil {
+		return 0
+	}
+	// Registry-declared ineligibility (the capability flag) and the
+	// wired BackInvalidate hook both force the serial loop; the hook
+	// check stays as ground truth for controllers built outside the
+	// registry (e.g. experiment-only hybrid stages).
+	if info, ok := core.LookupPolicy(m.ctrl.Name()); ok && !info.BankedEligible {
 		return 0
 	}
 	if m.ctx.BackInvalidate != nil {

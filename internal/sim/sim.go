@@ -448,6 +448,7 @@ func (m *machine) subtractBaselines() {
 	met.SnoopDirtyTransfers -= base.SnoopDirtyTransfers
 	met.Prefetches -= base.Prefetches
 	met.BypassedWrites -= base.BypassedWrites
+	met.BypassedFills -= base.BypassedFills
 	met.MSHRMerges -= base.MSHRMerges
 	met.MSHRStalls -= base.MSHRStalls
 	if m.bus != nil {

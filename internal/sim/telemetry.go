@@ -32,6 +32,10 @@ type Interval struct {
 	LoopBlocks uint64
 	// TagOnlyUpdates counts LAP-style tag-only writes in the window.
 	TagOnlyUpdates uint64
+	// Bypasses counts accesses a bypass predictor diverted around the
+	// LLC in the window (dead-write bypasses, non-reused fills, and
+	// dropped clean copy-backs combined).
+	Bypasses uint64
 }
 
 // Telemetry is the epoch/interval observation hook for RunObserved. It
@@ -110,6 +114,7 @@ func (m *machine) telFlush(final bool) {
 		Fills:          met.WritesFill - t.last.WritesFill,
 		LoopBlocks:     m.loopFills - t.lastLoop,
 		TagOnlyUpdates: met.TagOnlyUpdates - t.last.TagOnlyUpdates,
+		Bypasses:       (met.BypassedWrites + met.BypassedFills) - (t.last.BypassedWrites + t.last.BypassedFills),
 	}
 	if p := m.ctx.Prof; p != nil {
 		iv.RedundantFills = p.RedundantFills - t.lastRed
@@ -139,7 +144,8 @@ func (m *machine) telWarmupEnd() {
 // simulated-time timeline on tr: a "run" span covering the whole run on
 // its own track (named after the run), a nested "warmup" span, one
 // nested "epoch" span per interval, and per-interval counter samples
-// (accesses, misses, writebacks, fills, redundant_fills, loop_blocks)
+// (accesses, misses, writebacks, fills, redundant_fills, loop_blocks,
+// bypasses)
 // at each window close. Returns nil — telemetry fully off — when the
 // tracer is nil or disabled.
 func TraceTelemetry(tr *otrace.Tracer, name string, interval uint64) *Telemetry {
@@ -174,6 +180,7 @@ func TraceTelemetry(tr *otrace.Tracer, name string, interval uint64) *Telemetry 
 				{"fills", iv.Fills},
 				{"redundant_fills", iv.RedundantFills},
 				{"loop_blocks", iv.LoopBlocks},
+				{"bypasses", iv.Bypasses},
 			} {
 				tr.Emit(otrace.Event{
 					Phase: otrace.PhaseCounter, Name: c.series,

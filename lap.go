@@ -25,7 +25,6 @@ package lap
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/core"
 	"repro/internal/energy"
@@ -71,29 +70,55 @@ type (
 	SampleEstimate = sim.SampleEstimate
 )
 
-// Policy names an inclusion property implemented by this library.
+// Policy names an inclusion property implemented by this library. Every
+// policy is an entry in the internal/core registry; the constants below
+// name the registered set, but any registered name (case-insensitively,
+// optionally with a "+DWB" suffix) is a valid Policy.
 type Policy string
 
-// The implemented inclusion policies (paper Table IV).
+// The implemented inclusion policies: the paper's Table IV set plus the
+// STT-RAM competitor policies from the follow-up literature.
 const (
-	PolicyNonInclusive Policy = "non-inclusive"
-	PolicyExclusive    Policy = "exclusive"
-	PolicyInclusive    Policy = "inclusive"
-	PolicyFLEXclusion  Policy = "FLEXclusion"
-	PolicyDswitch      Policy = "Dswitch"
-	PolicyLAP          Policy = "LAP"
-	PolicyLAPLRU       Policy = "LAP-LRU"
-	PolicyLAPLoop      Policy = "LAP-Loop"
-	PolicyLhybrid      Policy = "Lhybrid"
+	PolicyNonInclusive  Policy = "non-inclusive"
+	PolicyExclusive     Policy = "exclusive"
+	PolicyInclusive     Policy = "inclusive"
+	PolicyFLEXclusion   Policy = "FLEXclusion"
+	PolicyDswitch       Policy = "Dswitch"
+	PolicyLAP           Policy = "LAP"
+	PolicyLAPLRU        Policy = "LAP-LRU"
+	PolicyLAPLoop       Policy = "LAP-Loop"
+	PolicyLhybrid       Policy = "Lhybrid"
+	PolicyReuseDetector Policy = "reuse-detector"
+	PolicyRDCopyback    Policy = "rd-copyback"
 )
 
-// Policies returns every implemented policy in Table IV order.
+// Policies returns every registered policy in Table IV order (the
+// competitor policies follow the paper's set).
 func Policies() []Policy {
-	return []Policy{
-		PolicyNonInclusive, PolicyExclusive, PolicyInclusive,
-		PolicyFLEXclusion, PolicyDswitch,
-		PolicyLAPLRU, PolicyLAPLoop, PolicyLAP, PolicyLhybrid,
+	names := core.PolicyNames()
+	out := make([]Policy, len(names))
+	for i, n := range names {
+		out[i] = Policy(n)
 	}
+	return out
+}
+
+// ResolvePolicies parses a policy argument — a single name, a comma
+// list, or "all" — under cfg, returning canonical policies with
+// duplicates collapsed plus notices for policies "all" skipped as
+// ineligible (hybrid-only on a uniform LLC, sampled-ineligible when
+// cfg.SampleInterval > 0). Explicitly requesting an ineligible or
+// unknown name returns a *FieldError on "Policy".
+func ResolvePolicies(cfg Config, arg string) ([]Policy, []string, error) {
+	names, notices, err := cfg.ResolvePolicies(arg)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]Policy, len(names))
+	for i, n := range names {
+		out[i] = Policy(n)
+	}
+	return out, notices, nil
 }
 
 // DefaultConfig returns the paper's Table II system: 4 cores at 3GHz,
@@ -109,44 +134,14 @@ func SRAM() Tech { return energy.SRAM() }
 // ratio with Tech.WithWriteReadRatio for Figure 23-style studies.
 func STTRAM() Tech { return energy.STTRAM() }
 
-// NewController builds a fresh inclusion controller for one run. The
-// Dswitch policy derives its energy cost model from cfg. Appending
-// "+DWB" to any policy name wraps it with the dead-write-bypass
-// predictor (the paper's orthogonal reference [34]), e.g. "LAP+DWB".
+// NewController builds a fresh inclusion controller for one run by
+// resolving p against the policy registry under cfg (the Dswitch policy
+// derives its energy cost model from cfg). Appending "+DWB" to any
+// policy name wraps it with the dead-write-bypass predictor (the
+// paper's orthogonal reference [34]), e.g. "LAP+DWB". Unknown names and
+// policies cfg cannot run return a *FieldError on "Policy".
 func NewController(p Policy, cfg Config) (core.Controller, error) {
-	if base, ok := strings.CutSuffix(string(p), "+DWB"); ok {
-		inner, err := NewController(Policy(base), cfg)
-		if err != nil {
-			return nil, err
-		}
-		return core.NewDeadWriteBypass(inner), nil
-	}
-	switch p {
-	case PolicyNonInclusive:
-		return core.NewNonInclusive(), nil
-	case PolicyExclusive:
-		return core.NewExclusive(), nil
-	case PolicyInclusive:
-		return core.NewInclusive(), nil
-	case PolicyFLEXclusion:
-		return core.NewFLEXclusion(), nil
-	case PolicyDswitch:
-		tech := cfg.L3Tech
-		leakMW := tech.LeakMWPerBank*float64(cfg.L3SizeBytes)/float64(energy.BankBytes) + energy.DefaultTag().LeakMW
-		exposed := float64(cfg.MemCycles) / cfg.MLP / float64(cfg.Cores)
-		missNJ := tech.ReadNJ + leakMW*1e-3*exposed/cfg.ClockHz*1e9
-		return core.NewDswitch(missNJ, tech.WriteNJ), nil
-	case PolicyLAP:
-		return core.NewLAP(), nil
-	case PolicyLAPLRU:
-		return core.NewLAPVariant(core.AlwaysLRU), nil
-	case PolicyLAPLoop:
-		return core.NewLAPVariant(core.AlwaysLoopAware), nil
-	case PolicyLhybrid:
-		return core.NewLhybrid(), nil
-	default:
-		return nil, fmt.Errorf("lap: unknown policy %q", p)
-	}
+	return cfg.NewPolicyController(string(p), 0)
 }
 
 // Run simulates a multi-programmed mix (one member per core) under the

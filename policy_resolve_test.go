@@ -1,0 +1,163 @@
+package lap
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// One canonical policy-name behavior for every entry point: the CLI
+// (-policy), the library (NewController/ResolvePolicies), and the HTTP
+// API all route through Config.ValidatePolicy / Config.ResolvePolicies,
+// so this table is the contract all of them share.
+func TestResolvePoliciesCanonical(t *testing.T) {
+	stt := DefaultConfig()
+	hybrid := DefaultConfig().WithHybridL3()
+	sampled := DefaultConfig()
+	sampled.SampleInterval = 10000
+
+	allSTT, _, err := ResolvePolicies(stt, "all")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		cfg     Config
+		arg     string
+		want    []Policy
+		errPart string // non-empty: expect a FieldError containing it
+	}{
+		{name: "single canonical", cfg: stt, arg: "LAP", want: []Policy{PolicyLAP}},
+		{name: "case folded", cfg: stt, arg: "lap", want: []Policy{PolicyLAP}},
+		{name: "whitespace and empties", cfg: stt, arg: " LAP , ,exclusive ", want: []Policy{PolicyLAP, PolicyExclusive}},
+		{name: "duplicates collapse", cfg: stt, arg: "LAP,lap,LAP", want: []Policy{PolicyLAP}},
+		{name: "dwb suffix canonicalised", cfg: stt, arg: "lap+dwb", want: []Policy{"LAP+DWB"}},
+		{name: "unknown name", cfg: stt, arg: "bogus", errPart: "unknown policy"},
+		{name: "explicit hybrid-only on uniform LLC", cfg: stt, arg: "Lhybrid", errPart: "hybrid"},
+		{name: "hybrid-only allowed on hybrid LLC", cfg: hybrid, arg: "Lhybrid", want: []Policy{PolicyLhybrid}},
+		{name: "explicit exact-only in sampled mode", cfg: sampled, arg: "reuse-detector", errPart: "sampled"},
+		{name: "empty list", cfg: stt, arg: " , ", errPart: "no policies"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, _, err := ResolvePolicies(tc.cfg, tc.arg)
+			if tc.errPart != "" {
+				if err == nil {
+					t.Fatalf("ResolvePolicies(%q) accepted, want error containing %q (got %v)", tc.arg, tc.errPart, got)
+				}
+				var fe *FieldError
+				if !errors.As(err, &fe) || fe.Field != "Policy" {
+					t.Fatalf("ResolvePolicies(%q): error %v is not a Policy FieldError", tc.arg, err)
+				}
+				if !strings.Contains(err.Error(), tc.errPart) {
+					t.Fatalf("ResolvePolicies(%q): error %q lacks %q", tc.arg, err, tc.errPart)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ResolvePolicies(%q): %v", tc.arg, err)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("ResolvePolicies(%q): got %v, want %v", tc.arg, got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("ResolvePolicies(%q): got %v, want %v", tc.arg, got, tc.want)
+				}
+			}
+		})
+	}
+
+	t.Run("all skips hybrid-only on uniform LLC", func(t *testing.T) {
+		for _, p := range allSTT {
+			if p == PolicyLhybrid {
+				t.Fatalf("all on the STT config includes Lhybrid: %v", allSTT)
+			}
+		}
+		_, notices, err := ResolvePolicies(stt, "all")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(notices) != 1 || !strings.Contains(notices[0], "Lhybrid") {
+			t.Fatalf("want one Lhybrid skip notice, got %v", notices)
+		}
+	})
+
+	t.Run("all includes everything on hybrid LLC", func(t *testing.T) {
+		got, notices, err := ResolvePolicies(hybrid, "all")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(Policies()) || len(notices) != 0 {
+			t.Fatalf("hybrid all: got %v (notices %v), want every policy", got, notices)
+		}
+	})
+
+	t.Run("all skips exact-only policies in sampled mode", func(t *testing.T) {
+		got, notices, err := ResolvePolicies(sampled, "all")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range got {
+			if p == PolicyReuseDetector || p == PolicyRDCopyback {
+				t.Fatalf("sampled all includes exact-only policy %s", p)
+			}
+		}
+		var named int
+		for _, n := range notices {
+			if strings.Contains(n, string(PolicyReuseDetector)) || strings.Contains(n, string(PolicyRDCopyback)) {
+				named++
+			}
+		}
+		if named != 2 {
+			t.Fatalf("want skip notices for both exact-only policies, got %v", notices)
+		}
+	})
+
+	t.Run("unknown error lists valid names", func(t *testing.T) {
+		_, err := ValidatePolicy(stt, "bogus")
+		if err == nil {
+			t.Fatal("unknown policy accepted")
+		}
+		for _, p := range Policies() {
+			if !strings.Contains(err.Error(), string(p)) {
+				t.Errorf("error %q lacks valid name %q", err, p)
+			}
+		}
+	})
+}
+
+// TestSampledRefusalRegression pins the no-silent-wrong-answer rule for
+// each exact-only policy: sampled entry points refuse with a typed
+// FieldError instead of extrapolating from predictor state that cannot
+// survive interval jumps.
+func TestSampledRefusalRegression(t *testing.T) {
+	cfg := smallConfig()
+	cfg.SampleInterval = 5000
+	for _, p := range []Policy{PolicyReuseDetector, PolicyRDCopyback} {
+		t.Run(string(p), func(t *testing.T) {
+			if _, err := RunSampled(cfg, p, smallMix(), 20000, 1); !isPolicyFieldError(err) {
+				t.Fatalf("RunSampled(%s): got %v, want Policy FieldError", p, err)
+			}
+			prof, err := BuildSampleProfile(cfg, smallMix(), 20000, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := RunSampledProfile(cfg, p, prof); !isPolicyFieldError(err) {
+				t.Fatalf("RunSampledProfile(%s): got %v, want Policy FieldError", p, err)
+			}
+			// The same policy runs exact: only the sampled path refuses.
+			exact := cfg
+			exact.SampleInterval = 0
+			if _, err := Run(exact, p, smallMix(), 20000, 1); err != nil {
+				t.Fatalf("exact Run(%s): %v", p, err)
+			}
+		})
+	}
+}
+
+func isPolicyFieldError(err error) bool {
+	var fe *FieldError
+	return errors.As(err, &fe) && fe.Field == "Policy"
+}
