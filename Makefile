@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json alloc-gate chaos ci policy-smoke quick resume-smoke sample-smoke serve serve-smoke trace-smoke
+.PHONY: all build test race bench bench-json alloc-gate chaos ci obs-smoke policy-smoke quick resume-smoke sample-smoke serve serve-smoke trace-smoke
 
 all: build
 
@@ -84,6 +84,17 @@ ci:
 	$(MAKE) trace-smoke
 	$(MAKE) sample-smoke
 	$(MAKE) resume-smoke
+	$(MAKE) obs-smoke
+
+# Observability gate: boot an in-process lapserved, run a sweep while
+# subscribed to /v1/events and assert the event story arrives in causal
+# order with monotone sequence numbers (including a Last-Event-ID
+# reconnect replay), require sweep output byte-identical with and
+# without a subscriber, check /readyz flips during drain while /healthz
+# holds, and download + validate every member of /debug/bundle (see
+# cmd/obssmoke).
+obs-smoke:
+	$(GO) run ./cmd/obssmoke
 
 # Boot lapserved on an ephemeral port, hit /healthz and /v1/run, fire a
 # coalesced duplicate pair and assert the recalled counter advanced,

@@ -13,8 +13,23 @@
 //	gzip -c trace.bin | curl -s --data-binary @- 'localhost:8080/v1/traces?name=loop'
 //	curl -s localhost:8080/v1/stats
 //
-// SIGINT/SIGTERM drain gracefully: /healthz flips to 503, new work is
-// refused, and in-flight requests get -drain-timeout to finish.
+// SIGINT/SIGTERM drain gracefully: /readyz flips to 503 so balancers
+// stop routing here (liveness on /healthz stays 200 — a draining
+// process must not be restarted), new work is refused, open /v1/events
+// streams are closed after delivering their queued events, and
+// in-flight requests get -drain-timeout to finish.
+//
+// Live observability rides alongside /metrics: GET /v1/events streams
+// the operational journal (run lifecycle, per-interval telemetry,
+// breaker/checkpoint/watchdog transitions, fault hits, contained pool
+// panics) as Server-Sent Events with Last-Event-ID resume and
+// ?kind=/?run= filters; -journal-capacity bounds the replay ring
+// (negative disables it). Rolling-window SLO burn rates
+// (-slo-objective, -slo-latency-target) and a per-subsystem watchdog
+// (-watchdog-interval) feed /metrics and the slo block in /v1/stats.
+// GET /debug/bundle downloads one tar.gz with everything a support
+// engineer asks for first: metrics, recent events and traces, resolved
+// config, stats, and goroutine/heap profiles.
 //
 // -checkpoint-dir attaches a durable checkpoint store: exact mix runs
 // snapshot machine state every -checkpoint-every accesses, and a
@@ -69,6 +84,9 @@ import (
 
 	lap "repro"
 	"repro/internal/fault"
+	"repro/internal/obs/health"
+	"repro/internal/obs/journal"
+	"repro/internal/pool"
 	"repro/internal/server"
 )
 
@@ -96,6 +114,10 @@ func main() {
 	traceStoreDir := flag.String("trace-store-dir", "", "durably persist /v1/traces uploads in this directory (reloaded at boot)")
 	checkpointDir := flag.String("checkpoint-dir", "", "durable checkpoint store: runs snapshot and warm-start across restarts")
 	checkpointEvery := flag.Uint64("checkpoint-every", 0, "checkpoint spacing in accesses, summed over cores (0 = 1,000,000 with -checkpoint-dir)")
+	journalCapacity := flag.Int("journal-capacity", 0, "operational event ring size behind /v1/events (0 = default; negative disables the journal)")
+	watchdogInterval := flag.Duration("watchdog-interval", 15*time.Second, "background health-probe period (0 = probe only on GET /readyz)")
+	sloObjective := flag.Float64("slo-objective", 0, "availability objective for burn-rate tracking, e.g. 0.999 (0 = default)")
+	sloLatencyTarget := flag.Duration("slo-latency-target", 0, "request latency target for the latency SLO (0 = default)")
 	smoke := flag.Bool("smoke", false, "self-test against a loopback instance and exit")
 	flag.Parse()
 
@@ -129,6 +151,12 @@ func main() {
 		TraceStoreDir:    *traceStoreDir,
 		Checkpoints:      ckpt,
 		CheckpointEvery:  *checkpointEvery,
+		JournalCapacity:  *journalCapacity,
+		WatchdogInterval: *watchdogInterval,
+		SLO: health.SLOConfig{
+			Objective:     *sloObjective,
+			LatencyTarget: *sloLatencyTarget,
+		},
 	}
 
 	if *smoke {
@@ -152,6 +180,19 @@ func serve(addr string, cfg server.Config, drainTimeout time.Duration, pprofOn b
 	// each carrying the trace_id/span_id that GET /v1/trace/{id} resolves.
 	cfg.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	s := server.New(cfg)
+	// Process-level failure sources join the server's event stream: every
+	// armed fault hit and every contained worker panic becomes a journal
+	// event (Emit on a disabled journal is a no-op, so the wiring is
+	// unconditional).
+	j := s.Journal()
+	fault.SetObserver(func(point, key, mode string, hit uint64) {
+		j.Emit(journal.Event{Kind: "fault.inject", Run: key,
+			Fields: journal.F("point", point, "mode", mode, "hit", hit)})
+	})
+	pool.SetPanicObserver(func(key string, v any) {
+		j.Emit(journal.Event{Kind: "pool.panic", Run: key,
+			Msg: fmt.Sprint(v)})
+	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -182,10 +223,13 @@ func serve(addr string, cfg server.Config, drainTimeout time.Duration, pprofOn b
 	case <-ctx.Done():
 	}
 
-	// Drain: advertise unhealthy first so balancers stop routing here,
-	// then let in-flight requests finish.
+	// Drain: advertise unready first so balancers stop routing here, then
+	// close event subscribers (each delivers its queued events and ends —
+	// an open SSE stream must not hold Shutdown open), then let in-flight
+	// requests finish.
 	fmt.Println("lapserved: draining")
 	s.SetDraining(true)
+	s.Close()
 	sctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	if err := hs.Shutdown(sctx); err != nil {
@@ -211,9 +255,12 @@ func runSmoke(cfg server.Config) error {
 
 	client := &http.Client{Timeout: time.Minute}
 
-	// 1. Liveness.
+	// 1. Liveness and readiness both green on a fresh instance.
 	if err := expectStatus(client, http.MethodGet, base+"/healthz", nil, http.StatusOK); err != nil {
 		return fmt.Errorf("healthz: %w", err)
+	}
+	if err := expectStatus(client, http.MethodGet, base+"/readyz", nil, http.StatusOK); err != nil {
+		return fmt.Errorf("readyz: %w", err)
 	}
 
 	// 2. One real simulation.
@@ -283,6 +330,30 @@ func runSmoke(cfg server.Config) error {
 	if err := smokeMetrics(client, base); err != nil {
 		return fmt.Errorf("metrics: %w", err)
 	}
+
+	// 5. The run lifecycle landed in the event journal (stats carries the
+	// journal counters), and the diagnostics bundle downloads as gzip.
+	stats, err = getStats(client, base)
+	if err != nil {
+		return err
+	}
+	if stats.Events == nil || stats.Events.Emitted == 0 {
+		return fmt.Errorf("journal recorded no events after %d runs", stats.Computed+stats.Recalled)
+	}
+	bresp, err := client.Get(base + "/debug/bundle")
+	if err != nil {
+		return fmt.Errorf("bundle: %w", err)
+	}
+	raw, err := io.ReadAll(bresp.Body)
+	bresp.Body.Close()
+	if err != nil || bresp.StatusCode != http.StatusOK {
+		return fmt.Errorf("bundle: status %d (%v)", bresp.StatusCode, err)
+	}
+	if len(raw) < 2 || raw[0] != 0x1f || raw[1] != 0x8b {
+		return fmt.Errorf("bundle is not gzip (%d bytes)", len(raw))
+	}
+	fmt.Printf("lapserved: smoke events OK (%d emitted), bundle OK (%d bytes)\n",
+		stats.Events.Emitted, len(raw))
 	return nil
 }
 
@@ -328,6 +399,14 @@ func smokeMetrics(c *http.Client, base string) error {
 		"lapserved_retry_attempts_total":        "counter",
 		"lapserved_run_duration_seconds":        "histogram",
 		"lapserved_queue_wait_seconds":          "histogram",
+		"lapserved_slo_burn_rate":               "gauge",
+		"lapserved_slo_requests_total":          "counter",
+		"lapserved_watchdog_healthy":            "gauge",
+		"lapserved_events_emitted_total":        "counter",
+		"lapserved_event_subscribers":           "gauge",
+		"go_goroutines":                         "gauge",
+		"go_gc_pause_seconds":                   "histogram",
+		"process_open_fds":                      "gauge",
 		"lapsim_accesses_per_second":            "gauge",
 		"lapsim_bank_ops_total":                 "counter",
 	} {
@@ -342,6 +421,10 @@ func smokeMetrics(c *http.Client, base string) error {
 		`lapserved_run_duration_seconds_count{source="computed"}`,
 		`lapserved_run_duration_seconds_count{source="recalled"}`,
 		"lapserved_queue_wait_seconds_count",
+		`lapserved_slo_burn_rate{slo="availability",window="5m0s"}`,
+		`lapserved_slo_burn_rate{slo="latency",window="5m0s"}`,
+		`lapserved_watchdog_healthy{subsystem="queue"}`,
+		`lapserved_watchdog_healthy{subsystem="breaker"}`,
 	} {
 		if _, ok := exp.samples[series]; !ok {
 			return fmt.Errorf("series %s missing", series)
@@ -373,6 +456,17 @@ func smokeMetrics(c *http.Client, base string) error {
 	}
 	if got, want := exp.samples[`lapsim_bank_ops_total{bank="0"}`], 0.0; got <= want {
 		return fmt.Errorf("bank 0 ops = %v, want > 0", got)
+	}
+	// Every smoke request was observed by the SLO tracker, none of it
+	// burned budget, and the journal recorded the run lifecycle.
+	if got := exp.samples["lapserved_slo_requests_total"]; got < 3 {
+		return fmt.Errorf("slo requests = %v, want >= 3", got)
+	}
+	if got := exp.samples["lapserved_slo_request_errors_total"]; got != 0 {
+		return fmt.Errorf("slo errors = %v, want 0", got)
+	}
+	if got := exp.samples["lapserved_events_emitted_total"]; got <= 0 {
+		return fmt.Errorf("events emitted = %v, want > 0", got)
 	}
 	fmt.Printf("lapserved: smoke metrics OK (%d series, computed/recalled split verified)\n", len(exp.samples))
 	return nil

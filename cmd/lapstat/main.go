@@ -10,6 +10,16 @@
 //	lapstat -bench omnetpp -n 200000
 //	lapstat -trace omnetpp.bin
 //	lapstat -bench libquantum -n 100000 -l2 8192 -llc 131072
+//
+// It also speaks lapserved's observability surface: -bundle un-tars a
+// /debug/bundle diagnostics archive and prints an operator summary
+// (members, capture metadata, run/SLO health, event-journal tail),
+// validating every JSON member on the way; -events tails a live
+// instance's /v1/events stream one line per event, with -kind / -run /
+// -from mapping onto the endpoint's server-side filters.
+//
+//	lapstat -bundle lapserved-bundle-20260808-120000.tar.gz
+//	lapstat -events localhost:8080 -kind 'run.*,breaker.transition'
 package main
 
 import (
@@ -29,7 +39,25 @@ func main() {
 	seed := flag.Uint64("seed", 1, "generator seed (with -bench)")
 	l2 := flag.Uint64("l2", 8192, "L2 capacity in 64B blocks")
 	llc := flag.Uint64("llc", 131072, "LLC capacity in 64B blocks")
+	bundle := flag.String("bundle", "", "lapserved diagnostics bundle (tar.gz) to summarize")
+	events := flag.String("events", "", "lapserved base URL whose /v1/events stream to tail")
+	kinds := flag.String("kind", "", "with -events: comma-separated kind filters (trailing-* prefix match)")
+	run := flag.String("run", "", "with -events: only events for this workload|policy cell")
+	from := flag.Uint64("from", 0, "with -events: replay from this journal sequence number")
 	flag.Parse()
+
+	switch {
+	case *bundle != "":
+		if err := printBundle(*bundle); err != nil {
+			fatal("%v", err)
+		}
+		return
+	case *events != "":
+		if err := tailEvents(*events, *kinds, *run, *from); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
 
 	an := analysis.NewAnalyzer()
 	an.L2Blocks = *l2

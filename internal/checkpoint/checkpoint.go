@@ -39,6 +39,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/checkpoint/wire"
 	"repro/internal/fault"
@@ -113,12 +114,36 @@ type Entry struct {
 	Payload  []byte
 }
 
+// Observer receives checkpoint lifecycle notifications. op is one of
+// "write", "write_error", "restore", "restore_failed", "corrupt",
+// "version_mismatch"; key is the entry's Key.String() where known ("",
+// e.g., for restore notes recorded after the store handed the payload
+// out). Observers run on the calling goroutine and must not block.
+type Observer func(op, key, detail string, err error)
+
 // Store is a directory of checkpoint files. All methods are safe for
 // concurrent use (atomic renames give per-file atomicity; the metrics
 // are atomic counters).
 type Store struct {
 	dir string
 	met Metrics
+	obs atomic.Pointer[Observer]
+}
+
+// SetObserver installs (or, with nil, removes) the store's lifecycle
+// observer. Safe to call concurrently with store use.
+func (s *Store) SetObserver(fn Observer) {
+	if fn == nil {
+		s.obs.Store(nil)
+		return
+	}
+	s.obs.Store(&fn)
+}
+
+func (s *Store) notify(op, key, detail string, err error) {
+	if fn := s.obs.Load(); fn != nil {
+		(*fn)(op, key, detail, err)
+	}
 }
 
 // Open creates (if needed) and returns the store rooted at dir.
@@ -221,6 +246,9 @@ func (s *Store) Put(k Key, e Entry) error {
 	err := s.put(k, e)
 	if err != nil {
 		s.met.writeErrors.Add(1)
+		s.notify("write_error", k.String(), "", err)
+	} else {
+		s.notify("write", k.String(), fmt.Sprintf("interval=%d", e.Interval), nil)
 	}
 	return err
 }
@@ -308,6 +336,7 @@ func (s *Store) quarantine(path string) {
 func (s *Store) read(k Key, path string) (Entry, error) {
 	if err := fault.Inject(fault.PointCheckpointRead, k.String()); err != nil {
 		s.met.corrupt.Add(1)
+		s.notify("corrupt", k.String(), path, err)
 		s.quarantine(path)
 		return Entry{}, &ErrCorrupt{Path: path, Reason: "injected read fault", Err: err}
 	}
@@ -320,8 +349,10 @@ func (s *Store) read(k Key, path string) (Entry, error) {
 		var vm *ErrVersionMismatch
 		if errors.As(err, &vm) {
 			s.met.versionMismatch.Add(1)
+			s.notify("version_mismatch", k.String(), path, err)
 		} else {
 			s.met.corrupt.Add(1)
+			s.notify("corrupt", k.String(), path, err)
 		}
 		s.quarantine(path)
 		return Entry{}, err
@@ -330,6 +361,7 @@ func (s *Store) read(k Key, path string) (Entry, error) {
 		// The filename promised one key, the content another: stale or
 		// tampered. Quarantine like any other corruption.
 		s.met.corrupt.Add(1)
+		s.notify("corrupt", k.String(), path, nil)
 		s.quarantine(path)
 		return Entry{}, &ErrCorrupt{Path: path, Reason: fmt.Sprintf("key mismatch (file says %q, expected %q)", gotKey, k)}
 	}
@@ -364,12 +396,14 @@ func (s *Store) Latest(k Key) (Entry, error) {
 func (s *Store) NoteRestored(intervalsSaved uint64) {
 	s.met.restores.Add(1)
 	s.met.intervalsSaved.Add(intervalsSaved)
+	s.notify("restore", "", fmt.Sprintf("intervals_saved=%d", intervalsSaved), nil)
 }
 
 // NoteRestoreFailed records a payload that passed CRC but could not be
 // applied to a machine (shape or version drift inside the payload).
 func (s *Store) NoteRestoreFailed() {
 	s.met.corrupt.Add(1)
+	s.notify("restore_failed", "", "", nil)
 }
 
 // Drop removes every on-disk interval for a key (used after a payload

@@ -300,3 +300,48 @@ func TestDigestJSONStability(t *testing.T) {
 		t.Fatal("Key.String has no separators")
 	}
 }
+
+// TestObserver: store lifecycle notifications fire for writes, write
+// errors, corruption, and restore notes.
+func TestObserver(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type note struct{ op, key, detail string }
+	var notes []note
+	s.SetObserver(func(op, key, detail string, err error) {
+		notes = append(notes, note{op, key, detail})
+	})
+	k := testKey()
+	if err := s.Put(k, Entry{Interval: 3, Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if len(notes) != 1 || notes[0].op != "write" || notes[0].key != k.String() || notes[0].detail != "interval=3" {
+		t.Fatalf("after Put: %+v", notes)
+	}
+	// Corrupt the file on disk; the next read must notify "corrupt".
+	ents := s.entriesFor(k)
+	if len(ents) != 1 {
+		t.Fatalf("entries = %+v", ents)
+	}
+	data, _ := os.ReadFile(ents[0].path)
+	data[len(data)-1] ^= 0xFF
+	os.WriteFile(ents[0].path, data, 0o644)
+	if _, err := s.Latest(k); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Latest on corrupt = %v", err)
+	}
+	if notes[len(notes)-1].op != "corrupt" {
+		t.Fatalf("after corrupt read: %+v", notes)
+	}
+	s.NoteRestored(7)
+	s.NoteRestoreFailed()
+	if notes[len(notes)-1].op != "restore_failed" || notes[len(notes)-2].op != "restore" {
+		t.Fatalf("after notes: %+v", notes)
+	}
+	s.SetObserver(nil)
+	s.NoteRestored(1)
+	if notes[len(notes)-1].op != "restore_failed" {
+		t.Fatalf("observer fired after removal: %+v", notes)
+	}
+}

@@ -118,6 +118,38 @@ func (e *Encoder) U64Struct(v any) {
 	}
 }
 
+// NumStruct appends every field of a struct whose fields are all
+// uint64 or float64, in declaration order (uint64 as uvarint, float64
+// as its fixed 8-byte bit pattern). Like U64Struct it panics on any
+// other field type: that is a codec bug, not a data error. Used for
+// sim.Interval, whose counter deltas grew a float64 energy field —
+// adding a field can never silently drop it from persisted profiles
+// (the field count is encoded, so older artifacts fail decode and are
+// rebuilt).
+func (e *Encoder) NumStruct(v any) {
+	rv := reflect.ValueOf(v)
+	if rv.Kind() == reflect.Pointer {
+		rv = rv.Elem()
+	}
+	if rv.Kind() != reflect.Struct {
+		panic(fmt.Sprintf("wire: NumStruct on %s", rv.Kind()))
+	}
+	n := rv.NumField()
+	e.U64(uint64(n))
+	for i := 0; i < n; i++ {
+		f := rv.Field(i)
+		switch f.Kind() {
+		case reflect.Uint64:
+			e.U64(f.Uint())
+		case reflect.Float64:
+			e.F64(f.Float())
+		default:
+			panic(fmt.Sprintf("wire: NumStruct field %s.%s is %s, not uint64 or float64",
+				rv.Type().Name(), rv.Type().Field(i).Name, f.Kind()))
+		}
+	}
+}
+
 // DecodeError reports the first malformed read of a Decoder: the byte
 // offset it happened at and why. The checkpoint store maps any
 // DecodeError to its typed ErrCorrupt.
@@ -326,5 +358,39 @@ func (d *Decoder) U64Struct(v any) {
 				rv.Type().Name(), rv.Type().Field(i).Name, f.Kind()))
 		}
 		f.SetUint(d.U64())
+	}
+}
+
+// NumStruct fills a struct of uint64/float64 fields written by
+// Encoder.NumStruct. As with U64Struct, a field-count mismatch is a
+// decode error (old artifacts degrade to a rebuild, not a crash) while
+// an unsupported field kind is a codec-bug panic.
+func (d *Decoder) NumStruct(v any) {
+	rv := reflect.ValueOf(v)
+	if rv.Kind() != reflect.Pointer || rv.Elem().Kind() != reflect.Struct {
+		panic("wire: NumStruct decode needs a struct pointer")
+	}
+	rv = rv.Elem()
+	n := rv.NumField()
+	got := d.U64()
+	if d.err != nil {
+		return
+	}
+	if got != uint64(n) {
+		d.fail(fmt.Sprintf("struct %s has %d fields, artifact has %d",
+			rv.Type().Name(), n, got))
+		return
+	}
+	for i := 0; i < n; i++ {
+		f := rv.Field(i)
+		switch f.Kind() {
+		case reflect.Uint64:
+			f.SetUint(d.U64())
+		case reflect.Float64:
+			f.SetFloat(d.F64())
+		default:
+			panic(fmt.Sprintf("wire: NumStruct field %s.%s is %s, not uint64 or float64",
+				rv.Type().Name(), rv.Type().Field(i).Name, f.Kind()))
+		}
 	}
 }

@@ -1,0 +1,80 @@
+package wire
+
+import (
+	"math"
+	"testing"
+)
+
+type mixedCounters struct {
+	A uint64
+	B uint64
+	C float64
+	D uint64
+}
+
+func TestNumStructRoundTrip(t *testing.T) {
+	in := mixedCounters{A: 1, B: 1 << 40, C: -0.0625, D: math.MaxUint64}
+	var enc Encoder
+	enc.NumStruct(&in)
+
+	var out mixedCounters
+	d := NewDecoder(enc.Bytes())
+	d.NumStruct(&out)
+	if err := d.Err(); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out != in {
+		t.Fatalf("round trip mismatch: got %+v want %+v", out, in)
+	}
+}
+
+// Float fields must survive bit-exactly, including non-finite values
+// and signed zero: restored profiles feed byte-identical resumed runs.
+func TestNumStructFloatBits(t *testing.T) {
+	for _, f := range []float64{0, math.Copysign(0, -1), math.Inf(1), math.NaN(), 3.14159e-300} {
+		in := mixedCounters{C: f}
+		var enc Encoder
+		enc.NumStruct(&in)
+		var out mixedCounters
+		d := NewDecoder(enc.Bytes())
+		d.NumStruct(&out)
+		if err := d.Err(); err != nil {
+			t.Fatalf("decode %v: %v", f, err)
+		}
+		if math.Float64bits(out.C) != math.Float64bits(in.C) {
+			t.Fatalf("float bits changed: got %x want %x",
+				math.Float64bits(out.C), math.Float64bits(in.C))
+		}
+	}
+}
+
+// An artifact written with a different field count must latch a decode
+// error, not panic: old profiles degrade to a rebuild.
+func TestNumStructFieldCountMismatch(t *testing.T) {
+	var enc Encoder
+	enc.U64(3) // claims 3 fields; mixedCounters has 4
+	enc.U64(1)
+	enc.U64(2)
+	enc.U64(3)
+
+	var out mixedCounters
+	d := NewDecoder(enc.Bytes())
+	d.NumStruct(&out)
+	if d.Err() == nil {
+		t.Fatal("expected decode error on field-count mismatch")
+	}
+}
+
+func TestNumStructRejectsOtherKinds(t *testing.T) {
+	type bad struct {
+		A uint64
+		B int32
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-uint64/float64 field")
+		}
+	}()
+	var enc Encoder
+	enc.NumStruct(&bad{})
+}

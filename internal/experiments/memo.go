@@ -10,6 +10,7 @@ import (
 	"repro/internal/fault"
 	memocache "repro/internal/memo"
 	"repro/internal/obs"
+	"repro/internal/obs/journal"
 	otrace "repro/internal/obs/trace"
 	"repro/internal/pool"
 	"repro/internal/sample"
@@ -92,7 +93,7 @@ func runE(cfg sim.Config, policyName string, ctrl sim.Controller, mix workload.M
 	key := runKey(cfg, policyName, mix, false, opt)
 	cell := key.Mix + "|" + policyName
 	ctx, sp := cellSpan(opt, cell)
-	res, err := memo.DoErr(ctx, key, func() (res sim.Result, err error) {
+	res, err := memo.DoErr(ctx, key, cellObserved(opt, cell, func() (res sim.Result, err error) {
 		defer func() {
 			if r := recover(); r != nil {
 				err = pool.Recovered(cell, r)
@@ -123,9 +124,30 @@ func runE(cfg sim.Config, policyName string, ctrl sim.Controller, mix workload.M
 			})
 		}
 		return sim.RunMix(cfg, ctrl, mix, opt.Accesses, opt.Seed)
-	})
+	}))
 	sp.End()
 	return res, err
+}
+
+// cellObserved wraps one cell's compute with journal lifecycle events.
+// Only actual executions emit (the wrapper sits inside the memo, so
+// recalls and latch-waits stay silent); a nil journal returns compute
+// unwrapped.
+func cellObserved(opt Options, cell string, compute func() (sim.Result, error)) func() (sim.Result, error) {
+	if opt.Journal == nil {
+		return compute
+	}
+	return func() (sim.Result, error) {
+		opt.Journal.Emit(journal.Event{Kind: "cell.start", Run: cell})
+		res, err := compute()
+		if err != nil {
+			opt.Journal.Emit(journal.Event{Kind: "cell.failed", Run: cell, Msg: err.Error()})
+		} else {
+			opt.Journal.Emit(journal.Event{Kind: "cell.finish", Run: cell,
+				Fields: journal.F("cycles", res.Cycles, "l3_misses", res.Met.L3Misses)})
+		}
+		return res, err
+	}
 }
 
 // sampleEligible reports whether sampled mode applies to this run: the
@@ -237,7 +259,7 @@ func runThreadedE(cfg sim.Config, policyName string, ctrl sim.Controller, b work
 	key := runKey(cfg, policyName, workload.Mix{Name: b.Name}, true, opt)
 	cell := key.Mix + "|" + policyName
 	ctx, sp := cellSpan(opt, cell)
-	res, err := memo.DoErr(ctx, key, func() (res sim.Result, err error) {
+	res, err := memo.DoErr(ctx, key, cellObserved(opt, cell, func() (res sim.Result, err error) {
 		defer func() {
 			if r := recover(); r != nil {
 				err = pool.Recovered(cell, r)
@@ -247,7 +269,7 @@ func runThreadedE(cfg sim.Config, policyName string, ctrl sim.Controller, b work
 			return sim.Result{}, err
 		}
 		return sim.RunThreaded(cfg, ctrl, b, opt.Accesses, opt.Seed), nil
-	})
+	}))
 	sp.End()
 	return res, err
 }

@@ -144,7 +144,23 @@ var (
 	// count mirrors the number of armed specs so Inject's fast path is a
 	// single atomic load when nothing is armed.
 	count atomic.Int32
+	// observer, when set, is called on the firing goroutine each time a
+	// spec actually fires (before the error/panic/delay takes effect).
+	observer atomic.Pointer[func(point, key, mode string, hit uint64)]
 )
+
+// SetObserver installs (or, with nil, removes) a process-wide hook
+// called whenever an armed spec fires — how fault hits become journal
+// events without this package knowing about the journal. The hook runs
+// on the injecting goroutine and must not block. Off the fast path: the
+// observer is consulted only after a spec has decided to fire.
+func SetObserver(fn func(point, key, mode string, hit uint64)) {
+	if fn == nil {
+		observer.Store(nil)
+		return
+	}
+	observer.Store(&fn)
+}
 
 // Active reports whether any spec is armed. The registry is process
 // global; production binaries never arm anything, so every injection
@@ -234,6 +250,9 @@ func Inject(point, key string) error {
 	mu.Unlock()
 	if fire == nil {
 		return nil
+	}
+	if fn := observer.Load(); fn != nil {
+		(*fn)(point, key, fire.Mode.String(), hit)
 	}
 	switch fire.Mode {
 	case ModePanic:

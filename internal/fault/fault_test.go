@@ -219,3 +219,28 @@ func TestFaultConcurrentInject(t *testing.T) {
 		t.Fatalf("fired %d times across goroutines, want 10", n)
 	}
 }
+
+// TestObserver: a firing spec notifies the observer with point, key,
+// mode, and hit index; non-firing hits stay silent.
+func TestObserver(t *testing.T) {
+	arm(t, Spec{Point: "p", Mode: ModeError, After: 1})
+	type fired struct {
+		point, key, mode string
+		hit              uint64
+	}
+	var got []fired
+	SetObserver(func(point, key, mode string, hit uint64) {
+		got = append(got, fired{point, key, mode, hit})
+	})
+	defer SetObserver(nil)
+
+	if err := Inject("p", "k0"); err != nil {
+		t.Fatalf("After window should skip first hit: %v", err)
+	}
+	if err := Inject("p", "k1"); err == nil {
+		t.Fatal("second hit should fire")
+	}
+	if len(got) != 1 || got[0] != (fired{"p", "k1", "error", 1}) {
+		t.Fatalf("observer = %+v", got)
+	}
+}

@@ -51,6 +51,23 @@ type Cache[K comparable, V any] struct {
 	recalled atomic.Uint64
 	evicted  atomic.Uint64
 	failed   atomic.Uint64
+
+	// onEvict, when set, receives every key the LRU bound drops. Called
+	// outside the cache lock, after the eviction took effect.
+	onEvict atomic.Pointer[func(key K)]
+}
+
+// SetEvictObserver installs (or, with nil, removes) a hook receiving
+// each key evicted by the LRU bound — an eviction storm is the cache
+// thrashing, which operators want surfaced as events, not just a
+// counter. The hook runs outside the cache lock on the goroutine whose
+// insert triggered the eviction; it must not block for long.
+func (c *Cache[K, V]) SetEvictObserver(fn func(key K)) {
+	if fn == nil {
+		c.onEvict.Store(nil)
+		return
+	}
+	c.onEvict.Store(&fn)
 }
 
 // entry is one key's slot; done is closed once res/err are valid. elem
@@ -223,11 +240,19 @@ func (c *Cache[K, V]) do(ctx context.Context, key K, compute func() (V, error)) 
 	c.mu.Lock()
 	// A concurrent Reset may have replaced the map; only entries still
 	// resident join the LRU order (and become evictable).
+	var dropped []K
 	if c.entries[key] == e {
 		e.elem = c.order.PushFront(e)
-		c.evictLocked()
+		dropped = c.evictLocked()
 	}
 	c.mu.Unlock()
+	if len(dropped) > 0 {
+		if fn := c.onEvict.Load(); fn != nil {
+			for _, k := range dropped {
+				(*fn)(k)
+			}
+		}
+	}
 	return e.res, true, nil
 }
 
@@ -243,13 +268,16 @@ func (c *Cache[K, V]) waited(e *entry[K, V]) (V, bool, error) {
 }
 
 // evictLocked drops least-recently-used completed entries until the
-// bound holds. In-flight entries are not in the order list, so a burst
-// of concurrent distinct computations can transiently exceed the bound
-// by the in-flight count; they become evictable on completion.
-func (c *Cache[K, V]) evictLocked() {
+// bound holds, returning the dropped keys (for the evict observer,
+// which runs after the lock is released). In-flight entries are not in
+// the order list, so a burst of concurrent distinct computations can
+// transiently exceed the bound by the in-flight count; they become
+// evictable on completion.
+func (c *Cache[K, V]) evictLocked() []K {
 	if c.max <= 0 {
-		return
+		return nil
 	}
+	var dropped []K
 	for c.order.Len() > c.max {
 		back := c.order.Back()
 		e := back.Value.(*entry[K, V])
@@ -258,7 +286,11 @@ func (c *Cache[K, V]) evictLocked() {
 			delete(c.entries, e.key)
 		}
 		c.evicted.Add(1)
+		if c.onEvict.Load() != nil {
+			dropped = append(dropped, e.key)
+		}
 	}
+	return dropped
 }
 
 // Len reports the number of resident entries, including in-flight ones.

@@ -455,3 +455,26 @@ func TestHammer(t *testing.T) {
 		t.Fatalf("cache size %d exceeds bound plus in-flight slack", n)
 	}
 }
+
+// TestEvictObserver: the LRU bound surfaces dropped keys through the
+// observer, outside the lock, in eviction order.
+func TestEvictObserver(t *testing.T) {
+	c := New[string, int](2)
+	var evicted []string
+	c.SetEvictObserver(func(k string) { evicted = append(evicted, k) })
+	c.Do("a", func() int { return 1 })
+	c.Do("b", func() int { return 2 })
+	c.Do("c", func() int { return 3 }) // evicts a
+	c.Do("d", func() int { return 4 }) // evicts b
+	if len(evicted) != 2 || evicted[0] != "a" || evicted[1] != "b" {
+		t.Fatalf("evicted = %v, want [a b]", evicted)
+	}
+	c.SetEvictObserver(nil)
+	c.Do("e", func() int { return 5 })
+	if len(evicted) != 2 {
+		t.Fatalf("observer fired after removal: %v", evicted)
+	}
+	if got := c.Stats().Evicted; got != 3 {
+		t.Fatalf("Evicted = %d, want 3", got)
+	}
+}

@@ -1,0 +1,133 @@
+// Package health adds liveness-adjacent observability on top of the
+// internal/obs metrics registry: Go runtime collectors (goroutines, GC
+// pauses, heap gauges, scheduler facts, file descriptors), a
+// per-subsystem watchdog that turns stalled queues and erroring stores
+// into gauge flips and journal events, and a rolling-window SLO tracker
+// with multi-window burn-rate gauges.
+package health
+
+import (
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// memStatsTTL bounds how often the runtime collector calls
+// runtime.ReadMemStats, which stops the world briefly; one scrape
+// touches many gauges and must not pay that repeatedly.
+const memStatsTTL = 500 * time.Millisecond
+
+// Runtime samples Go runtime statistics into registry gauges. All
+// registered readers share one cached runtime.MemStats snapshot
+// refreshed at most every memStatsTTL.
+type Runtime struct {
+	mu        sync.Mutex
+	fetched   time.Time
+	ms        runtime.MemStats
+	lastNumGC uint32
+	pause     *obs.Histogram
+	now       func() time.Time // injectable for tests
+}
+
+// RegisterRuntime registers the Go runtime collectors on reg and
+// returns the sampler (exposed for tests; production callers can drop
+// it).
+//
+// Series:
+//
+//	go_goroutines                 gauge
+//	go_gomaxprocs                 gauge
+//	go_heap_alloc_bytes           gauge
+//	go_heap_sys_bytes             gauge
+//	go_heap_objects               gauge
+//	go_stack_inuse_bytes          gauge
+//	go_next_gc_bytes              gauge
+//	go_alloc_bytes_total          counter (cumulative TotalAlloc)
+//	go_gc_cycles_total            counter
+//	go_gc_pause_seconds           histogram (per completed GC cycle)
+//	process_open_fds              gauge (-1 where /proc is unavailable)
+func RegisterRuntime(reg *obs.Registry) *Runtime {
+	rt := &Runtime{now: time.Now}
+	rt.pause = reg.Histogram("go_gc_pause_seconds",
+		"Stop-the-world GC pause durations.",
+		obs.ExpBuckets(10e-6, 2, 12)) // 10µs .. ~20ms
+	reg.GaugeFunc("go_goroutines", "Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("go_gomaxprocs", "GOMAXPROCS worker parallelism.",
+		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+	reg.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 { return float64(rt.memStats().HeapAlloc) })
+	reg.GaugeFunc("go_heap_sys_bytes", "Heap memory obtained from the OS.",
+		func() float64 { return float64(rt.memStats().HeapSys) })
+	reg.GaugeFunc("go_heap_objects", "Number of allocated heap objects.",
+		func() float64 { return float64(rt.memStats().HeapObjects) })
+	reg.GaugeFunc("go_stack_inuse_bytes", "Bytes in stack spans in use.",
+		func() float64 { return float64(rt.memStats().StackInuse) })
+	reg.GaugeFunc("go_next_gc_bytes", "Heap size target of the next GC cycle.",
+		func() float64 { return float64(rt.memStats().NextGC) })
+	reg.CounterFunc("go_alloc_bytes_total", "Cumulative bytes allocated on the heap.",
+		func() uint64 { return rt.memStats().TotalAlloc })
+	reg.CounterFunc("go_gc_cycles_total", "Completed GC cycles.",
+		func() uint64 { return uint64(rt.memStats().NumGC) })
+	reg.GaugeFunc("process_open_fds", "Open file descriptors (-1 if unreadable).",
+		func() float64 { return float64(OpenFDs()) })
+	return rt
+}
+
+// memStats returns the cached MemStats snapshot, refreshing it (and
+// feeding newly completed GC pauses into the pause histogram) when the
+// snapshot is older than memStatsTTL.
+func (rt *Runtime) memStats() runtime.MemStats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if now := rt.now(); now.Sub(rt.fetched) >= memStatsTTL {
+		runtime.ReadMemStats(&rt.ms)
+		rt.fetched = now
+		rt.drainPausesLocked()
+	}
+	return rt.ms
+}
+
+// Refresh forces a MemStats resample regardless of TTL (tests).
+func (rt *Runtime) Refresh() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	runtime.ReadMemStats(&rt.ms)
+	rt.fetched = rt.now()
+	rt.drainPausesLocked()
+}
+
+// drainPausesLocked feeds GC pauses completed since the previous sample
+// into the pause histogram. MemStats.PauseNs is a circular buffer of
+// the most recent 256 pauses indexed by NumGC; if more than 256 cycles
+// completed between samples the overwritten ones are lost (counted by
+// nobody — scrape more often than ~256 GCs if that matters).
+func (rt *Runtime) drainPausesLocked() {
+	n := rt.ms.NumGC
+	if n == rt.lastNumGC {
+		return
+	}
+	from := rt.lastNumGC
+	if n-from > uint32(len(rt.ms.PauseNs)) {
+		from = n - uint32(len(rt.ms.PauseNs))
+	}
+	for i := from; i < n; i++ {
+		rt.pause.Observe(float64(rt.ms.PauseNs[i%uint32(len(rt.ms.PauseNs))]) / 1e9)
+	}
+	rt.lastNumGC = n
+}
+
+// OpenFDs counts this process's open file descriptors via
+// /proc/self/fd. It returns -1 on platforms or sandboxes where /proc
+// is unavailable.
+func OpenFDs() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	// The ReadDir handle itself is one of the entries; don't count it.
+	return len(ents) - 1
+}

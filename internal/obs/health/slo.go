@@ -1,0 +1,198 @@
+package health
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// SLOConfig declares the service-level objectives the tracker accounts
+// against. The zero value selects the defaults below.
+type SLOConfig struct {
+	// Objective is the availability objective: the target fraction of
+	// run/sweep requests that complete without a server-side failure.
+	// Default 0.999.
+	Objective float64
+	// LatencyObjective is the target fraction of requests finishing
+	// under LatencyTarget. Default 0.95.
+	LatencyObjective float64
+	// LatencyTarget is the latency threshold a request must beat to
+	// count as fast. Default 30s (full-scale simulation cells run for
+	// seconds; sweeps for tens of seconds).
+	LatencyTarget time.Duration
+	// Windows are the rolling windows burn rates are computed over.
+	// Default 5m, 1h, 6h — the classic multi-window page/ticket pair
+	// plus a fast window for smoke tests.
+	Windows []time.Duration
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.Objective <= 0 || c.Objective >= 1 {
+		c.Objective = 0.999
+	}
+	if c.LatencyObjective <= 0 || c.LatencyObjective >= 1 {
+		c.LatencyObjective = 0.95
+	}
+	if c.LatencyTarget <= 0 {
+		c.LatencyTarget = 30 * time.Second
+	}
+	if len(c.Windows) == 0 {
+		c.Windows = []time.Duration{5 * time.Minute, time.Hour, 6 * time.Hour}
+	}
+	return c
+}
+
+// sloBucket accumulates one second of request outcomes.
+type sloBucket struct {
+	sec    int64 // unix second this bucket currently represents
+	total  uint64
+	errors uint64
+	slow   uint64
+}
+
+// SLOTracker accounts request outcomes into per-second buckets and
+// derives multi-window error budgets. Burn rate is the SRE convention:
+//
+//	burn = observed_bad_fraction / allowed_bad_fraction
+//
+// where allowed_bad_fraction is 1-objective; burn 1.0 consumes the
+// error budget exactly at the sustainable rate, burn 14.4 on a 0.999
+// objective exhausts a 30-day budget in ~2 days (page territory).
+type SLOTracker struct {
+	cfg SLOConfig
+	now func() time.Time // injectable for tests
+
+	mu      sync.Mutex
+	buckets []sloBucket // ring over max(Windows) seconds, indexed by sec % len
+	// lifetime totals (never windowed out)
+	total, errors, slow uint64
+}
+
+// NewSLO builds a tracker; zero-valued cfg fields take defaults.
+func NewSLO(cfg SLOConfig) *SLOTracker {
+	cfg = cfg.withDefaults()
+	maxW := cfg.Windows[0]
+	for _, w := range cfg.Windows {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	return &SLOTracker{
+		cfg:     cfg,
+		now:     time.Now,
+		buckets: make([]sloBucket, int(maxW/time.Second)+1),
+	}
+}
+
+// Config returns the resolved objectives.
+func (t *SLOTracker) Config() SLOConfig { return t.cfg }
+
+// Observe records one request outcome. ok=false means a server-side
+// failure (5xx — client errors and cancellations don't burn budget).
+func (t *SLOTracker) Observe(ok bool, latency time.Duration) {
+	if t == nil {
+		return
+	}
+	sec := t.now().Unix()
+	t.mu.Lock()
+	b := &t.buckets[sec%int64(len(t.buckets))]
+	if b.sec != sec {
+		*b = sloBucket{sec: sec}
+	}
+	b.total++
+	t.total++
+	if !ok {
+		b.errors++
+		t.errors++
+	}
+	if latency > t.cfg.LatencyTarget {
+		b.slow++
+		t.slow++
+	}
+	t.mu.Unlock()
+}
+
+// WindowStats is one rolling window's accounting.
+type WindowStats struct {
+	// Window is the window length ("5m0s" when serialized).
+	Window string `json:"window"`
+	// Total, Errors and Slow count requests observed inside the window.
+	Total  uint64 `json:"total"`
+	Errors uint64 `json:"errors"`
+	Slow   uint64 `json:"slow"`
+	// SuccessRate is 1 - Errors/Total (1 when the window is empty).
+	SuccessRate float64 `json:"success_rate"`
+	// AvailabilityBurn and LatencyBurn are burn rates against the
+	// respective objectives; 0 when the window is empty.
+	AvailabilityBurn float64 `json:"availability_burn"`
+	LatencyBurn      float64 `json:"latency_burn"`
+}
+
+// Windows computes the per-window stats at the current instant.
+func (t *SLOTracker) Windows() []WindowStats {
+	if t == nil {
+		return nil
+	}
+	nowSec := t.now().Unix()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]WindowStats, 0, len(t.cfg.Windows))
+	for _, w := range t.cfg.Windows {
+		ws := WindowStats{Window: w.String(), SuccessRate: 1}
+		span := int64(w / time.Second)
+		for s := nowSec - span + 1; s <= nowSec; s++ {
+			b := &t.buckets[s%int64(len(t.buckets))]
+			if b.sec != s {
+				continue // stale or empty second
+			}
+			ws.Total += b.total
+			ws.Errors += b.errors
+			ws.Slow += b.slow
+		}
+		if ws.Total > 0 {
+			errFrac := float64(ws.Errors) / float64(ws.Total)
+			slowFrac := float64(ws.Slow) / float64(ws.Total)
+			ws.SuccessRate = 1 - errFrac
+			ws.AvailabilityBurn = errFrac / (1 - t.cfg.Objective)
+			ws.LatencyBurn = slowFrac / (1 - t.cfg.LatencyObjective)
+		}
+		out = append(out, ws)
+	}
+	return out
+}
+
+// Totals returns the lifetime request/error/slow counts.
+func (t *SLOTracker) Totals() (total, errors, slow uint64) {
+	if t == nil {
+		return 0, 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total, t.errors, t.slow
+}
+
+// Register exposes the tracker on reg:
+//
+//	<ns>_slo_burn_rate{slo="availability"|"latency",window="5m0s"...}  gauge
+//	<ns>_slo_requests_total / _request_errors_total / _request_slow_total
+func (t *SLOTracker) Register(reg *obs.Registry, ns string) {
+	for i, w := range t.cfg.Windows {
+		idx := i
+		label := w.String()
+		reg.GaugeFunc(ns+"_slo_burn_rate",
+			fmt.Sprintf("Error-budget burn rate (1.0 = budget consumed exactly at the sustainable rate; objective %.4g).", t.cfg.Objective),
+			func() float64 { return t.Windows()[idx].AvailabilityBurn },
+			obs.L("slo", "availability"), obs.L("window", label))
+		reg.GaugeFunc(ns+"_slo_burn_rate", "",
+			func() float64 { return t.Windows()[idx].LatencyBurn },
+			obs.L("slo", "latency"), obs.L("window", label))
+	}
+	reg.CounterFunc(ns+"_slo_requests_total", "Requests observed by the SLO tracker.",
+		func() uint64 { total, _, _ := t.Totals(); return total })
+	reg.CounterFunc(ns+"_slo_request_errors_total", "Requests that burned availability budget.",
+		func() uint64 { _, errs, _ := t.Totals(); return errs })
+	reg.CounterFunc(ns+"_slo_request_slow_total", "Requests exceeding the latency target.",
+		func() uint64 { _, _, slow := t.Totals(); return slow })
+}

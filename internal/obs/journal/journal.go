@@ -1,0 +1,409 @@
+// Package journal is the tree's structured operational event log: a
+// bounded in-memory ring of lifecycle events (runs starting and
+// finishing, breaker transitions, checkpoint writes and restores, drain
+// phases, fault-point hits, per-interval simulation telemetry) with
+// fan-out to live subscribers, built for lapserved's GET /v1/events SSE
+// stream and the /debug/bundle diagnostics artifact.
+//
+// Design:
+//
+//   - Never block the hot path: Emit appends to the ring and to each
+//     subscriber's bounded queue under one short mutex hold; a slow
+//     subscriber's queue drops its oldest events (counted, never
+//     blocking). Network writes happen entirely outside the lock, in
+//     the subscriber's own goroutine.
+//   - One atomic load when idle: high-rate producers (the per-interval
+//     telemetry bridge in internal/sim) gate on Streaming(), which is a
+//     single atomic subscriber-count load — the exact discipline of
+//     internal/fault's disarmed path and internal/obs/trace's disabled
+//     tracer, pinned by BenchmarkStreamingGate.
+//   - Replayable sequence: every event carries a process-monotone Seq.
+//     A subscriber may ask to replay from a sequence number; events
+//     still resident in the ring are redelivered, so an SSE client can
+//     reconnect with Last-Event-ID and observe a strictly increasing
+//     sequence with no duplicates (a gap means the ring evicted events
+//     while it was away — detectable, never silent).
+//   - slog correlation: an attached logger receives one structured line
+//     per event (kind, run, trace_id, fields), so the journal, the
+//     request log, and /v1/trace/{id} all correlate on the same IDs.
+//
+// A nil *Journal is valid everywhere and records nothing, so packages
+// can thread an optional journal without branching.
+package journal
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one journal entry. Fields is free-form structured payload;
+// encoding/json renders map keys sorted, so serialized events are
+// deterministic for a given payload.
+type Event struct {
+	// Seq is the process-monotone sequence number, assigned by Emit.
+	Seq uint64 `json:"seq"`
+	// TS is the emission wall-clock time in Unix nanoseconds.
+	TS int64 `json:"ts"`
+	// Kind names the event in dotted taxonomy form ("run.start",
+	// "breaker.transition", "checkpoint.write", "interval", ...).
+	Kind string `json:"kind"`
+	// Run correlates the event to one simulation cell ("workload|policy")
+	// when it concerns a specific run.
+	Run string `json:"run,omitempty"`
+	// Trace carries the originating request's trace ID when known, the
+	// same ID the request log and GET /v1/trace/{id} use.
+	Trace string `json:"trace,omitempty"`
+	// Msg is an optional human-oriented summary.
+	Msg string `json:"msg,omitempty"`
+	// Fields is the event's structured payload.
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// F builds an event Fields map from alternating key/value pairs; odd
+// trailing arguments are dropped. Keys must be strings.
+func F(kv ...any) map[string]any {
+	if len(kv) < 2 {
+		return nil
+	}
+	m := make(map[string]any, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		k, ok := kv[i].(string)
+		if !ok {
+			continue
+		}
+		m[k] = kv[i+1]
+	}
+	return m
+}
+
+// DefaultCapacity is New's ring bound when capacity <= 0: generous for
+// a long-lived server's lifecycle events plus recent interval streams,
+// at roughly a few MB.
+const DefaultCapacity = 4096
+
+// Journal is the bounded event ring with subscriber fan-out. Construct
+// with New; a nil Journal is valid and no-ops.
+type Journal struct {
+	logger *slog.Logger
+	active atomic.Int32 // live subscriber count, read by Streaming
+
+	mu          sync.Mutex
+	buf         []Event
+	next        int // ring cursor
+	n           int // resident events
+	seq         uint64
+	ringDropped uint64 // events overwritten in the ring
+	subDropped  uint64 // events dropped across subscriber queues
+	emitted     uint64
+	subs        map[*Subscriber]struct{}
+}
+
+// New returns a journal whose ring holds at most capacity events
+// (capacity <= 0 selects DefaultCapacity). logger optionally receives
+// one structured line per event; nil logs nothing.
+func New(capacity int, logger *slog.Logger) *Journal {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Journal{
+		logger: logger,
+		buf:    make([]Event, capacity),
+		subs:   map[*Subscriber]struct{}{},
+	}
+}
+
+// Streaming reports whether at least one live subscriber exists. This is
+// the gate high-rate producers (per-interval telemetry) check before
+// building events: one atomic load, nil-safe, no mutex.
+func (j *Journal) Streaming() bool {
+	return j != nil && j.active.Load() > 0
+}
+
+// Emit records one event: stamps Seq and TS, appends to the ring
+// (overwriting the oldest event when full), fans out to matching
+// subscribers (dropping each full subscriber's oldest, never blocking),
+// and logs to the attached slog logger. Nil-safe.
+func (j *Journal) Emit(e Event) {
+	if j == nil {
+		return
+	}
+	if e.TS == 0 {
+		e.TS = time.Now().UnixNano()
+	}
+	j.mu.Lock()
+	j.seq++
+	e.Seq = j.seq
+	j.emitted++
+	if j.n == len(j.buf) {
+		j.ringDropped++
+	} else {
+		j.n++
+	}
+	j.buf[j.next] = e
+	j.next = (j.next + 1) % len(j.buf)
+	for s := range j.subs {
+		if s.filter.match(e) {
+			s.push(e)
+		}
+	}
+	j.mu.Unlock()
+	if j.logger != nil {
+		attrs := make([]slog.Attr, 0, 4+len(e.Fields))
+		attrs = append(attrs, slog.Uint64("seq", e.Seq))
+		if e.Run != "" {
+			attrs = append(attrs, slog.String("run", e.Run))
+		}
+		if e.Trace != "" {
+			attrs = append(attrs, slog.String("trace_id", e.Trace))
+		}
+		if e.Msg != "" {
+			attrs = append(attrs, slog.String("msg", e.Msg))
+		}
+		for k, v := range e.Fields {
+			attrs = append(attrs, slog.Any(k, v))
+		}
+		j.logger.LogAttrs(context.Background(), slog.LevelInfo, "event:"+e.Kind, attrs...)
+	}
+}
+
+// Recent returns up to max resident events — the newest max, in
+// oldest-first order (max <= 0 returns the whole ring). The slice is a
+// copy.
+func (j *Journal) Recent(max int) []Event {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := j.n
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]Event, 0, n)
+	// Oldest resident event sits n slots behind the cursor.
+	start := j.next - n
+	if start < 0 {
+		start += len(j.buf)
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, j.buf[(start+i)%len(j.buf)])
+	}
+	return out
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	// Emitted counts events ever emitted; Seq is the latest sequence
+	// number assigned (equal to Emitted).
+	Emitted uint64 `json:"emitted"`
+	// RingDropped counts events the bounded ring overwrote.
+	RingDropped uint64 `json:"ring_dropped,omitempty"`
+	// SubDropped counts events dropped from full subscriber queues.
+	SubDropped uint64 `json:"sub_dropped,omitempty"`
+	// Subscribers is the live subscriber count.
+	Subscribers int `json:"subscribers"`
+}
+
+// Snapshot reads the journal's counters.
+func (j *Journal) Snapshot() Stats {
+	if j == nil {
+		return Stats{}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Stats{
+		Emitted:     j.emitted,
+		RingDropped: j.ringDropped,
+		SubDropped:  j.subDropped,
+		Subscribers: len(j.subs),
+	}
+}
+
+// CloseSubscribers closes every live subscriber (each drains its queued
+// events, then sees ErrClosed). The journal itself stays usable — the
+// ring keeps recording for Recent and the diagnostics bundle.
+func (j *Journal) CloseSubscribers() {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	subs := make([]*Subscriber, 0, len(j.subs))
+	for s := range j.subs {
+		subs = append(subs, s)
+	}
+	j.mu.Unlock()
+	for _, s := range subs {
+		s.Close()
+	}
+}
+
+// Filter selects the events a subscriber receives. The zero Filter
+// matches everything.
+type Filter struct {
+	// Kinds, when non-empty, admits only events whose Kind matches one
+	// entry exactly, or by prefix when the entry ends in "*" ("run.*").
+	Kinds []string
+	// Run, when non-empty, admits only events with this exact Run.
+	Run string
+}
+
+func (f Filter) match(e Event) bool {
+	if f.Run != "" && e.Run != f.Run {
+		return false
+	}
+	if len(f.Kinds) == 0 {
+		return true
+	}
+	for _, k := range f.Kinds {
+		if p, ok := strings.CutSuffix(k, "*"); ok {
+			if strings.HasPrefix(e.Kind, p) {
+				return true
+			}
+		} else if e.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+// DefaultSubscriberBuffer bounds a subscriber's queue when Subscribe is
+// given buffer <= 0.
+const DefaultSubscriberBuffer = 1024
+
+// ErrClosed is returned by Subscriber.Next after Close once the queue
+// has fully drained.
+var ErrClosed = errors.New("journal: subscriber closed")
+
+// Subscriber is one live consumer: a bounded queue filled by Emit and
+// drained by Next. All state is guarded by the journal's mutex; the
+// notify channel wakes a blocked Next.
+type Subscriber struct {
+	j      *Journal
+	filter Filter
+	max    int
+	queue  []Event
+	drops  uint64 // dropped-oldest since the last Next
+	closed bool
+	notify chan struct{}
+}
+
+// Subscribe registers a consumer. from > 0 first replays the resident
+// ring events with Seq >= from that match the filter (a reconnecting
+// client passes last-seen+1); buffer bounds the queue (<= 0 selects
+// DefaultSubscriberBuffer). The returned subscriber must be Closed.
+// Subscribing on a nil journal returns a subscriber that is already
+// closed.
+func (j *Journal) Subscribe(buffer int, from uint64, f Filter) *Subscriber {
+	if buffer <= 0 {
+		buffer = DefaultSubscriberBuffer
+	}
+	s := &Subscriber{j: j, filter: f, max: buffer, notify: make(chan struct{}, 1)}
+	if j == nil {
+		s.closed = true
+		return s
+	}
+	j.mu.Lock()
+	if from > 0 {
+		for _, e := range j.recentLocked() {
+			if e.Seq >= from && f.match(e) {
+				s.push(e)
+			}
+		}
+	}
+	j.subs[s] = struct{}{}
+	j.mu.Unlock()
+	j.active.Add(1)
+	return s
+}
+
+// recentLocked is Recent's body for callers already holding j.mu.
+func (j *Journal) recentLocked() []Event {
+	out := make([]Event, 0, j.n)
+	start := j.next - j.n
+	if start < 0 {
+		start += len(j.buf)
+	}
+	for i := 0; i < j.n; i++ {
+		out = append(out, j.buf[(start+i)%len(j.buf)])
+	}
+	return out
+}
+
+// push appends one event to the queue, dropping the oldest when full.
+// Caller holds j.mu (or, during Subscribe replay, the subscriber is not
+// yet visible to Emit).
+func (s *Subscriber) push(e Event) {
+	if len(s.queue) >= s.max {
+		copy(s.queue, s.queue[1:])
+		s.queue[len(s.queue)-1] = e
+		s.drops++
+		if s.j != nil {
+			s.j.subDropped++
+		}
+	} else {
+		s.queue = append(s.queue, e)
+	}
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Next blocks until events are queued, then returns the whole batch plus
+// the number of events dropped from this subscriber's queue since the
+// previous Next (drop-oldest backpressure: the caller was too slow).
+// It returns ctx.Err on context cancellation and ErrClosed once the
+// subscriber is closed and drained.
+func (s *Subscriber) Next(ctx context.Context) ([]Event, uint64, error) {
+	if s.j == nil {
+		return nil, 0, ErrClosed
+	}
+	for {
+		s.j.mu.Lock()
+		if len(s.queue) > 0 {
+			batch := s.queue
+			drops := s.drops
+			s.queue = nil
+			s.drops = 0
+			s.j.mu.Unlock()
+			return batch, drops, nil
+		}
+		closed := s.closed
+		s.j.mu.Unlock()
+		if closed {
+			return nil, 0, ErrClosed
+		}
+		select {
+		case <-s.notify:
+		case <-ctx.Done():
+			return nil, 0, ctx.Err()
+		}
+	}
+}
+
+// Close unregisters the subscriber. Queued events remain drainable by
+// Next until empty; then Next reports ErrClosed. Idempotent.
+func (s *Subscriber) Close() {
+	if s.j == nil {
+		return
+	}
+	s.j.mu.Lock()
+	_, live := s.j.subs[s]
+	if live {
+		delete(s.j.subs, s)
+	}
+	s.closed = true
+	s.j.mu.Unlock()
+	if live {
+		s.j.active.Add(-1)
+	}
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}

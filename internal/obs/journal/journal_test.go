@@ -1,0 +1,388 @@
+package journal
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func drain(t *testing.T, s *Subscriber, want int) ([]Event, uint64) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var out []Event
+	var drops uint64
+	for len(out) < want {
+		batch, d, err := s.Next(ctx)
+		if err != nil {
+			t.Fatalf("Next: %v (got %d/%d events)", err, len(out), want)
+		}
+		out = append(out, batch...)
+		drops += d
+	}
+	return out, drops
+}
+
+func TestEmitSubscribeBasic(t *testing.T) {
+	j := New(16, nil)
+	if j.Streaming() {
+		t.Fatal("fresh journal reports streaming")
+	}
+	s := j.Subscribe(0, 0, Filter{})
+	defer s.Close()
+	if !j.Streaming() {
+		t.Fatal("journal with subscriber not streaming")
+	}
+	j.Emit(Event{Kind: "run.start", Run: "w|p", Trace: "req-000001"})
+	j.Emit(Event{Kind: "run.finish", Run: "w|p", Fields: F("cycles", 42)})
+	got, drops := drain(t, s, 2)
+	if drops != 0 {
+		t.Fatalf("unexpected drops: %d", drops)
+	}
+	if got[0].Kind != "run.start" || got[1].Kind != "run.finish" {
+		t.Fatalf("kinds = %q, %q", got[0].Kind, got[1].Kind)
+	}
+	if got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Fatalf("seqs = %d, %d; want 1, 2", got[0].Seq, got[1].Seq)
+	}
+	if got[0].TS == 0 {
+		t.Fatal("event missing timestamp")
+	}
+	if v, ok := got[1].Fields["cycles"].(int); !ok || v != 42 {
+		t.Fatalf("fields = %v", got[1].Fields)
+	}
+}
+
+func TestNilJournalSafe(t *testing.T) {
+	var j *Journal
+	if j.Streaming() {
+		t.Fatal("nil journal streaming")
+	}
+	j.Emit(Event{Kind: "x"}) // must not panic
+	if got := j.Recent(0); got != nil {
+		t.Fatalf("Recent on nil = %v", got)
+	}
+	j.CloseSubscribers()
+	if st := j.Snapshot(); st.Emitted != 0 {
+		t.Fatalf("Snapshot on nil = %+v", st)
+	}
+	s := j.Subscribe(4, 0, Filter{})
+	if _, _, err := s.Next(context.Background()); err != ErrClosed {
+		t.Fatalf("Next on nil-journal subscriber: %v, want ErrClosed", err)
+	}
+	s.Close()
+}
+
+func TestFilterKindAndRun(t *testing.T) {
+	j := New(32, nil)
+	s := j.Subscribe(0, 0, Filter{Kinds: []string{"run.*", "drain.begin"}, Run: ""})
+	defer s.Close()
+	byRun := j.Subscribe(0, 0, Filter{Run: "a|p"})
+	defer byRun.Close()
+
+	j.Emit(Event{Kind: "run.start", Run: "a|p"})
+	j.Emit(Event{Kind: "interval", Run: "a|p"})
+	j.Emit(Event{Kind: "drain.begin"})
+	j.Emit(Event{Kind: "drain.end"})
+	j.Emit(Event{Kind: "run.finish", Run: "b|p"})
+
+	got, _ := drain(t, s, 3)
+	kinds := []string{got[0].Kind, got[1].Kind, got[2].Kind}
+	want := []string{"run.start", "drain.begin", "run.finish"}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("filtered kinds = %v, want %v", kinds, want)
+		}
+	}
+	gotRun, _ := drain(t, byRun, 2)
+	if gotRun[0].Kind != "run.start" || gotRun[1].Kind != "interval" {
+		t.Fatalf("run-filtered kinds = %q, %q", gotRun[0].Kind, gotRun[1].Kind)
+	}
+}
+
+func TestRingBoundAndRecent(t *testing.T) {
+	j := New(4, nil)
+	for i := 0; i < 10; i++ {
+		j.Emit(Event{Kind: fmt.Sprintf("k%d", i)})
+	}
+	got := j.Recent(0)
+	if len(got) != 4 {
+		t.Fatalf("Recent len = %d, want 4", len(got))
+	}
+	for i, e := range got {
+		if want := uint64(7 + i); e.Seq != want {
+			t.Fatalf("Recent[%d].Seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+	// Recent(max) keeps the newest max events.
+	if got2 := j.Recent(2); len(got2) != 2 || got2[0].Seq != 9 || got2[1].Seq != 10 {
+		t.Fatalf("Recent(2) = %+v", got2)
+	}
+	st := j.Snapshot()
+	if st.Emitted != 10 || st.RingDropped != 6 {
+		t.Fatalf("stats = %+v, want emitted 10 ring_dropped 6", st)
+	}
+}
+
+// TestSlowSubscriberDropsOldest pins the backpressure contract: a
+// subscriber that never drains loses its oldest events (counted), and
+// the emitter never blocks.
+func TestSlowSubscriberDropsOldest(t *testing.T) {
+	j := New(64, nil)
+	s := j.Subscribe(4, 0, Filter{})
+	defer s.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			j.Emit(Event{Kind: "burst"})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("emitter blocked on slow subscriber")
+	}
+	got, drops := drain(t, s, 4)
+	if drops != 16 {
+		t.Fatalf("drops = %d, want 16", drops)
+	}
+	// Drop-oldest: the survivors are the newest four, in order.
+	for i, e := range got {
+		if want := uint64(17 + i); e.Seq != want {
+			t.Fatalf("survivor[%d].Seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+	if st := j.Snapshot(); st.SubDropped != 16 {
+		t.Fatalf("journal SubDropped = %d, want 16", st.SubDropped)
+	}
+}
+
+// TestReplayMonotoneAcrossReconnect pins the reconnect contract: a
+// subscriber that disconnects and resubscribes from last-seen+1 observes
+// a strictly increasing sequence with no duplicates and no gaps (while
+// the ring still holds the span).
+func TestReplayMonotoneAcrossReconnect(t *testing.T) {
+	j := New(128, nil)
+	s := j.Subscribe(0, 0, Filter{})
+	for i := 0; i < 5; i++ {
+		j.Emit(Event{Kind: "a"})
+	}
+	got, _ := drain(t, s, 5)
+	last := got[len(got)-1].Seq
+	s.Close()
+
+	// Events emitted while disconnected.
+	for i := 0; i < 7; i++ {
+		j.Emit(Event{Kind: "b"})
+	}
+	s2 := j.Subscribe(0, last+1, Filter{})
+	defer s2.Close()
+	for i := 0; i < 3; i++ {
+		j.Emit(Event{Kind: "c"})
+	}
+	got2, _ := drain(t, s2, 10)
+	seq := last
+	for i, e := range got2 {
+		if e.Seq != seq+1 {
+			t.Fatalf("event %d: seq %d after %d (gap or duplicate)", i, e.Seq, seq)
+		}
+		seq = e.Seq
+	}
+	if seq != 15 {
+		t.Fatalf("final seq = %d, want 15", seq)
+	}
+}
+
+func TestReplayFilteredFromSeq(t *testing.T) {
+	j := New(64, nil)
+	j.Emit(Event{Kind: "keep"})
+	j.Emit(Event{Kind: "skip"})
+	j.Emit(Event{Kind: "keep"})
+	s := j.Subscribe(0, 2, Filter{Kinds: []string{"keep"}})
+	defer s.Close()
+	got, _ := drain(t, s, 1)
+	if got[0].Seq != 3 || got[0].Kind != "keep" {
+		t.Fatalf("replayed %+v, want seq 3 kind keep", got[0])
+	}
+}
+
+func TestCloseDrainsThenErrClosed(t *testing.T) {
+	j := New(16, nil)
+	s := j.Subscribe(0, 0, Filter{})
+	j.Emit(Event{Kind: "x"})
+	s.Close()
+	got, _, err := s.Next(context.Background())
+	if err != nil || len(got) != 1 {
+		t.Fatalf("Next after close = %v events, err %v; want the queued event", got, err)
+	}
+	if _, _, err := s.Next(context.Background()); err != ErrClosed {
+		t.Fatalf("drained Next err = %v, want ErrClosed", err)
+	}
+	if j.Streaming() {
+		t.Fatal("journal still streaming after sole subscriber closed")
+	}
+	s.Close() // idempotent
+}
+
+func TestCloseSubscribers(t *testing.T) {
+	j := New(16, nil)
+	s1 := j.Subscribe(0, 0, Filter{})
+	s2 := j.Subscribe(0, 0, Filter{})
+	j.CloseSubscribers()
+	if _, _, err := s1.Next(context.Background()); err != ErrClosed {
+		t.Fatalf("s1 err = %v", err)
+	}
+	if _, _, err := s2.Next(context.Background()); err != ErrClosed {
+		t.Fatalf("s2 err = %v", err)
+	}
+	if j.Streaming() {
+		t.Fatal("streaming after CloseSubscribers")
+	}
+	// Ring still records.
+	j.Emit(Event{Kind: "after"})
+	if got := j.Recent(0); len(got) != 1 || got[0].Kind != "after" {
+		t.Fatalf("Recent after CloseSubscribers = %+v", got)
+	}
+}
+
+func TestNextContextCancel(t *testing.T) {
+	j := New(16, nil)
+	s := j.Subscribe(0, 0, Filter{})
+	defer s.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, _, err := s.Next(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Next err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestHammerRace is the -race hammer from the issue: concurrent
+// emitters, subscribers connecting/draining/closing, and a
+// CloseSubscribers sweep, all at once. It asserts per-subscriber
+// sequence monotonicity; the race detector asserts the rest.
+func TestHammerRace(t *testing.T) {
+	j := New(256, nil)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var emitted atomic.Uint64
+
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				j.Emit(Event{Kind: "hammer", Run: fmt.Sprintf("g%d", g%2)})
+				emitted.Add(1)
+			}
+		}(g)
+	}
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				s := j.Subscribe(8, uint64(i), Filter{Run: fmt.Sprintf("g%d", g%2)})
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+				var last uint64
+				for {
+					batch, _, err := s.Next(ctx)
+					if err != nil {
+						break
+					}
+					for _, e := range batch {
+						if e.Seq <= last {
+							cancel()
+							s.Close()
+							t.Errorf("non-monotone seq %d after %d", e.Seq, last)
+							return
+						}
+						last = e.Seq
+					}
+				}
+				cancel()
+				s.Close()
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			j.CloseSubscribers()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	time.Sleep(150 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if st := j.Snapshot(); st.Emitted != emitted.Load() {
+		t.Fatalf("journal emitted %d, producers emitted %d", st.Emitted, emitted.Load())
+	}
+}
+
+// BenchmarkStreamingGate pins the disabled-path cost the acceptance
+// criteria require: with no subscribers, the producers' gate is a single
+// atomic load (same discipline as the tracer's disabled path and
+// internal/fault's disarmed path). Expect well under 2 ns/op.
+func BenchmarkStreamingGate(b *testing.B) {
+	j := New(64, nil)
+	var hits int
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if j.Streaming() {
+			hits++
+		}
+	}
+	if hits != 0 {
+		b.Fatal("unexpected streaming state")
+	}
+}
+
+// BenchmarkStreamingGateNil is the fully-disabled variant (no journal
+// constructed at all): one nil check.
+func BenchmarkStreamingGateNil(b *testing.B) {
+	var j *Journal
+	var hits int
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if j.Streaming() {
+			hits++
+		}
+	}
+	if hits != 0 {
+		b.Fatal("unexpected streaming state")
+	}
+}
+
+// BenchmarkEmitNoSubscribers measures ring-only emission (lifecycle
+// events always record, even unwatched).
+func BenchmarkEmitNoSubscribers(b *testing.B) {
+	j := New(1024, nil)
+	e := Event{Kind: "run.finish", Run: "w|p", TS: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		j.Emit(e)
+	}
+}
+
+// BenchmarkEmitOneSubscriber measures fan-out cost with one live (never
+// draining, hence dropping) subscriber.
+func BenchmarkEmitOneSubscriber(b *testing.B) {
+	j := New(1024, nil)
+	s := j.Subscribe(256, 0, Filter{})
+	defer s.Close()
+	e := Event{Kind: "interval", Run: "w|p", TS: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		j.Emit(e)
+	}
+}

@@ -29,7 +29,29 @@ var (
 	tasksTotal atomic.Uint64 // units executed by Run or a Warm pass
 	taskErrors atomic.Uint64 // units that returned an error (injected faults included)
 	taskPanics atomic.Uint64 // units whose panic was recovered
+	// panicObserver, when set, receives every recovered panic (Run and
+	// Warm passes alike) so contained failures can surface in an event
+	// journal instead of only as a counter tick.
+	panicObserver atomic.Pointer[func(key string, v any)]
 )
+
+// SetPanicObserver installs (or, with nil, removes) a process-wide hook
+// called with the unit key and panic value each time the pool contains
+// a panic. The hook runs on the recovering goroutine and must not
+// block or re-panic.
+func SetPanicObserver(fn func(key string, v any)) {
+	if fn == nil {
+		panicObserver.Store(nil)
+		return
+	}
+	panicObserver.Store(&fn)
+}
+
+func notifyPanic(key string, v any) {
+	if fn := panicObserver.Load(); fn != nil {
+		(*fn)(key, v)
+	}
+}
 
 // Register exposes the pool's process-wide task counters on an optional
 // obs registry under prefix (e.g. "lapsim_pool"). Nil registries no-op.
@@ -143,6 +165,7 @@ func runTask(t Task) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			taskPanics.Add(1)
+			notifyPanic(t.Key, r)
 			err = Recovered(t.Key, r)
 		} else if err != nil {
 			taskErrors.Add(1)
@@ -192,8 +215,9 @@ func Warm(workers int, batch []func()) {
 				func() {
 					tasksTotal.Add(1)
 					defer func() {
-						if recover() != nil {
+						if r := recover(); r != nil {
 							taskPanics.Add(1)
+							notifyPanic("warm", r)
 						}
 					}()
 					batch[j]()

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -173,5 +174,44 @@ func TestWarmBoundsConcurrency(t *testing.T) {
 	Warm(workers, batch)
 	if p := peak.Load(); p > workers {
 		t.Fatalf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}
+
+// TestPanicObserver: contained panics surface through the observer with
+// the unit's key and panic value.
+func TestPanicObserver(t *testing.T) {
+	type hit struct {
+		key string
+		v   any
+	}
+	var mu sync.Mutex
+	var hits []hit
+	SetPanicObserver(func(key string, v any) {
+		mu.Lock()
+		defer mu.Unlock()
+		hits = append(hits, hit{key, v})
+	})
+	defer SetPanicObserver(nil)
+
+	errs := Run(2, []Task{
+		{Key: "ok", Do: func() error { return nil }},
+		{Key: "boom", Do: func() error { panic("kapow") }},
+	})
+	if errs[0] != nil || errs[1] == nil {
+		t.Fatalf("errs = %v", errs)
+	}
+	Warm(2, []func(){func() { panic("warm-boom") }, func() {}})
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(hits) != 2 {
+		t.Fatalf("observer hits = %+v, want 2", hits)
+	}
+	seen := map[string]any{}
+	for _, h := range hits {
+		seen[h.key] = h.v
+	}
+	if seen["boom"] != "kapow" || seen["warm"] != "warm-boom" {
+		t.Fatalf("observer hits = %+v", hits)
 	}
 }

@@ -9,6 +9,7 @@ import (
 
 	lap "repro"
 	"repro/internal/fault"
+	"repro/internal/obs/journal"
 	"repro/internal/pool"
 	"repro/internal/trace"
 )
@@ -177,6 +178,49 @@ type StatsResponse struct {
 	// counters; absent when no store is configured, so storeless
 	// responses stay byte-identical to pre-checkpoint versions.
 	Checkpoint *CheckpointStats `json:"checkpoint,omitempty"`
+	// Events reports the operational journal's counters (emitted events,
+	// ring/subscriber drops, live /v1/events subscribers); absent when
+	// the journal is disabled.
+	Events *journal.Stats `json:"events,omitempty"`
+	// SLO reports the rolling-window request objectives and burn rates.
+	SLO *SLOStats `json:"slo,omitempty"`
+}
+
+// SLOStats is the /v1/stats slo block: the configured objectives plus
+// one rolling-window accounting row per configured window.
+type SLOStats struct {
+	// Objective is the availability target (fraction of run/sweep
+	// requests that must not fail server-side).
+	Objective float64 `json:"objective"`
+	// LatencyObjective is the fraction of requests that must finish
+	// within LatencyTargetSec.
+	LatencyObjective float64     `json:"latency_objective"`
+	LatencyTargetSec float64     `json:"latency_target_sec"`
+	Windows          []SLOWindow `json:"windows"`
+}
+
+// SLOWindow is one rolling window's request accounting. Burn rates are
+// the SRE convention: bad-event fraction divided by the error budget
+// (1 − objective); 1.0 burns the budget exactly at the window's pace,
+// higher exhausts it early.
+type SLOWindow struct {
+	Window           string  `json:"window"`
+	Total            uint64  `json:"total"`
+	Errors           uint64  `json:"errors"`
+	Slow             uint64  `json:"slow"`
+	SuccessRate      float64 `json:"success_rate"`
+	AvailabilityBurn float64 `json:"availability_burn"`
+	LatencyBurn      float64 `json:"latency_burn"`
+}
+
+// ReadyzResponse is the GET /readyz payload. Ready gates routing:
+// false (with a 503) from drain start and while the breaker is open.
+// Degraded lists watchdog subsystems currently unhealthy — advisory
+// detail, not a readiness gate.
+type ReadyzResponse struct {
+	Ready    bool     `json:"ready"`
+	Reasons  []string `json:"reasons,omitempty"`
+	Degraded []string `json:"degraded,omitempty"`
 }
 
 // CheckpointStats is the checkpoint store's counter snapshot on the
@@ -203,8 +247,9 @@ type CheckpointStats struct {
 // HealthzResponse is the GET /healthz payload: liveness plus the
 // signals an operator needs first when the instance looks sick.
 type HealthzResponse struct {
-	// Status is "ok", or "draining" (with a 503) while the instance is
-	// being pulled from rotation.
+	// Status is "ok", or "draining" while the instance is being pulled
+	// from rotation. Liveness is always 200 — /readyz carries the 503
+	// that takes the instance out of routing.
 	Status string `json:"status"`
 	// Breaker is the circuit breaker's position: "closed", "open",
 	// "half-open", or "disabled".
@@ -524,7 +569,13 @@ func (sp *runSpec) cellKey() string {
 // *pool.RunError values — the cell's failure domain is itself; a worker
 // goroutine can never take the process down. The server.execute fault
 // point fires first, so chaos tests can target one cell by key.
-func (sp *runSpec) execute() (res lap.Result, err error) {
+//
+// tel optionally observes the run per interval (the /v1/events bridge);
+// nil is fully off. Checkpointed and sampled executions run through
+// entry points without an observation hook and ignore it. Telemetry
+// never steers the simulation, so results are byte-identical either
+// way.
+func (sp *runSpec) execute(tel *lap.Telemetry) (res lap.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = lap.Result{}, pool.Recovered(sp.cellKey(), r)
@@ -535,13 +586,13 @@ func (sp *runSpec) execute() (res lap.Result, err error) {
 	}
 	switch sp.kind {
 	case kindThreaded:
-		return lap.RunThreaded(sp.cfg, sp.policy, sp.bench, sp.accesses, sp.seed)
+		return lap.RunThreadedObserved(sp.cfg, sp.policy, sp.bench, sp.accesses, sp.seed, tel)
 	case kindTrace:
 		srcs := make([]lap.Source, sp.cfg.Cores)
 		for i := range srcs {
 			srcs[i] = trace.Limit(trace.NewSliceSource(sp.traceAcc), sp.accesses)
 		}
-		return lap.RunTraces(sp.cfg, sp.policy, srcs)
+		return lap.RunTracesObserved(sp.cfg, sp.policy, srcs, tel)
 	default:
 		if sp.profile != nil {
 			prof, err := sp.profile()
@@ -553,7 +604,7 @@ func (sp *runSpec) execute() (res lap.Result, err error) {
 		if sp.ckpt != nil && sp.cfg.CheckpointEvery > 0 {
 			return lap.RunResumable(sp.cfg, sp.policy, sp.mix, sp.accesses, sp.seed, sp.ckpt)
 		}
-		return lap.Run(sp.cfg, sp.policy, sp.mix, sp.accesses, sp.seed)
+		return lap.RunObserved(sp.cfg, sp.policy, sp.mix, sp.accesses, sp.seed, tel)
 	}
 }
 

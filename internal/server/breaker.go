@@ -55,6 +55,11 @@ type breaker struct {
 	threshold int
 	cooldown  time.Duration
 	met       breakerMetrics
+	// onTransition, when set, hears every state change with the
+	// destination state's name ("open", "half-open", "closed") — how
+	// transitions become journal events. Called with b.mu held, so it
+	// must not call back into the breaker.
+	onTransition func(to string)
 
 	mu         sync.Mutex
 	state      breakerState
@@ -89,6 +94,7 @@ func (b *breaker) allow() (bool, time.Duration) {
 		// Cooldown over: admit exactly one probe.
 		b.state = breakerHalfOpen
 		b.met.toHalfOpen.Inc()
+		b.notifyLocked("half-open")
 		b.probing = true
 		b.probeStart = time.Now()
 		return true, 0
@@ -128,6 +134,7 @@ func (b *breaker) success() {
 	case breakerHalfOpen:
 		b.state = breakerClosed
 		b.met.toClosed.Inc()
+		b.notifyLocked("closed")
 	}
 	b.fails = 0
 	b.probing = false
@@ -166,10 +173,19 @@ func (b *breaker) probeDone() {
 	b.probing = false
 }
 
+// notifyLocked reports one transition to the optional hook; the caller
+// holds b.mu.
+func (b *breaker) notifyLocked(to string) {
+	if b.onTransition != nil {
+		b.onTransition(to)
+	}
+}
+
 // trip opens the breaker; the caller holds b.mu.
 func (b *breaker) trip() {
 	b.state = breakerOpen
 	b.met.toOpen.Inc()
+	b.notifyLocked("open")
 	b.fails = 0
 	b.probing = false
 	b.openedAt = time.Now()

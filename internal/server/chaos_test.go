@@ -205,7 +205,7 @@ func TestChaosBreakerShedsLoad(t *testing.T) {
 
 // TestChaosDrainMidSweepCancelsUndoneCells: drain flips mid-sweep. The
 // cell already executing finishes and delivers its result; cells that
-// have not started are reported cancelled — not failed — and /healthz
+// have not started are reported cancelled — not failed — and /readyz
 // goes 503 immediately.
 func TestChaosDrainMidSweepCancelsUndoneCells(t *testing.T) {
 	fault.Reset()
@@ -241,8 +241,8 @@ func TestChaosDrainMidSweepCancelsUndoneCells(t *testing.T) {
 	}
 	s.SetDraining(true)
 	t.Cleanup(func() { s.SetDraining(false) })
-	if status, _ := get(t, ts.URL+"/healthz"); status != http.StatusServiceUnavailable {
-		t.Fatalf("healthz while draining: %d, want 503", status)
+	if status, _ := get(t, ts.URL+"/readyz"); status != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: %d, want 503", status)
 	}
 
 	out := <-done

@@ -35,8 +35,8 @@ func TestHealthzBody(t *testing.T) {
 
 	s.SetDraining(true)
 	status, body = get(t, ts.URL+"/healthz")
-	if status != http.StatusServiceUnavailable {
-		t.Fatalf("draining healthz: %d", status)
+	if status != http.StatusOK {
+		t.Fatalf("draining healthz: %d, want 200 (liveness survives drain)", status)
 	}
 	if err := json.Unmarshal(body, &h); err != nil || h.Status != "draining" {
 		t.Fatalf("draining body: %s (err %v)", body, err)
@@ -142,10 +142,13 @@ func TestRequestTracingDisabled(t *testing.T) {
 	if status != http.StatusOK {
 		t.Fatalf("run: %d %s", status, body)
 	}
-	if id != "" {
-		t.Errorf("tracing disabled but response carries X-Trace-Id %q", id)
+	// The correlation ID is independent of the tracer: every request gets
+	// one (logs and journal events key on it) even when span recording is
+	// off — but the trace endpoint has nothing to serve.
+	if id == "" {
+		t.Error("tracing disabled but response lost its X-Trace-Id correlation header")
 	}
-	if status, _ := get(t, ts.URL+"/v1/trace/req-000001"); status != http.StatusNotFound {
+	if status, _ := get(t, ts.URL+"/v1/trace/"+id); status != http.StatusNotFound {
 		t.Errorf("trace endpoint with tracing disabled: got %d, want 404", status)
 	}
 }

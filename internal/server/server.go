@@ -20,10 +20,19 @@
 //   - Timeouts and drain: every request runs under a RequestTimeout
 //     context that bounds queue and coalescing waits (a simulation that
 //     already started runs to completion — its result is still useful to
-//     cache). SetDraining flips /healthz to 503 and rejects new work so
+//     cache). SetDraining flips /readyz to 503 and rejects new work so
 //     a load balancer can pull the instance before http.Server.Shutdown
-//     drains in-flight requests. Mid-sweep, drain lets started cells
-//     finish and reports undone cells as cancelled.
+//     drains in-flight requests (liveness on /healthz stays 200 to the
+//     end — shutting down cleanly is not a reason to be restarted).
+//     Mid-sweep, drain lets started cells finish and reports undone
+//     cells as cancelled.
+//   - Observability: every request logs one structured line (method,
+//     route, status, bytes, duration, trace_id); simulation requests
+//     are traced (GET /v1/trace/{id}); lifecycle and per-interval
+//     telemetry events stream over GET /v1/events (SSE, resumable);
+//     rolling-window SLO burn rates and a per-subsystem watchdog feed
+//     /metrics; GET /debug/bundle assembles a one-shot diagnostics
+//     tarball.
 //   - Failure domains: a run that panics is recovered into a typed
 //     *pool.RunError — one corrupt simulation cannot take the process
 //     (or its sweep) down. Failed runs are never cached; they are
@@ -44,6 +53,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -53,8 +63,11 @@ import (
 	"repro/internal/fault"
 	"repro/internal/memo"
 	"repro/internal/obs"
+	"repro/internal/obs/health"
+	"repro/internal/obs/journal"
 	otrace "repro/internal/obs/trace"
 	"repro/internal/pool"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -118,6 +131,22 @@ type Config struct {
 	// Logger receives one structured line per request (method, path,
 	// status, duration, trace/span IDs); nil logs nothing.
 	Logger *slog.Logger
+	// JournalCapacity bounds the operational event ring behind GET
+	// /v1/events and the diagnostics bundle (0 = journal.DefaultCapacity;
+	// negative disables the journal entirely — /v1/events then answers
+	// 404 and lifecycle events are not recorded).
+	JournalCapacity int
+	// SLO tunes the rolling-window request-objective tracker surfaced as
+	// lapserved_slo_burn_rate and the /v1/stats slo block. Zero fields
+	// take health.SLOConfig defaults.
+	SLO health.SLOConfig
+	// WatchdogInterval is the background probe period for the
+	// per-subsystem watchdog (queue stalled, run over deadline budget,
+	// checkpoint store erroring, breaker open). 0 runs no background
+	// goroutine — probes then run on each GET /readyz — so unit tests
+	// and short-lived servers stay goroutine-free; lapserved passes a
+	// real interval. Stop the loop with Close.
+	WatchdogInterval time.Duration
 }
 
 const (
@@ -151,6 +180,11 @@ type Server struct {
 	traces   *traceLog // per-request trace exports; nil when disabled
 	sem      chan struct{}
 	breaker  *breaker
+	journal  *journal.Journal   // operational event ring; nil when disabled
+	slo      *health.SLOTracker // run/sweep request objectives
+	watchdog *health.Watchdog   // per-subsystem degradation probes
+	running  *runRegistry       // in-flight executions, for the deadline probe
+	started  time.Time
 
 	queued   atomic.Int64
 	inflight atomic.Int64
@@ -219,7 +253,13 @@ func New(cfg Config) *Server {
 		store:    store,
 		sem:      make(chan struct{}, cfg.Jobs),
 		breaker:  newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		slo:      health.NewSLO(cfg.SLO),
+		running:  newRunRegistry(),
+		started:  time.Now(),
 		lat:      latRing{buf: make([]float64, 0, latencyWindow)},
+	}
+	if cfg.JournalCapacity >= 0 {
+		s.journal = journal.New(cfg.JournalCapacity, cfg.Logger)
 	}
 	if cfg.TraceRequests >= 0 {
 		n := cfg.TraceRequests
@@ -233,10 +273,59 @@ func New(cfg Config) *Server {
 		reg = obs.NewRegistry()
 	}
 	s.met = newServerMetrics(reg, s)
+	health.RegisterRuntime(reg)
+	s.slo.Register(reg, "lapserved")
+	s.watchdog = s.newWatchdog()
+	s.watchdog.Register(reg, "lapserved")
+	if cfg.WatchdogInterval > 0 {
+		s.watchdog.Start()
+	}
+	// Journal counters ride the registry too (Snapshot is nil-safe, so a
+	// disabled journal just exports zeros): emitted volume, the two drop
+	// paths, and how many /v1/events streams are live right now.
+	reg.CounterFunc("lapserved_events_emitted_total",
+		"Operational events emitted to the journal.",
+		func() uint64 { return s.journal.Snapshot().Emitted })
+	reg.CounterFunc("lapserved_events_dropped_total",
+		"Events lost to the bounded ring or slow subscriber queues.",
+		func() uint64 {
+			st := s.journal.Snapshot()
+			return st.RingDropped + st.SubDropped
+		})
+	reg.GaugeFunc("lapserved_event_subscribers",
+		"Live /v1/events subscribers.",
+		func() float64 { return float64(s.journal.Snapshot().Subscribers) })
+
+	// Lifecycle sources feed the journal without their packages knowing
+	// about it: the breaker reports transitions, the checkpoint store its
+	// durability operations, the memo its evictions. All three hooks are
+	// nil-safe no-ops when the journal is disabled (Emit on nil records
+	// nothing), so the wiring is unconditional.
+	s.breaker.onTransition = func(to string) {
+		s.journal.Emit(journal.Event{Kind: "breaker.transition", Fields: journal.F("to", to)})
+	}
+	if cfg.Checkpoints != nil {
+		cfg.Checkpoints.SetObserver(func(op, key, detail string, err error) {
+			e := journal.Event{Kind: "checkpoint." + op, Run: key}
+			if detail != "" {
+				e.Fields = journal.F("detail", detail)
+			}
+			if err != nil {
+				e.Msg = err.Error()
+			}
+			s.journal.Emit(e)
+		})
+	}
+	s.memo.SetEvictObserver(func(k runKey) {
+		s.journal.Emit(journal.Event{Kind: "memo.evict", Run: k.Workload + "|" + k.Policy})
+	})
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.Handle("GET /metrics", reg.Handler())
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/events", s.handleEvents)
+	s.mux.HandleFunc("GET /debug/bundle", s.handleBundle)
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("POST /v1/traces", s.handleTraceUpload)
@@ -251,10 +340,40 @@ func (s *Server) Handler() http.Handler { return s.instrument(s.mux) }
 // Metrics returns the obs registry behind GET /metrics.
 func (s *Server) Metrics() *obs.Registry { return s.met.reg }
 
-// SetDraining flips the server into (or out of) drain mode: /healthz
+// Journal returns the operational event journal behind GET /v1/events
+// (nil when Config.JournalCapacity was negative), so the binary hosting
+// the server can route its own lifecycle — process fault hits, contained
+// pool panics, shutdown phases — into the same stream.
+func (s *Server) Journal() *journal.Journal { return s.journal }
+
+// Close releases the server's background resources: the watchdog loop
+// stops and every live event subscriber is closed (each drains its
+// queued events, then its SSE stream ends). The server itself remains
+// usable for tests that keep serving after Close; production callers
+// Close during shutdown, after SetDraining(true) and before
+// http.Server.Shutdown so open /v1/events streams cannot hold the
+// drain open.
+func (s *Server) Close() {
+	s.watchdog.Stop()
+	s.journal.CloseSubscribers()
+}
+
+// SetDraining flips the server into (or out of) drain mode: /readyz
 // answers 503 so load balancers stop routing here, and new simulation
-// work is refused while in-flight requests finish.
-func (s *Server) SetDraining(d bool) { s.draining.Store(d) }
+// work is refused while in-flight requests finish. Liveness (/healthz)
+// stays 200 — the process is healthy, just leaving rotation. Each
+// transition lands in the event journal as drain.begin/drain.end.
+func (s *Server) SetDraining(d bool) {
+	if s.draining.Swap(d) == d {
+		return
+	}
+	kind := "drain.end"
+	if d {
+		kind = "drain.begin"
+	}
+	s.journal.Emit(journal.Event{Kind: kind, Fields: journal.F(
+		"queued", s.queued.Load(), "in_flight", s.inflight.Load())})
+}
 
 // admit reserves n slots in the bounded job queue, reporting false when
 // the queue cannot take them (the caller answers 429).
@@ -327,20 +446,29 @@ func (s *Server) runCell(ctx context.Context, sp *runSpec) (lap.Result, bool, er
 		}
 		s.inflight.Add(1)
 		defer s.inflight.Add(-1)
+		s.running.add(sp.cellKey())
+		defer s.running.remove(sp.cellKey())
+		tid := traceIDFrom(ctx)
+		s.journal.Emit(journal.Event{Kind: "run.start", Run: sp.cellKey(), Trace: tid,
+			Fields: journal.F("accesses", sp.accesses, "seed", sp.seed)})
 		execStart := time.Now()
 		_, esp := otrace.Start(ctx, "execute", otrace.Str("cell", sp.cellKey()))
-		res, err := sp.execute()
+		res, err := sp.execute(s.runTelemetry(sp, tid))
 		if esp != nil {
 			esp.SetAttr(otrace.Bool("failed", err != nil))
 			esp.End()
 		}
 		if err != nil {
+			s.journal.Emit(journal.Event{Kind: "run.failed", Run: sp.cellKey(), Trace: tid,
+				Msg: err.Error(), Fields: journal.F("kind", errKind(err))})
 			return lap.Result{}, err
 		}
 		d := time.Since(execStart).Seconds()
 		s.lat.add(d)
 		s.met.latComputed.Observe(d)
 		s.met.recordRun(res, d)
+		s.journal.Emit(journal.Event{Kind: "run.finish", Run: sp.cellKey(), Trace: tid,
+			Fields: journal.F("duration_ms", d*1000, "cycles", res.Cycles, "mpki", res.MPKI())})
 		return res, nil
 	})
 	if err == nil && !computed {
@@ -455,18 +583,20 @@ func errKind(err error) string {
 	return "error"
 }
 
-// handleHealthz reports liveness; 503 while draining so balancers pull
-// the instance before shutdown. The body carries the load-bearing
-// health signals — breaker position, queue occupancy against its bound,
+// handleHealthz reports liveness: always 200 while the process can
+// serve HTTP at all — draining changes readiness (/readyz), not
+// liveness, so an orchestrator never kills an instance for the crime of
+// shutting down cleanly. The body carries the load-bearing health
+// signals — breaker position, queue occupancy against its bound,
 // in-flight runs — so an operator's first curl answers "is it sick, and
 // how" without a metrics scrape.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	status, code := "ok", http.StatusOK
+	status := "ok"
 	if s.draining.Load() {
-		status, code = "draining", http.StatusServiceUnavailable
+		status = "draining"
 	}
 	bs := s.breaker.snapshot()
-	writeJSON(w, code, HealthzResponse{
+	writeJSON(w, http.StatusOK, HealthzResponse{
 		Status:     status,
 		Breaker:    bs.state,
 		QueueDepth: s.queued.Load(),
@@ -475,9 +605,40 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleStats reports the memo counters, queue occupancy, and run
-// latency quantiles.
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+// handleReadyz reports readiness: whether this instance should receive
+// new traffic. Unready (503) from the moment drain begins and while the
+// circuit breaker is open — both mean "route elsewhere", neither means
+// "restart me" (that is /healthz's call). The watchdog runs one probe
+// pass first, so readiness checks double as the degradation sampler on
+// servers without a background watchdog loop; degraded subsystems are
+// reported but only drain and an open breaker gate readiness.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.watchdog.RunOnce()
+	resp := ReadyzResponse{Ready: true}
+	if s.draining.Load() {
+		resp.Ready = false
+		resp.Reasons = append(resp.Reasons, "draining")
+	}
+	if bs := s.breaker.snapshot(); bs.state == "open" {
+		resp.Ready = false
+		resp.Reasons = append(resp.Reasons, "circuit breaker open")
+	}
+	for sub, st := range s.watchdog.Snapshot() {
+		if !st.Healthy {
+			resp.Degraded = append(resp.Degraded, sub+": "+st.Detail)
+		}
+	}
+	sort.Strings(resp.Degraded)
+	code := http.StatusOK
+	if !resp.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
+}
+
+// statsSnapshot assembles the /v1/stats payload; the diagnostics bundle
+// reuses it so the two views can never drift.
+func (s *Server) statsSnapshot() StatsResponse {
 	ms := s.memo.Stats()
 	sample := s.lat.snapshot()
 	sum := stats.Summarize(sample)
@@ -496,7 +657,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			BytesRead:       m.BytesRead(),
 		}
 	}
-	writeJSON(w, http.StatusOK, StatsResponse{
+	var ev *journal.Stats
+	if s.journal != nil {
+		st := s.journal.Snapshot()
+		ev = &st
+	}
+	return StatsResponse{
 		Computed:          ms.Computed,
 		Recalled:          ms.Recalled,
 		Evicted:           ms.Evicted,
@@ -514,7 +680,37 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		BreakerOpens:      bs.opens,
 		BreakerShed:       bs.shed,
 		Checkpoint:        ck,
-	})
+		Events:            ev,
+		SLO:               s.sloStats(),
+	}
+}
+
+// sloStats shapes the SLO tracker's rolling windows for the wire.
+func (s *Server) sloStats() *SLOStats {
+	cfg := s.slo.Config()
+	out := &SLOStats{
+		Objective:        cfg.Objective,
+		LatencyObjective: cfg.LatencyObjective,
+		LatencyTargetSec: cfg.LatencyTarget.Seconds(),
+	}
+	for _, w := range s.slo.Windows() {
+		out.Windows = append(out.Windows, SLOWindow{
+			Window:           w.Window,
+			Total:            w.Total,
+			Errors:           w.Errors,
+			Slow:             w.Slow,
+			SuccessRate:      w.SuccessRate,
+			AvailabilityBurn: w.AvailabilityBurn,
+			LatencyBurn:      w.LatencyBurn,
+		})
+	}
+	return out
+}
+
+// handleStats reports the memo counters, queue occupancy, run latency
+// quantiles, SLO windows, and journal counters.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.statsSnapshot())
 }
 
 // handleRun serves one simulation, coalescing identical requests.
@@ -636,6 +832,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 
+	sweepStart := time.Now()
+	s.journal.Emit(journal.Event{Kind: "sweep.start", Trace: traceIDFrom(ctx),
+		Fields: journal.F("cells", len(specs), "mixes", len(req.Mixes), "policies", len(req.Policies))})
+
 	// Warm pass: fan the grid onto the pool. Duplicate cells coalesce in
 	// the memo, failures surface during collection (a failed warm run is
 	// never cached, so the collection pass recomputes and retries it),
@@ -677,6 +877,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Results = append(resp.Results, sp.result(res))
 	}
+	s.journal.Emit(journal.Event{Kind: "sweep.finish", Trace: traceIDFrom(ctx),
+		Fields: journal.F("cells", len(specs), "failed", resp.Failed, "cancelled", resp.Cancelled,
+			"duration_ms", time.Since(sweepStart).Seconds()*1000)})
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -718,6 +921,9 @@ func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 		return
 	}
+	s.journal.Emit(journal.Event{Kind: "trace.upload", Trace: traceIDFrom(r.Context()),
+		Fields: journal.F("name", name, "records", st.records,
+			"digest", fmt.Sprintf("%016x", st.digest))})
 	writeJSON(w, http.StatusOK, TraceUploadResponse{
 		Name:    name,
 		Records: st.records,
@@ -799,6 +1005,117 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	w.Write(append(data, '\n'))
+}
+
+// runTelemetry builds the per-interval event bridge for one execution:
+// nil — telemetry fully off, the simulator pays one nil check per access
+// — unless a live /v1/events subscriber exists (one atomic load decides,
+// see journal.Streaming). Checkpointed and sampled runs execute through
+// entry points without an observation hook and stream lifecycle events
+// only. Telemetry observes and never steers, so results stay
+// byte-identical with or without subscribers — the obs-smoke gate
+// byte-compares exactly this.
+func (s *Server) runTelemetry(sp *runSpec, traceID string) *sim.Telemetry {
+	if !s.journal.Streaming() || sp.ckpt != nil || sp.profile != nil {
+		return nil
+	}
+	// ~16 windows per run, summed over cores, floored so tiny runs emit
+	// at most a handful of events rather than one per access.
+	interval := sp.accesses * uint64(sp.cfg.Cores) / 16
+	if interval < 1000 {
+		interval = 1000
+	}
+	return sim.JournalTelemetry(s.journal, sp.cellKey(), traceID, interval)
+}
+
+// runRegistry tracks in-flight executions by cell key so the watchdog's
+// deadline probe can name the run that is blowing its budget.
+type runRegistry struct {
+	mu sync.Mutex
+	m  map[string]time.Time
+}
+
+func newRunRegistry() *runRegistry {
+	return &runRegistry{m: map[string]time.Time{}}
+}
+
+func (r *runRegistry) add(key string) {
+	r.mu.Lock()
+	if _, dup := r.m[key]; !dup {
+		r.m[key] = time.Now()
+	}
+	r.mu.Unlock()
+}
+
+func (r *runRegistry) remove(key string) {
+	r.mu.Lock()
+	delete(r.m, key)
+	r.mu.Unlock()
+}
+
+// oldest returns the longest-running execution's key and start time.
+func (r *runRegistry) oldest() (string, time.Time, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var key string
+	var at time.Time
+	for k, t := range r.m {
+		if key == "" || t.Before(at) {
+			key, at = k, t
+		}
+	}
+	return key, at, key != ""
+}
+
+// newWatchdog builds the per-subsystem degradation probes: a full job
+// queue (stalled intake), an execution past the request deadline budget
+// (a run the timeout machinery lost track of, or a pathological cell),
+// a checkpoint store accumulating write errors, and an open breaker.
+// Transitions are edge-triggered into the journal and flip the
+// lapserved_watchdog_healthy{subsystem=...} gauges.
+func (s *Server) newWatchdog() *health.Watchdog {
+	w := health.NewWatchdog(s.cfg.WatchdogInterval)
+	w.Add("queue", func() health.Status {
+		if q := s.queued.Load(); q >= int64(s.cfg.QueueDepth) {
+			return health.Degraded(fmt.Sprintf("job queue full (%d/%d)", q, s.cfg.QueueDepth))
+		}
+		return health.OK()
+	})
+	w.Add("deadline", func() health.Status {
+		if key, at, ok := s.running.oldest(); ok {
+			if age := time.Since(at); age > s.cfg.RequestTimeout {
+				return health.Degraded(fmt.Sprintf("run %s executing for %s (budget %s)",
+					key, age.Round(time.Millisecond), s.cfg.RequestTimeout))
+			}
+		}
+		return health.OK()
+	})
+	w.Add("breaker", func() health.Status {
+		if bs := s.breaker.snapshot(); bs.state == "open" {
+			return health.Degraded("circuit breaker open")
+		}
+		return health.OK()
+	})
+	if s.cfg.Checkpoints != nil {
+		var lastErrs uint64
+		var mu sync.Mutex
+		w.Add("checkpoint", func() health.Status {
+			errs := s.cfg.Checkpoints.Metrics().WriteErrors()
+			mu.Lock()
+			delta := errs - lastErrs
+			lastErrs = errs
+			mu.Unlock()
+			if delta > 0 {
+				return health.Degraded(fmt.Sprintf("%d checkpoint write error(s) since last probe", delta))
+			}
+			return health.OK()
+		})
+	}
+	w.OnTransition(func(subsystem string, healthy bool, detail string) {
+		s.journal.Emit(journal.Event{Kind: "watchdog.transition", Msg: detail,
+			Fields: journal.F("subsystem", subsystem, "healthy", healthy)})
+	})
+	return w
 }
 
 // latRing keeps the most recent computed-run latencies for the stats

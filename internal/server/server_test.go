@@ -80,9 +80,17 @@ func TestHealthzAndDrain(t *testing.T) {
 	if status, body := get(t, ts.URL+"/healthz"); status != http.StatusOK {
 		t.Fatalf("healthz: %d %s", status, body)
 	}
+	if status, body := get(t, ts.URL+"/readyz"); status != http.StatusOK {
+		t.Fatalf("readyz: %d %s", status, body)
+	}
 	s.SetDraining(true)
-	if status, _ := get(t, ts.URL+"/healthz"); status != http.StatusServiceUnavailable {
-		t.Fatalf("draining healthz: got %d, want 503", status)
+	// Liveness survives drain — only readiness flips, so an orchestrator
+	// pulls the instance from routing without restarting it.
+	if status, _ := get(t, ts.URL+"/healthz"); status != http.StatusOK {
+		t.Fatalf("draining healthz: got %d, want 200 (liveness must survive drain)", status)
+	}
+	if status, body := get(t, ts.URL+"/readyz"); status != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz: got %d %s, want 503", status, body)
 	}
 	if status, _ := post(t, ts.URL+"/v1/run", RunRequest{Mix: "WL1"}); status != http.StatusServiceUnavailable {
 		t.Fatalf("draining run: got %d, want 503", status)
@@ -90,6 +98,9 @@ func TestHealthzAndDrain(t *testing.T) {
 	s.SetDraining(false)
 	if status, _ := get(t, ts.URL+"/healthz"); status != http.StatusOK {
 		t.Fatalf("healthz after undrain: got %d, want 200", status)
+	}
+	if status, _ := get(t, ts.URL+"/readyz"); status != http.StatusOK {
+		t.Fatalf("readyz after undrain: got %d, want 200", status)
 	}
 }
 

@@ -2,6 +2,7 @@ package server
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -64,37 +65,65 @@ func (l *traceLog) count() int {
 	return l.order.Len()
 }
 
-// instrument wraps the router with per-request tracing and structured
-// logging. Simulation requests (the POST endpoints) each get a private
-// small tracer whose root "request" span flows down through the handler
-// via the request context — queue waits, memo provenance, retry
-// attempts, and executions all record under it — and whose export lands
-// in the trace log for GET /v1/trace/{id} (and TraceDir, when set). The
-// response carries the request ID in X-Trace-Id, and the request log
-// line carries the same ID plus the root span's ID, so logs, traces,
-// and responses correlate. Read-only endpoints are logged but not
-// traced. With request tracing disabled and no logger, instrument adds
-// two nil checks per request.
+// recent returns up to max stored traces, newest first, for the
+// diagnostics bundle.
+func (l *traceLog) recent(max int) []traceEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]traceEntry, 0, max)
+	for el := l.order.Front(); el != nil && len(out) < max; el = el.Next() {
+		e := el.Value.(*traceEntry)
+		out = append(out, traceEntry{id: e.id, data: e.data})
+	}
+	return out
+}
+
+// traceIDKey carries the request's trace ID down through handler
+// contexts so journal events emitted during the request (run lifecycle,
+// interval telemetry) correlate with the request log and
+// GET /v1/trace/{id} on the same ID.
+type traceIDKey struct{}
+
+// traceIDFrom reads the request trace ID stashed by instrument ("" when
+// the context did not come through a request).
+func traceIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(traceIDKey{}).(string)
+	return id
+}
+
+// instrument wraps the router with per-request tracing, structured
+// logging, and SLO accounting. EVERY request — simulation POSTs and
+// read-only GETs alike — gets a request ID (echoed in X-Trace-Id and
+// stashed in the context for journal correlation) and the same
+// structured log line: method, route (the matched mux pattern), status,
+// bytes written, duration, trace_id. Simulation requests additionally
+// get a private small tracer whose root "request" span flows down
+// through the handler via the request context — queue waits, memo
+// provenance, retry attempts, and executions all record under it — and
+// whose export lands in the trace log for GET /v1/trace/{id} (and
+// TraceDir, when set); their log line carries the root span's ID too.
+// Run and sweep requests feed the SLO tracker: server-side failure
+// (5xx) burns the availability budget, a slow answer the latency one.
 func (s *Server) instrument(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		ctx := r.Context()
+		id := fmt.Sprintf("req-%06d", s.reqSeq.Add(1))
+		ctx := context.WithValue(r.Context(), traceIDKey{}, id)
+		w.Header().Set("X-Trace-Id", id)
 		var tr *otrace.Tracer
 		var root *otrace.Span
-		var id string
 		if s.traces != nil && r.Method == http.MethodPost {
 			tr = otrace.New(perRequestTraceEvents)
-			id = fmt.Sprintf("req-%06d", s.reqSeq.Add(1))
 			ctx, root = tr.Root(ctx, "request",
 				otrace.Str("id", id),
 				otrace.Str("method", r.Method),
 				otrace.Str("path", r.URL.Path))
 			tr.NameTrack(otrace.PidWall, root.ID(), id)
-			w.Header().Set("X-Trace-Id", id)
-			r = r.WithContext(ctx)
 		}
+		r = r.WithContext(ctx)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		h.ServeHTTP(rec, r)
+		dur := time.Since(start)
 		if root != nil {
 			root.SetAttr(otrace.Int("status", int64(rec.status)))
 			root.End()
@@ -105,33 +134,59 @@ func (s *Server) instrument(h http.Handler) http.Handler {
 				_ = os.WriteFile(filepath.Join(s.cfg.TraceDir, id+".json"), data, 0o644)
 			}
 		}
+		route := r.Pattern
+		if route == "" {
+			route = r.URL.Path // no mux match (404s)
+		}
+		if r.Method == http.MethodPost &&
+			(r.URL.Path == "/v1/run" || r.URL.Path == "/v1/sweep") {
+			// 5xx burns availability; client-side aborts (499) and client
+			// errors do not — the server did its part.
+			s.slo.Observe(rec.status < http.StatusInternalServerError, dur)
+		}
 		if s.cfg.Logger != nil {
 			attrs := []slog.Attr{
 				slog.String("method", r.Method),
+				slog.String("route", route),
 				slog.String("path", r.URL.Path),
 				slog.Int("status", rec.status),
-				slog.Duration("duration", time.Since(start)),
+				slog.Int64("bytes", rec.bytes),
+				slog.Duration("duration", dur),
+				slog.String("trace_id", id),
 			}
-			if id != "" {
-				attrs = append(attrs,
-					slog.String("trace_id", id),
-					slog.Uint64("span_id", root.ID()))
+			if root != nil {
+				attrs = append(attrs, slog.Uint64("span_id", root.ID()))
 			}
 			s.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
 		}
 	})
 }
 
-// statusRecorder captures the response status for the request log and
-// the root span.
+// statusRecorder captures the response status and byte count for the
+// request log and the root span, and forwards Flush so streaming
+// handlers (the /v1/events SSE stream) still reach the client
+// incrementally through the middleware.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	bytes  int64
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
 	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // handleTrace serves one traced request's Chrome trace-event JSON.

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"repro/internal/obs/journal"
+)
+
+// JournalTelemetry builds a Telemetry that streams the run's life as
+// journal events: one "interval" event per closed telemetry window
+// (misses, loop-block classifications, bypasses, fills, per-window
+// dynamic energy), plus "run.warmup" when the measurement window opens.
+// run and traceID stamp every event for correlation with the request
+// log and /v1/trace/{id}.
+//
+// Returns nil — telemetry fully off, the simulator pays one nil check
+// per access — when no subscriber is live (j.Streaming() is one atomic
+// load). Like every Telemetry, this is observation only: it never
+// touches Config, memo keys, or results, so observed and unobserved
+// runs stay byte-identical.
+func JournalTelemetry(j *journal.Journal, run, traceID string, interval uint64) *Telemetry {
+	if !j.Streaming() {
+		return nil
+	}
+	return &Telemetry{
+		Interval: interval,
+		OnInterval: func(iv Interval) {
+			j.Emit(journal.Event{
+				Kind: "interval", Run: run, Trace: traceID,
+				Fields: journal.F(
+					"index", iv.Index,
+					"start_cycles", iv.StartCycles,
+					"end_cycles", iv.EndCycles,
+					"accesses", iv.Accesses,
+					"l3_accesses", iv.L3Accesses,
+					"l3_misses", iv.L3Misses,
+					"writebacks", iv.Writebacks,
+					"fills", iv.Fills,
+					"redundant_fills", iv.RedundantFills,
+					"loop_blocks", iv.LoopBlocks,
+					"tag_only_updates", iv.TagOnlyUpdates,
+					"bypasses", iv.Bypasses,
+					"dynamic_nj", iv.DynamicNJ,
+				),
+			})
+		},
+		OnWarmupEnd: func(cycles uint64) {
+			j.Emit(journal.Event{
+				Kind: "run.warmup", Run: run, Trace: traceID,
+				Fields: journal.F("cycles", cycles),
+			})
+		},
+	}
+}
+
+// MergeTelemetry fans one run's observation out to multiple sinks (e.g.
+// a request trace and the live journal at once). Nil entries are
+// skipped; returns nil when every entry is nil. Interval length is
+// taken from the first non-nil entry with a nonzero Interval.
+func MergeTelemetry(tels ...*Telemetry) *Telemetry {
+	live := tels[:0]
+	for _, t := range tels {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	if len(live) == 1 {
+		return live[0]
+	}
+	m := &Telemetry{}
+	for _, t := range live {
+		if t.Interval > 0 {
+			m.Interval = t.Interval
+			break
+		}
+	}
+	snap := append([]*Telemetry(nil), live...)
+	m.OnInterval = func(iv Interval) {
+		for _, t := range snap {
+			if t.OnInterval != nil {
+				t.OnInterval(iv)
+			}
+		}
+	}
+	m.OnWarmupEnd = func(c uint64) {
+		for _, t := range snap {
+			if t.OnWarmupEnd != nil {
+				t.OnWarmupEnd(c)
+			}
+		}
+	}
+	m.OnDone = func(c uint64) {
+		for _, t := range snap {
+			if t.OnDone != nil {
+				t.OnDone(c)
+			}
+		}
+	}
+	return m
+}

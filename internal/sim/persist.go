@@ -57,14 +57,15 @@ func DecodeMachineState(d *wire.Decoder) (*MachineState, error) {
 }
 
 // EncodeInterval appends one telemetry signature to enc. The reflection
-// codec pins the field set: adding a non-uint64 field to Interval
-// panics here (update the codec), and decoding an artifact written with
-// a different field count errors (the profile is rebuilt).
-func EncodeInterval(enc *wire.Encoder, iv *Interval) { enc.U64Struct(iv) }
+// codec pins the field set: adding a field of any type other than
+// uint64/float64 to Interval panics here (update the codec), and
+// decoding an artifact written with a different field count errors
+// (the profile is rebuilt).
+func EncodeInterval(enc *wire.Encoder, iv *Interval) { enc.NumStruct(iv) }
 
 // DecodeInterval reads one telemetry signature.
 func DecodeInterval(d *wire.Decoder) (Interval, error) {
 	var iv Interval
-	d.U64Struct(&iv)
+	d.NumStruct(&iv)
 	return iv, d.Err()
 }

@@ -36,6 +36,10 @@ type Interval struct {
 	// LLC in the window (dead-write bypasses, non-reused fills, and
 	// dropped clean copy-backs combined).
 	Bypasses uint64
+	// DynamicNJ is the LLC dynamic energy dissipated in the window, in
+	// nanojoules (raw meter delta — warmup baselines are subtracted only
+	// in the run's final Result, not per window).
+	DynamicNJ float64
 }
 
 // Telemetry is the epoch/interval observation hook for RunObserved. It
@@ -68,6 +72,7 @@ type telemetryState struct {
 	last     core.Metrics
 	lastLoop uint64
 	lastRed  uint64
+	lastDyn  float64
 }
 
 // maxCycles is the slowest core's raw cycle count — the timeline clock.
@@ -119,6 +124,11 @@ func (m *machine) telFlush(final bool) {
 	if p := m.ctx.Prof; p != nil {
 		iv.RedundantFills = p.RedundantFills - t.lastRed
 		t.lastRed = p.RedundantFills
+	}
+	if e := m.ctx.E; e != nil {
+		dyn := e.DynamicNJ()
+		iv.DynamicNJ = dyn - t.lastDyn
+		t.lastDyn = dyn
 	}
 	t.last = *met
 	t.lastLoop = m.loopFills
